@@ -1,0 +1,25 @@
+"""Benchmark E9: regenerate the ablation table."""
+
+import pytest
+
+from repro.experiments.e09_ablations import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e09_ablations(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    trap = {r[1]: r[2] for r in result.rows if r[0] == "trap"}
+    # admission control is the difference on the trap stream
+    assert trap["S"] >= 3 * trap["S-no-admission"]
+    # work conservation only helps
+    assert trap["S-work-conserving"] >= trap["S"] - 1e-9
+    loads = sorted({r[0] for r in result.rows if r[0] != "trap"})
+    wc = {
+        r[0]: r[2]
+        for r in result.rows
+        if r[1] == "S-work-conserving" and r[0] != "trap"
+    }
+    plain = {r[0]: r[2] for r in result.rows if r[1] == "S" and r[0] != "trap"}
+    for load in loads:
+        assert wc[load] >= plain[load] - 0.05

@@ -1,0 +1,46 @@
+"""Micro-benchmarks of the analysis toolchain (bounds, search, report)."""
+
+import pytest
+
+from repro.analysis import (
+    interval_milp_upper_bound,
+    randomized_offline_search,
+    scheduler_report,
+)
+from repro.baselines import GlobalEDF
+from repro.core import SNSScheduler
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return generate_workload(
+        WorkloadConfig(n_jobs=40, m=8, load=2.0, epsilon=1.0, seed=3)
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_milp_bound(benchmark, specs):
+    bound = benchmark(lambda: interval_milp_upper_bound(specs, 8))
+    assert bound > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_offline_search(benchmark, specs):
+    result = benchmark(
+        lambda: randomized_offline_search(specs, 8, restarts=8, rng=0)
+    )
+    assert result.profit > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_scheduler_report(benchmark, specs):
+    text = benchmark(
+        lambda: scheduler_report(
+            specs,
+            8,
+            {"S": lambda: SNSScheduler(epsilon=1.0), "EDF": GlobalEDF},
+            bound_method="feasible",
+        )
+    )
+    assert "Comparison" in text

@@ -1,0 +1,26 @@
+"""Benchmark E7: regenerate the S-vs-baselines load sweep and domino."""
+
+import pytest
+
+from repro.experiments.e07_baselines import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e07_baselines(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    load_rows = [r for r in result.rows if isinstance(r[0], float)]
+    headers = result.headers
+    s_col = headers.index("S(eps=1)")
+    fifo_col = headers.index("FIFO")
+    edf_col = headers.index("EDF")
+    top = load_rows[-1]  # highest load
+    # under heavy overload S holds a better fraction than FIFO and EDF
+    assert top[s_col] > top[fifo_col]
+    # and S's fraction never collapses below 20% of the bound
+    assert all(r[s_col] > 0.2 for r in load_rows)
+    # domino at speed 1: EDF completes ~nothing
+    domino = {r[0]: (r[1], r[2]) for r in result.rows if isinstance(r[0], str)}
+    assert domino["domino:EDF"][0] < 0.1
+    # S at speed 2.5 (Corollary 1 regime) recovers a constant fraction
+    assert domino["domino:S(eps=1)"][1] >= 0.4

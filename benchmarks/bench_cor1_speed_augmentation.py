@@ -1,0 +1,15 @@
+"""Benchmark E4: regenerate the Corollary 1 speed-augmentation sweep."""
+
+import pytest
+
+from repro.experiments.e04_cor1 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e04_cor1_speed_augmentation(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    by_speed = {row[0]: row[1] for row in result.rows}
+    # poor at speed 1, solid constant by 2.5 (Corollary 1's 2 + eps)
+    assert by_speed[2.5] > 3 * by_speed[1.0]
+    assert by_speed[2.5] > 0.5

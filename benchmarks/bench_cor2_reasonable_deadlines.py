@@ -1,0 +1,19 @@
+"""Benchmark E5: regenerate the Corollary 2 (1+eps)-speed table."""
+
+import pytest
+
+from repro.experiments.e05_cor2 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e05_cor2_reasonable_deadlines(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    by_key = {(row[0], row[1]): row[2] for row in result.rows}
+    for eps in (0.25, 0.5, 1.0):
+        assert by_key[(eps, 1.0 + eps)] >= by_key[(eps, 1.0)]
+    # at least one eps shows a dramatic (>3x or from-zero) recovery
+    gains = [
+        by_key[(eps, 1.0 + eps)] - by_key[(eps, 1.0)] for eps in (0.25, 0.5, 1.0)
+    ]
+    assert max(gains) > 0.1

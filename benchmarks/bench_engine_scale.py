@@ -1,0 +1,92 @@
+"""Benchmark E11 + micro-benchmarks of the substrate hot paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import Constants, DensityBands, SNSScheduler
+from repro.dag import DAGJob, block_with_chain
+from repro.experiments.e11_engine import run
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e11_engine_scale(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        assert row[5] > 100  # at least 100 simulated steps per second
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_simulation_run(benchmark):
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=60, m=8, load=2.0, epsilon=1.0, seed=0)
+    )
+
+    def go():
+        return Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(
+            list(specs)
+        )
+
+    result = benchmark(go)
+    assert result.num_jobs == 60
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_dag_unfold(benchmark):
+    dag = block_with_chain(4096.0, 8)
+
+    def go():
+        job = DAGJob(dag)
+        while not job.is_complete():
+            ready = job.ready_nodes()[:8]
+            job.mark_running(ready)
+            for node in ready:
+                job.process(node, 1.0)
+        return job
+
+    job = benchmark(go)
+    assert job.is_complete()
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_band_admission(benchmark):
+    consts = Constants.from_epsilon(1.0)
+    rng = np.random.default_rng(0)
+    densities = rng.uniform(0.01, 10.0, size=200)
+    allotments = rng.integers(1, 4, size=200)
+
+    def go():
+        bands = DensityBands()
+        admitted = 0
+        for i, (v, n) in enumerate(zip(densities, allotments)):
+            if bands.can_insert(float(v), int(n), consts.c, 0.87 * 64):
+                bands.insert(i, float(v), int(n))
+                admitted += 1
+        return admitted
+
+    admitted = benchmark(go)
+    assert admitted > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_lp_bound(benchmark):
+    from repro.analysis import interval_lp_upper_bound
+
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=40, m=8, load=2.0, epsilon=1.0, seed=1)
+    )
+    bound = benchmark(lambda: interval_lp_upper_bound(specs, 8))
+    assert bound > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_workload_generation(benchmark):
+    def go():
+        return generate_workload(
+            WorkloadConfig(n_jobs=100, m=8, load=2.0, epsilon=1.0, seed=2)
+        )
+
+    specs = benchmark(go)
+    assert len(specs) == 100

@@ -1,0 +1,21 @@
+"""Benchmark E12: federated / non-clairvoyant / recurring-task panels."""
+
+import pytest
+
+from repro.experiments.e12_extensions import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e12_extensions(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    by_scenario = {row[0]: row[1:] for row in result.rows}
+    # every scheduler earns something in every scenario
+    for scenario, values in by_scenario.items():
+        for value in values:
+            assert value > 0, scenario
+    # low-utilization periodic task sets complete essentially everything
+    first_periodic = next(
+        row for row in result.rows if str(row[0]).startswith("periodic")
+    )
+    assert all(v >= 0.9 for v in first_periodic[1:])

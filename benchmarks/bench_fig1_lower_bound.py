@@ -1,0 +1,16 @@
+"""Benchmark E1: regenerate the Figure 1 / Theorem 1 lower-bound table."""
+
+import pytest
+
+from repro.experiments.e01_fig1 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e01_fig1_lower_bound(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        m, ratio, predicted = row[0], row[6], row[7]
+        assert ratio == pytest.approx(predicted, rel=0.02), f"m={m}"
+        # recovery speed lands near 2 - 1/m (within step-quantization)
+        assert row[8] <= 2.05

@@ -1,0 +1,16 @@
+"""Benchmark E2: regenerate the Figure 2 deadline-necessity table."""
+
+import pytest
+
+from repro.experiments.e02_fig2 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e02_fig2_deadline_necessity(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    ratios = [row[5] for row in result.rows]
+    assert ratios == sorted(ratios)  # approaches the bound monotonically
+    assert ratios[-1] >= 0.95
+    # below the bound, nobody meets the deadline once nodes are small
+    assert result.rows[-1][7] == "no"

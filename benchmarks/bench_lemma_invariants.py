@@ -1,0 +1,15 @@
+"""Benchmark E8: regenerate the lemma-invariant verification table."""
+
+import pytest
+
+from repro.experiments.e08_invariants import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e08_lemma_invariants(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        assert row[3] == 0, f"lemma violations at eps={row[0]} seed={row[1]}"
+        assert row[4] == 0, "assumption should hold on slack workloads"
+        assert row[5] == 0, "post-hoc verification failed"

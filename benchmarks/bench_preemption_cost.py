@@ -1,0 +1,23 @@
+"""Benchmark E13: profit degradation under preemption overhead."""
+
+import pytest
+
+from repro.experiments.e13_preemption_cost import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e13_preemption_cost(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    s_col = result.headers.index("S(eps=1)")
+    edf_col = result.headers.index("EDF")
+    s_vals = [row[s_col] for row in result.rows]
+    edf_vals = [row[edf_col] for row in result.rows]
+    # S nearly flat in the overhead; EDF visibly degrades
+    assert min(s_vals) >= max(s_vals) - 0.05
+    assert edf_vals[-1] < edf_vals[0]
+    # S's preemption count is tiny compared to EDF's
+    sp_col = result.headers.index("preempts:S(eps=1)")
+    ep_col = result.headers.index("preempts:EDF")
+    for row in result.rows:
+        assert row[sp_col] <= row[ep_col] / 5

@@ -1,0 +1,18 @@
+"""Benchmark E14: exact-OPT competitive ratios on small instances."""
+
+import pytest
+
+from repro.experiments.e14_small_exact import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e14_small_exact(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        # the bracket closes on most instances
+        assert row[2] >= 0.7 * row[1]
+        # exact ratios are small constants, far below the proven bound
+        worst = row[6]
+        if worst != "-":
+            assert float(worst) < 20.0

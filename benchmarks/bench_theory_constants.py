@@ -1,0 +1,20 @@
+"""Benchmark E10: regenerate the derived-constants / O(1/eps^6) table."""
+
+import pytest
+
+from repro.experiments.e10_constants import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e10_theory_constants(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    ratios = [float(row[6]) for row in result.rows]
+    epsilons = [row[0] for row in result.rows]
+    # ratio decreases as eps grows
+    assert ratios == sorted(ratios, reverse=True)
+    # growth is polynomial, bounded by O(1/eps^6) with a uniform constant
+    scaled = [r * e ** 6 for r, e in zip(ratios, epsilons)]
+    assert max(scaled[:3]) < 10 * min(scaled[:3]) * 10  # same order as eps -> 0
+    for row in result.rows:
+        assert float(row[5]) > 0  # Lemma 5 coefficient positive

@@ -1,0 +1,17 @@
+"""Benchmark E3: regenerate the Theorem 2 competitiveness table."""
+
+import pytest
+
+from repro.experiments.e03_thm2 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e03_thm2_competitive(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    eps_rows = [r for r in result.rows if isinstance(r[0], float)]
+    for row in eps_rows:
+        frac = row[1]
+        assert 0 < frac <= 1.0 + 1e-6
+        # empirical ratio is orders of magnitude below the proven bound
+        assert 1.0 / frac < float(row[4])

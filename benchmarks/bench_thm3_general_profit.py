@@ -1,0 +1,15 @@
+"""Benchmark E6: regenerate the Theorem 3 general-profit table."""
+
+import pytest
+
+from repro.experiments.e06_thm3 import run
+
+
+@pytest.mark.benchmark(group="experiments")
+def test_e06_thm3_general_profit(benchmark, quick, show):
+    result = benchmark.pedantic(run, args=(quick,), rounds=1, iterations=1)
+    show(result)
+    for row in result.rows:
+        decay, load, s_frac = row[0], row[1], row[2]
+        # S earns a nonvanishing fraction in every decay/load regime
+        assert s_frac > 0.05, f"{decay}@{load}"

@@ -1,0 +1,35 @@
+"""Benchmark harness configuration.
+
+Every ``bench_*`` module regenerates one experiment table (E1..E11 from
+DESIGN.md) under pytest-benchmark timing and asserts the qualitative
+claim the paper makes.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_FULL=1`` for full-size experiments (several minutes);
+the default quick mode preserves every qualitative shape.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    """Whether to run reduced-size experiments (default yes)."""
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult table to the benchmark log."""
+
+    def _show(result):
+        print()
+        print(result.to_text())
+        return result
+
+    return _show

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Regenerate docs/API.md: the public-API index with one-line summaries.
+
+Run from the repository root::
+
+    python docs/gen_api.py
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+OUT = pathlib.Path(__file__).resolve().parent / "API.md"
+
+
+def first_line(obj) -> str:
+    """First sentence-ish line of an object's docstring."""
+    doc = inspect.getdoc(obj) or ""
+    return doc.split("\n")[0].strip()
+
+
+def main() -> None:
+    """Walk every repro module and emit the index."""
+    lines = [
+        "# API index",
+        "",
+        "Generated from docstrings (`python docs/gen_api.py` regenerates; see",
+        "CONTRIBUTING.md).  One line per public item: the first sentence of its",
+        "docstring.",
+        "",
+    ]
+    modules = [repro] + [
+        importlib.import_module(info.name)
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    ]
+    for module in modules:
+        public = []
+        for name, obj in sorted(vars(module).items()):
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue
+            kind = "class" if inspect.isclass(obj) else "def"
+            public.append(f"- `{kind} {name}` — {first_line(obj)}")
+        if not public:
+            continue
+        lines += [f"## `{module.__name__}`", "", first_line(module), ""]
+        lines += public
+        lines.append("")
+    OUT.write_text("\n".join(lines))
+    print(f"wrote {OUT} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

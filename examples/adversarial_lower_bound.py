@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Section 4 lower-bound constructions (Figures 1-2).
+
+Figure 1: a chain of length W/m in parallel with a fully parallel block.
+A semi-non-clairvoyant scheduler cannot tell chain nodes from block
+nodes; an unlucky pick order drains the block first and needs
+(W-L)/m + L time, while the clairvoyant order finishes in W/m.  The
+separation factor is exactly 2 - 1/m (Theorem 1's speed lower bound).
+
+Figure 2: a chain of L - eps then a block.  Even a clairvoyant scheduler
+needs ~ (W-L)/m + L, so deadlines below that bound are unmeetable by
+anyone -- the justification for Theorem 2's slack assumption.
+
+Run:  python examples/adversarial_lower_bound.py
+"""
+
+from repro.analysis import format_table
+from repro.baselines import FIFOScheduler
+from repro.dag import chain_then_block
+from repro.sim import (
+    AdversarialPicker,
+    CriticalPathPicker,
+    JobSpec,
+    RandomPicker,
+    Simulator,
+)
+from repro.workloads import fig1_jobs
+
+
+def completion_time(m, specs, picker, speed=1.0):
+    result = Simulator(
+        m=m, scheduler=FIFOScheduler(), picker=picker, speed=speed
+    ).run(list(specs))
+    (record,) = result.records.values()
+    return record.completion_time
+
+
+def figure1() -> None:
+    print("== Figure 1: the cost of semi-non-clairvoyance ==\n")
+    rows = []
+    for m in (2, 4, 8, 16):
+        specs = fig1_jobs(m, deadline_factor=10.0)
+        t_clair = completion_time(m, specs, CriticalPathPicker())
+        t_rand = completion_time(m, specs, RandomPicker(0))
+        t_adv = completion_time(m, specs, AdversarialPicker())
+        rows.append(
+            [
+                m,
+                t_clair,
+                t_rand,
+                t_adv,
+                f"{t_adv / t_clair:.4f}",
+                f"{2 - 1 / m:.4f}",
+            ]
+        )
+    print(
+        format_table(
+            ["m", "clairvoyant", "random", "adversarial", "ratio", "2-1/m"],
+            rows,
+            title="Completion time of the Figure 1 DAG (deadline = W/m)",
+        )
+    )
+    print(
+        "\nThe adversarial/clairvoyant ratio matches Theorem 1's 2 - 1/m"
+        "\nexactly: no semi-non-clairvoyant scheduler can be O(1)-"
+        "\ncompetitive below that speed augmentation.\n"
+    )
+
+
+def figure2() -> None:
+    print("== Figure 2: deadlines below (W-L)/m + L are hopeless ==\n")
+    m = 8
+    span, total = 64.0, 512.0
+    rows = []
+    for eps in (16.0, 8.0, 4.0, 2.0, 1.0):
+        dag = chain_then_block(total, span, eps)
+        bound = (total - span) / m + span
+        spec = JobSpec(0, dag, arrival=0, deadline=10 ** 9, profit=1.0)
+        best = min(
+            completion_time(m, [spec], picker)
+            for picker in (CriticalPathPicker(), AdversarialPicker())
+        )
+        rows.append([eps, f"{bound:.0f}", best, f"{best / bound:.4f}"])
+    print(
+        format_table(
+            ["node size", "(W-L)/m+L", "best completion", "ratio"],
+            rows,
+            title=f"Clairvoyant completion of the Figure 2 DAG (m={m})",
+        )
+    )
+    print(
+        "\nAs node size shrinks the best possible completion time climbs"
+        "\nto the bound: assuming D >= (1+eps)((W-L)/m + L) (Theorem 2) is"
+        "\nthe weakest slack assumption that leaves any algorithm a chance."
+    )
+
+
+if __name__ == "__main__":
+    figure1()
+    print()
+    figure2()

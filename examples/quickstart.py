@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a random DAG workload with the paper's algorithm.
+
+Generates a mixed workload of parallel DAG jobs with deadlines that
+satisfy Theorem 2's slack assumption, runs the paper's scheduler S and
+Global EDF side by side, and compares both against the LP upper bound
+on the clairvoyant optimum.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SNSScheduler,
+    Simulator,
+    WorkloadConfig,
+    generate_workload,
+    summarize,
+)
+from repro.analysis import format_table, interval_lp_upper_bound
+from repro.baselines import GlobalEDF
+
+
+def main() -> None:
+    m = 8
+    epsilon = 1.0
+
+    # 1. A workload: 60 DAG jobs (mixed shapes), 2x overload, deadlines
+    #    with slack (1 + epsilon) as Theorem 2 assumes.
+    config = WorkloadConfig(
+        n_jobs=60,
+        m=m,
+        load=2.0,
+        family="mixed",
+        epsilon=epsilon,
+        deadline_policy="slack",
+        profit="heavy_tailed",
+        seed=42,
+    )
+    specs = generate_workload(config)
+    print(f"workload: {len(specs)} jobs on m={m} processors, ~2x overload")
+
+    # 2. An upper bound on what a clairvoyant optimal scheduler could earn.
+    bound = interval_lp_upper_bound(specs, m)
+    print(f"OPT upper bound (LP relaxation): {bound:.2f}\n")
+
+    # 3. Run the paper's scheduler S and EDF on identical copies.
+    rows = []
+    for name, scheduler in [
+        (f"S(eps={epsilon})", SNSScheduler(epsilon=epsilon)),
+        ("Global EDF", GlobalEDF()),
+    ]:
+        result = Simulator(m=m, scheduler=scheduler).run(list(specs))
+        s = summarize(result)
+        rows.append(
+            [
+                name,
+                f"{s.total_profit:.2f}",
+                f"{s.total_profit / bound:.3f}",
+                f"{s.on_time}/{s.jobs}",
+                f"{s.utilization:.2f}",
+                s.preemptions,
+            ]
+        )
+
+    print(
+        format_table(
+            ["scheduler", "profit", "vs bound", "on-time", "util", "preempts"],
+            rows,
+            title="Throughput under 2x overload",
+        )
+    )
+    print(
+        "\nS admits selectively (conditions 1+2 of the paper) and therefore"
+        "\nnever wastes the machine on doomed jobs; EDF is work-conserving"
+        "\nbut deadline-blind to profit. Try load=8.0 or the admission_trap"
+        "\nworkload to see the gap widen."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Render-farm scheduling with decaying payouts (general profit, §5).
+
+Scenario: a render farm executes scene-rendering jobs, each a
+recursive fork-join DAG (tiles render in parallel, compositing joins
+them).  Clients pay a full rate for delivery within the contractual
+window and progressively less afterwards -- a non-increasing profit
+function per job, flat up to the Theorem 3 knee.
+
+The example runs the paper's Section 5 scheduler (which *assigns* each
+arriving job a deadline and a set of execution slots) against a
+work-conserving greedy baseline, across three payout-decay shapes.
+
+Run:  python examples/video_rendering_profit.py
+"""
+
+import numpy as np
+
+from repro import GeneralProfitScheduler, Simulator
+from repro.analysis import format_table, interval_lp_upper_bound
+from repro.baselines import GreedyDensity
+from repro.dag import recursive_fork_join
+from repro.profit import FlatThenExponential, FlatThenLinear, Staircase
+from repro.sim import JobSpec
+from repro.workloads.deadlines import sequential_bound
+
+
+def make_jobs(m: int, decay: str, n_jobs: int, seed: int) -> list[JobSpec]:
+    rng = np.random.default_rng(seed)
+    specs = []
+    t = 0.0
+    for i in range(n_jobs):
+        depth = int(rng.integers(2, 5))
+        dag = recursive_fork_join(depth, branching=2, node_work=2.0)
+        knee = 2.0 * sequential_bound(dag, m)  # (1+eps) slack with eps=1
+        rate = float(rng.uniform(5.0, 20.0))
+        if decay == "linear":
+            fn = FlatThenLinear(rate, knee, decay_span=2 * knee)
+        elif decay == "exponential":
+            fn = FlatThenExponential(rate, knee, tau=knee)
+        else:  # contractual penalty tiers
+            fn = Staircase(
+                rate, [(knee, 0.6 * rate), (2 * knee, 0.25 * rate), (4 * knee, 0.0)]
+            )
+        t += rng.exponential(knee / 8)  # brisk arrivals: contention
+        specs.append(JobSpec(i, dag, arrival=int(t), profit_fn=fn))
+    return specs
+
+
+def main() -> None:
+    m = 8
+    n_jobs = 40
+    print(f"== Render farm: {n_jobs} scenes on {m} cores, decaying payouts ==\n")
+    rows = []
+    for decay in ("linear", "exponential", "staircase"):
+        specs = make_jobs(m, decay, n_jobs, seed=3)
+        bound = interval_lp_upper_bound(specs, m)
+        horizon = max(sp.arrival for sp in specs) * 2 + 5000
+
+        s_result = Simulator(
+            m=m, scheduler=GeneralProfitScheduler(epsilon=1.0)
+        ).run(list(specs))
+        g_result = Simulator(
+            m=m, scheduler=GreedyDensity(), horizon=horizon
+        ).run(list(specs))
+
+        rows.append(
+            [
+                decay,
+                f"{bound:.0f}",
+                f"{s_result.total_profit:.0f}",
+                f"{s_result.total_profit / bound:.3f}",
+                f"{g_result.total_profit:.0f}",
+                sum(1 for r in s_result.records.values() if r.completed),
+            ]
+        )
+    print(
+        format_table(
+            ["payout decay", "OPT bound", "S §5", "S/bound", "greedy", "S done"],
+            rows,
+            title="Revenue by payout-decay shape",
+        )
+    )
+    print(
+        "\nThe Section 5 scheduler trades some easy revenue for its"
+        "\nguarantee: it reserves (1+delta)x_i execution slots per accepted"
+        "\nscene, so accepted scenes deliver at their locked-in payout even"
+        "\nwhen later, richer scenes arrive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(environments without the `wheel` package).  Metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""repro: online scheduling of parallelizable DAG jobs for throughput.
+
+A production-quality reproduction of
+
+    Kunal Agrawal, Jing Li, Kefu Lu, Benjamin Moseley.
+    "Scheduling Parallelizable Jobs Online to Maximize Throughput."
+    SPAA 2017.
+
+Quickstart
+----------
+>>> from repro import (
+...     SNSScheduler, Simulator, WorkloadConfig, generate_workload, summarize,
+... )
+>>> specs = generate_workload(WorkloadConfig(n_jobs=50, m=8, seed=1))
+>>> result = Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+>>> summary = summarize(result)
+
+Package map
+-----------
+* :mod:`repro.dag` -- DAG job substrate (structures, builders, runtime).
+* :mod:`repro.sim` -- discrete-time m-processor simulation engine.
+* :mod:`repro.profit` -- non-increasing profit functions (Section 5).
+* :mod:`repro.core` -- the paper's schedulers, constants, invariants.
+* :mod:`repro.baselines` -- EDF/LLF/greedy/FIFO/random and S-ablations.
+* :mod:`repro.workloads` -- arrivals, DAG families, deadlines, profits.
+* :mod:`repro.analysis` -- metrics, OPT bounds, verification, tables.
+* :mod:`repro.experiments` -- runners regenerating every experiment.
+"""
+
+from repro.core import (
+    Constants,
+    GeneralProfitScheduler,
+    InvariantMonitor,
+    InvariantReport,
+    SNSScheduler,
+)
+from repro.dag import DAGJob, DAGStructure
+from repro.analysis import (
+    compare_schedulers,
+    opt_bound,
+    summarize,
+)
+from repro.sim import (
+    JobSpec,
+    JobView,
+    SchedulerBase,
+    SimulationResult,
+    Simulator,
+)
+from repro.workloads import WorkloadConfig, generate_workload
+from repro.errors import (
+    AllocationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constants",
+    "GeneralProfitScheduler",
+    "InvariantMonitor",
+    "InvariantReport",
+    "SNSScheduler",
+    "DAGJob",
+    "DAGStructure",
+    "compare_schedulers",
+    "opt_bound",
+    "summarize",
+    "JobSpec",
+    "JobView",
+    "SchedulerBase",
+    "SimulationResult",
+    "Simulator",
+    "WorkloadConfig",
+    "generate_workload",
+    "AllocationError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+]

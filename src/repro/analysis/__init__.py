@@ -1,0 +1,69 @@
+"""Metrics, OPT bounds, verification and comparison drivers."""
+
+from repro.analysis.metrics import (
+    ResultSummary,
+    empirical_competitive_ratio,
+    profit_fraction,
+    summarize,
+)
+from repro.analysis.opt import (
+    best_effort_lower_bound,
+    feasible_profit_bound,
+    interval_lp_upper_bound,
+    interval_milp_upper_bound,
+    opt_bound,
+)
+from repro.analysis.offline import OfflineSearchResult, randomized_offline_search
+from repro.analysis.ratios import ComparisonRow, compare_schedulers
+from repro.analysis.report import scheduler_report, workload_summary
+from repro.analysis.smallopt import SmallOptResult, small_instance_opt
+from repro.analysis.gantt import render_gantt, render_utilization
+from repro.analysis.augmentation import (
+    SpeedPoint,
+    min_speed_for_fraction,
+    profit_at_speed,
+    speed_profile,
+)
+from repro.analysis.stats import Aggregate, geometric_mean, replicate
+from repro.analysis.tables import format_markdown, format_table
+from repro.analysis.verify import (
+    verify_profits,
+    verify_sns_observation2,
+    verify_trace_consistency,
+    verify_work_accounting,
+)
+
+__all__ = [
+    "ResultSummary",
+    "empirical_competitive_ratio",
+    "profit_fraction",
+    "summarize",
+    "best_effort_lower_bound",
+    "feasible_profit_bound",
+    "interval_lp_upper_bound",
+    "interval_milp_upper_bound",
+    "opt_bound",
+    "OfflineSearchResult",
+    "randomized_offline_search",
+    "ComparisonRow",
+    "compare_schedulers",
+    "scheduler_report",
+    "workload_summary",
+    "SmallOptResult",
+    "small_instance_opt",
+    "render_gantt",
+    "render_utilization",
+    "SpeedPoint",
+    "min_speed_for_fraction",
+    "profit_at_speed",
+    "speed_profile",
+    "Aggregate",
+    "geometric_mean",
+    "replicate",
+    "format_markdown",
+    "format_table",
+    "verify_profits",
+    "verify_sns_observation2",
+    "verify_trace_consistency",
+    "verify_work_accounting",
+]

@@ -1,0 +1,108 @@
+"""Resource-augmentation analysis: speedup profiles and thresholds.
+
+The paper's positive results are phrased as *s-speed c-competitive*;
+these helpers measure that trade-off empirically for any scheduler:
+
+* :func:`speed_profile` -- profit (as a fraction of a fixed speed-1 OPT
+  bound) across a grid of speeds;
+* :func:`min_speed_for_fraction` -- the smallest speed achieving a
+  target fraction, by bisection (the E1 "recovery speed" generalized to
+  arbitrary workloads and schedulers).
+
+Profit is monotone in speed for the schedulers shipped here in the
+aggregate sense the bisection needs; when an instance is not monotone
+(possible in principle -- admission decisions shift), the bisection
+still returns a speed that achieves the target, just not necessarily
+the infimum.  Remember the engine's whole-step node occupancy: use
+coarse node works so fractional speeds matter (see E1's note).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.opt import opt_bound
+from repro.sim.engine import Simulator
+from repro.sim.jobs import JobSpec
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class SpeedPoint:
+    """One (speed, profit, fraction-of-bound) measurement."""
+
+    speed: float
+    profit: float
+    fraction: float
+
+
+def profit_at_speed(
+    specs: Sequence[JobSpec],
+    m: int,
+    scheduler_factory: Callable[[], Scheduler],
+    speed: float,
+) -> float:
+    """Total profit of one run at the given speed."""
+    sim = Simulator(m=m, scheduler=scheduler_factory(), speed=speed)
+    return sim.run(list(specs)).total_profit
+
+
+def speed_profile(
+    specs: Sequence[JobSpec],
+    m: int,
+    scheduler_factory: Callable[[], Scheduler],
+    speeds: Sequence[float],
+    bound: Optional[float] = None,
+    bound_method: str = "lp",
+) -> list[SpeedPoint]:
+    """Measure the scheduler across a speed grid against the *speed-1*
+    OPT bound (the resource-augmentation convention)."""
+    if bound is None:
+        bound = opt_bound(specs, m, method=bound_method)
+    points = []
+    for speed in speeds:
+        profit = profit_at_speed(specs, m, scheduler_factory, speed)
+        fraction = profit / bound if bound > 0 else 1.0
+        points.append(SpeedPoint(speed=speed, profit=profit, fraction=fraction))
+    return points
+
+
+def min_speed_for_fraction(
+    specs: Sequence[JobSpec],
+    m: int,
+    scheduler_factory: Callable[[], Scheduler],
+    target_fraction: float,
+    bound: Optional[float] = None,
+    bound_method: str = "lp",
+    speed_lo: float = 1.0,
+    speed_hi: float = 4.0,
+    tolerance: float = 0.01,
+) -> Optional[float]:
+    """Bisect for the smallest speed whose profit reaches
+    ``target_fraction`` of the speed-1 OPT bound.
+
+    Returns ``None`` when even ``speed_hi`` misses the target.
+    """
+    if not 0 < target_fraction:
+        raise ValueError("target_fraction must be positive")
+    if speed_lo <= 0 or speed_hi <= speed_lo:
+        raise ValueError("need 0 < speed_lo < speed_hi")
+    if bound is None:
+        bound = opt_bound(specs, m, method=bound_method)
+    if bound <= 0:
+        return speed_lo
+    target = target_fraction * bound
+
+    if profit_at_speed(specs, m, scheduler_factory, speed_hi) < target - 1e-9:
+        return None
+    if profit_at_speed(specs, m, scheduler_factory, speed_lo) >= target - 1e-9:
+        return speed_lo
+    lo, hi = speed_lo, speed_hi
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if profit_at_speed(specs, m, scheduler_factory, mid) >= target - 1e-9:
+            hi = mid
+        else:
+            lo = mid
+    return round(hi, 6)

@@ -1,0 +1,116 @@
+"""ASCII Gantt rendering of execution traces.
+
+Dependency-free visualization for examples, debugging and docs: one row
+per job, one column per time bin; cell glyphs encode how many
+processors the job held during the bin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.engine import SimulationResult
+from repro.sim.trace import Trace
+
+#: glyph ramp for processors-held intensity
+_RAMP = " .:-=+*#%@"
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 72,
+    max_jobs: Optional[int] = 24,
+    show_deadlines: bool = True,
+) -> str:
+    """Render the run's trace as an ASCII Gantt chart.
+
+    Requires the run to have been made with ``record_trace=True``.
+    Each row is a job; glyph intensity is the fraction of the machine
+    the job held during that time bin, ``|`` marks the deadline bin and
+    ``x`` an expiry.
+    """
+    trace = result.trace
+    if trace is None:
+        raise ValueError("render_gantt needs record_trace=True")
+    if not trace.slices:
+        return "(empty trace)"
+    t0 = trace.slices[0].t0
+    t1 = trace.slices[-1].t1
+    horizon = max(1, t1 - t0)
+    bins = min(width, horizon)
+    bin_width = horizon / bins
+
+    # accumulate processor-time per (job, bin)
+    job_ids = sorted(result.records)
+    if max_jobs is not None and len(job_ids) > max_jobs:
+        job_ids = job_ids[:max_jobs]
+    usage = {jid: [0.0] * bins for jid in job_ids}
+    for sl in trace.slices:
+        for jid, alloc, _ in sl.entries:
+            if jid not in usage:
+                continue
+            # distribute the slice's allocation over the bins it spans
+            start, end = sl.t0 - t0, sl.t1 - t0
+            b_lo = int(start / bin_width)
+            b_hi = min(bins - 1, int((end - 1e-9) / bin_width))
+            for b in range(b_lo, b_hi + 1):
+                lo = max(start, b * bin_width)
+                hi = min(end, (b + 1) * bin_width)
+                if hi > lo:
+                    usage[jid][b] += alloc * (hi - lo)
+
+    lines = [
+        f"t = [{t0}, {t1})  ({bins} bins of {bin_width:.3g} steps, "
+        f"m = {result.m})"
+    ]
+    label_width = max(len(f"J{jid}") for jid in job_ids)
+    for jid in job_ids:
+        record = result.records[jid]
+        row = []
+        for b, amount in enumerate(usage[jid]):
+            density = amount / (bin_width * result.m)
+            glyph = _RAMP[min(len(_RAMP) - 1, int(density * (len(_RAMP) - 1) + 0.999))] \
+                if density > 0 else " "
+            row.append(glyph)
+        line = "".join(row)
+        if show_deadlines:
+            deadline = record.deadline or record.assigned_deadline
+            if deadline is not None and t0 <= deadline <= t1:
+                pos = min(bins - 1, int((deadline - t0) / bin_width))
+                marker = "x" if record.expired else "|"
+                line = line[:pos] + marker + line[pos + 1:]
+        status = (
+            "done" if record.completed else
+            "EXPIRED" if record.expired else
+            "abandoned" if record.abandoned else "?"
+        )
+        lines.append(f"J{jid:<{label_width - 1}} [{line}] {status}")
+    return "\n".join(lines)
+
+
+def render_utilization(result: SimulationResult, width: int = 72) -> str:
+    """One-line machine-utilization sparkline over the trace."""
+    trace = result.trace
+    if trace is None:
+        raise ValueError("render_utilization needs record_trace=True")
+    if not trace.slices:
+        return "(empty trace)"
+    t0, t1 = trace.slices[0].t0, trace.slices[-1].t1
+    horizon = max(1, t1 - t0)
+    bins = min(width, horizon)
+    bin_width = horizon / bins
+    busy = [0.0] * bins
+    for sl in trace.slices:
+        start, end = sl.t0 - t0, sl.t1 - t0
+        b_lo = int(start / bin_width)
+        b_hi = min(bins - 1, int((end - 1e-9) / bin_width))
+        for b in range(b_lo, b_hi + 1):
+            lo = max(start, b * bin_width)
+            hi = min(end, (b + 1) * bin_width)
+            if hi > lo:
+                busy[b] += sl.busy * (hi - lo)
+    glyphs = []
+    for amount in busy:
+        frac = amount / (bin_width * result.m)
+        glyphs.append(_RAMP[min(len(_RAMP) - 1, int(frac * (len(_RAMP) - 1) + 0.5))])
+    return "util [" + "".join(glyphs) + "]"

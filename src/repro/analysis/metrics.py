@@ -1,0 +1,71 @@
+"""Summary metrics of finished simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import SimulationResult
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Headline numbers of one run."""
+
+    total_profit: float
+    jobs: int
+    completed: int
+    on_time: int
+    expired: int
+    abandoned: int
+    mean_response: float
+    utilization: float
+    preemptions: int
+    decisions: int
+
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of jobs completed by their effective deadline."""
+        return self.on_time / self.jobs if self.jobs else 0.0
+
+
+def summarize(result: SimulationResult) -> ResultSummary:
+    """Aggregate a :class:`SimulationResult` into a summary."""
+    records = list(result.records.values())
+    completed = [r for r in records if r.completed]
+    responses = [r.completion_time - r.arrival for r in completed]
+    start = min((r.arrival for r in records), default=0)
+    horizon = max(result.end_time - start, 1)
+    return ResultSummary(
+        total_profit=result.total_profit,
+        jobs=len(records),
+        completed=len(completed),
+        on_time=sum(1 for r in records if r.on_time),
+        expired=sum(1 for r in records if r.expired),
+        abandoned=sum(1 for r in records if r.abandoned),
+        mean_response=float(np.mean(responses)) if responses else float("nan"),
+        utilization=result.counters.busy_steps / (result.m * horizon),
+        preemptions=result.counters.preemptions,
+        decisions=result.counters.decisions,
+    )
+
+
+def profit_fraction(result: SimulationResult, opt_bound: float) -> float:
+    """Algorithm profit as a fraction of an OPT upper bound (<= 1 when
+    the bound is valid)."""
+    if opt_bound <= 0:
+        return 1.0 if result.total_profit <= 0 else float("inf")
+    return result.total_profit / opt_bound
+
+
+def empirical_competitive_ratio(
+    result: SimulationResult, opt_bound: float
+) -> Optional[float]:
+    """``opt_bound / profit`` -- an upper bound on how badly the run did
+    (because the OPT bound itself is an upper bound).  ``None`` when the
+    algorithm earned nothing and the bound is positive (ratio infinite)."""
+    if result.total_profit > 0:
+        return opt_bound / result.total_profit
+    return None if opt_bound > 0 else 1.0

@@ -1,0 +1,66 @@
+"""Scheduler comparison drivers: run many schedulers on one workload and
+report profits and OPT-bound fractions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.analysis.opt import opt_bound
+from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.jobs import JobSpec
+from repro.sim.picker import NodePicker
+from repro.sim.scheduler import Scheduler
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class ComparisonRow:
+    """One scheduler's outcome on one workload."""
+
+    name: str
+    profit: float
+    on_time: int
+    jobs: int
+    fraction_of_bound: float
+    result: SimulationResult
+
+
+def compare_schedulers(
+    specs: Sequence[JobSpec],
+    m: int,
+    schedulers: Mapping[str, SchedulerFactory],
+    speed: float = 1.0,
+    picker: Optional[NodePicker] = None,
+    picker_factory: Optional[Callable[[], NodePicker]] = None,
+    bound: Optional[float] = None,
+    bound_method: str = "feasible",
+) -> list[ComparisonRow]:
+    """Run every scheduler on (a fresh copy of) the workload.
+
+    ``bound`` is the OPT upper bound to normalize against; computed via
+    ``bound_method`` when not supplied.  ``picker_factory`` builds a
+    fresh picker per run (needed for seeded random pickers);
+    ``picker`` shares one (fine for stateless pickers).
+    """
+    if bound is None:
+        bound = opt_bound(specs, m, method=bound_method)
+    rows: list[ComparisonRow] = []
+    for name, factory in schedulers.items():
+        run_picker = picker_factory() if picker_factory is not None else picker
+        sim = Simulator(m=m, scheduler=factory(), picker=run_picker, speed=speed)
+        result = sim.run(list(specs))
+        rows.append(
+            ComparisonRow(
+                name=name,
+                profit=result.total_profit,
+                on_time=result.completed_on_time,
+                jobs=result.num_jobs,
+                fraction_of_bound=(
+                    result.total_profit / bound if bound > 0 else 1.0
+                ),
+                result=result,
+            )
+        )
+    return rows

@@ -1,0 +1,51 @@
+"""Replication and aggregation helpers for seed sweeps."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / spread of replicated measurements."""
+
+    mean: float
+    std: float
+    lo: float
+    hi: float
+    n: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        """Aggregate a sample; ``lo``/``hi`` is a normal-approximation
+        95% confidence interval on the mean."""
+        arr = np.asarray([v for v in values if not math.isnan(v)], dtype=np.float64)
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(nan, nan, nan, nan, 0)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+        half = 1.96 * std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+        return cls(mean=mean, std=std, lo=mean - half, hi=mean + half, n=int(arr.size))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} +/- {self.hi - self.mean:.2g}"
+
+
+def replicate(fn: Callable[[int], float], seeds: Sequence[int]) -> Aggregate:
+    """Run ``fn(seed)`` per seed and aggregate the returned scalars."""
+    return Aggregate.of([fn(seed) for seed in seeds])
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (competitive ratios average multiplicatively)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0 or np.any(arr <= 0):
+        return float("nan")
+    return float(np.exp(np.mean(np.log(arr))))

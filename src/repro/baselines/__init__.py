@@ -1,0 +1,33 @@
+"""Baseline schedulers and ablations of the paper's algorithm."""
+
+from repro.baselines.base import ListScheduler
+from repro.baselines.edf import GlobalEDF
+from repro.baselines.llf import LeastLaxityFirst
+from repro.baselines.greedy_density import GreedyDensity
+from repro.baselines.fifo import FIFOScheduler
+from repro.baselines.random_sched import RandomScheduler
+from repro.baselines.ablations import (
+    EagerPromotionSNS,
+    SNSNoAdmission,
+    SNSWorkDensity,
+    WorkConservingSNS,
+)
+from repro.baselines.federated import FederatedScheduler
+from repro.baselines.nonclairvoyant import DoublingNonClairvoyant
+from repro.baselines.admission_edf import AdmissionEDF
+
+__all__ = [
+    "ListScheduler",
+    "GlobalEDF",
+    "LeastLaxityFirst",
+    "GreedyDensity",
+    "FIFOScheduler",
+    "RandomScheduler",
+    "EagerPromotionSNS",
+    "SNSNoAdmission",
+    "SNSWorkDensity",
+    "WorkConservingSNS",
+    "FederatedScheduler",
+    "DoublingNonClairvoyant",
+    "AdmissionEDF",
+]

@@ -1,0 +1,106 @@
+"""Ablations of the paper's scheduler S (experiment E9).
+
+Each variant removes or alters exactly one design decision the paper's
+remark in Section 3.1 motivates, so their deltas isolate what each
+mechanism buys:
+
+* :class:`SNSNoAdmission` -- drop conditions (1) and (2): every arrival
+  goes straight to Q.  Tests whether admission control (not density
+  ordering) is what protects against overload.
+* :class:`WorkConservingSNS` -- keep admission, but hand leftover
+  processors to admitted jobs beyond their fixed ``n_i`` (up to their
+  ready-node counts).  The paper conjectures work-conserving variants
+  in its conclusion.
+* :class:`SNSWorkDensity` -- use the classical density ``p/W`` instead
+  of the paper's ``p/(x_i n_i)`` for ordering and banding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.sns import SNSJobState, SNSScheduler
+from repro.core.theory import Constants
+from repro.sim.jobs import JobView
+
+
+class SNSNoAdmission(SNSScheduler):
+    """S without admission control: all arrivals start immediately."""
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        state = self.compute_state(job)
+        self.all_states[job.job_id] = state
+        self._start(state)
+
+
+class WorkConservingSNS(SNSScheduler):
+    """S plus work-conservation: spare processors top up admitted jobs.
+
+    The base allocation is identical to S (each admitted job gets its
+    fixed ``n_i`` in density order); any processors left over are then
+    dealt to admitted jobs, densest first, up to their current
+    ready-node counts.  Admission, banding and promotion are untouched,
+    so the analysis's accounting of *dedicated* processor-steps still
+    underlies the schedule.
+    """
+
+    def allocate(self, t: int) -> dict[int, int]:
+        alloc = super().allocate(t)
+        free = self.m - sum(alloc.values())
+        if free <= 0:
+            return alloc
+        for state in self.queue_started.by_density_desc():
+            if free <= 0:
+                break
+            current = alloc.get(state.job_id, 0)
+            if current == 0:
+                continue  # S chose not to run it (allotment didn't fit)
+            headroom = state.view.num_ready - current
+            if headroom > 0:
+                extra = min(free, headroom)
+                alloc[state.job_id] = current + extra
+                free -= extra
+        return alloc
+
+
+class EagerPromotionSNS(SNSScheduler):
+    """S that also promotes parked jobs at *arrivals*.
+
+    The paper only promotes from P when a job completes; promoting on
+    every event is the natural "why not?" variant.  The analysis only
+    needs completion-time promotion (Lemma 7/8 argue about completion
+    events), so this ablation tests whether the restriction costs
+    anything in practice.
+    """
+
+    def on_arrival(self, job, t: int) -> None:
+        super().on_arrival(job, t)
+        self._promote(t)
+
+
+class SNSWorkDensity(SNSScheduler):
+    """S with the classical ``p/W`` density.
+
+    Everything else (allotment, x, admission structure) is unchanged;
+    only the density that orders queues and defines bands differs.
+    The paper's Lemma 3 connects the two definitions within the factor
+    ``a``, so large empirical gaps indicate workloads where per-
+    processor-step accounting matters.
+    """
+
+    def __init__(
+        self, epsilon: float = 1.0, constants: Optional[Constants] = None
+    ) -> None:
+        super().__init__(epsilon=epsilon, constants=constants)
+
+    def compute_state(self, job: JobView) -> SNSJobState:
+        state = super().compute_state(job)
+        work_density = job.profit / job.work if job.work > 0 else 0.0
+        return SNSJobState(
+            view=state.view,
+            allotment=state.allotment,
+            x=state.x,
+            density=work_density,
+            delta_good=state.delta_good,
+            allotment_real=state.allotment_real,
+        )

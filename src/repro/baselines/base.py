@@ -1,0 +1,66 @@
+"""Work-conserving list scheduling: the shared baseline skeleton.
+
+A :class:`ListScheduler` keeps the set of live jobs and, at every
+decision point, hands out processors greedily in priority order, giving
+each job as many processors as it has ready nodes (work-conserving --
+in contrast to the paper's fixed-allotment, admission-controlled S).
+Subclasses define only the priority key.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.jobs import JobView
+from repro.sim.scheduler import SchedulerBase
+
+
+class ListScheduler(SchedulerBase):
+    """Greedy work-conserving scheduler ordered by :meth:`priority`."""
+
+    def __init__(self) -> None:
+        self.jobs: dict[int, JobView] = {}
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """Track the job."""
+        self.jobs[job.job_id] = job
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        """Forget the job."""
+        self.jobs.pop(job.job_id, None)
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """Forget the job."""
+        self.jobs.pop(job.job_id, None)
+
+    def priority(self, job: JobView, t: int) -> Any:
+        """Sort key; *smaller* sorts first (runs earlier).
+
+        Ties should be broken deterministically -- include
+        ``job.job_id`` in the key.
+        """
+        raise NotImplementedError
+
+    def eligible(self, job: JobView, t: int) -> bool:
+        """Hook: whether the job may receive processors now (default:
+        any live job).  Overridden e.g. to skip hopeless jobs."""
+        return True
+
+    def allocate(self, t: int) -> dict[int, int]:
+        """Greedily give each job ``min(free, num_ready)`` processors in
+        priority order."""
+        free = self.m
+        alloc: dict[int, int] = {}
+        if free <= 0 or not self.jobs:
+            return alloc
+        order = sorted(self.jobs.values(), key=lambda j: self.priority(j, t))
+        for job in order:
+            if free <= 0:
+                break
+            if not self.eligible(job, t):
+                continue
+            k = min(free, job.num_ready)
+            if k > 0:
+                alloc[job.job_id] = k
+                free -= k
+        return alloc

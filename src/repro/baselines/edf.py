@@ -1,0 +1,38 @@
+"""Global Earliest-Deadline-First for DAG jobs.
+
+The classic real-time baseline: all processors go to the jobs with the
+earliest absolute deadlines, work-conservingly.  Optimal on one
+processor without overload; well known to degrade badly under overload
+(the domino effect), which is exactly the regime the paper's admission
+control targets -- experiment E7 measures that contrast.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ListScheduler
+from repro.sim.jobs import JobView
+
+
+class GlobalEDF(ListScheduler):
+    """Earliest absolute deadline first; jobs without deadlines last."""
+
+    def __init__(self, skip_hopeless: bool = False) -> None:
+        super().__init__()
+        self.skip_hopeless = bool(skip_hopeless)
+
+    def priority(self, job: JobView, t: int) -> tuple[float, int]:
+        deadline = job.deadline
+        return (float("inf") if deadline is None else float(deadline), job.job_id)
+
+    def eligible(self, job: JobView, t: int) -> bool:
+        """Optionally skip jobs that cannot possibly finish in time
+        (remaining work exceeds remaining capacity even at full span
+        parallelism)."""
+        if not self.skip_hopeless:
+            return True
+        deadline = job.deadline
+        if deadline is None:
+            return True
+        remaining_time = deadline - t
+        remaining_work = job.work - job.work_completed
+        return remaining_work <= remaining_time * self.m * self.speed

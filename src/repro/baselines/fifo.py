@@ -1,0 +1,13 @@
+"""First-In-First-Out: process jobs in arrival order, work-conservingly."""
+
+from __future__ import annotations
+
+from repro.baselines.base import ListScheduler
+from repro.sim.jobs import JobView
+
+
+class FIFOScheduler(ListScheduler):
+    """Earliest arrival first (ties by job id)."""
+
+    def priority(self, job: JobView, t: int) -> tuple[int, int]:
+        return (job.arrival, job.job_id)

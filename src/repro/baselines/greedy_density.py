@@ -1,0 +1,21 @@
+"""Greedy highest-density-first, without admission control.
+
+Orders jobs by the classical density ``p / W`` (profit per unit work)
+and allocates work-conservingly.  This is the natural "obvious"
+algorithm the paper improves on: it has no admission control, so a
+stream of dense-but-doomed jobs starves everything (the known
+:math:`\\Omega(\\delta)` lower bound for deterministic algorithms).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import ListScheduler
+from repro.sim.jobs import JobView
+
+
+class GreedyDensity(ListScheduler):
+    """Highest ``p/W`` first (negated for ascending sort)."""
+
+    def priority(self, job: JobView, t: int) -> tuple[float, int]:
+        density = job.profit / job.work if job.work > 0 else 0.0
+        return (-density, job.job_id)

@@ -1,0 +1,40 @@
+"""Random-priority scheduling: the sanity-check floor for experiments.
+
+Each job receives a random priority at arrival (stable thereafter, so
+the schedule isn't pure noise step-to-step); allocation is
+work-conserving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import ListScheduler
+from repro.sim.jobs import JobView
+
+
+class RandomScheduler(ListScheduler):
+    """Uniform random per-job priority, fixed at arrival."""
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        super().__init__()
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+        self._keys: dict[int, float] = {}
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        super().on_arrival(job, t)
+        self._keys[job.job_id] = float(self.rng.random())
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        super().on_completion(job, t)
+        self._keys.pop(job.job_id, None)
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        super().on_expiry(job, t)
+        self._keys.pop(job.job_id, None)
+
+    def priority(self, job: JobView, t: int) -> tuple[float, int]:
+        return (self._keys.get(job.job_id, 0.5), job.job_id)

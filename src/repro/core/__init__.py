@@ -1,0 +1,34 @@
+"""The paper's contribution: scheduler S and its general-profit variant.
+
+* :class:`~repro.core.sns.SNSScheduler` -- Theorem 2's algorithm for
+  jobs with deadlines (Section 3).
+* :class:`~repro.core.profit_scheduler.GeneralProfitScheduler` --
+  Theorem 3's algorithm for arbitrary non-increasing profit functions
+  (Section 5).
+* :class:`~repro.core.theory.Constants` -- the constants
+  (delta, c, b, a) and the proven competitive-ratio bounds.
+* :class:`~repro.core.invariants.InvariantMonitor` -- runtime checks of
+  the lemmas the analysis rests on.
+"""
+
+from repro.core.theory import Constants
+from repro.core.bands import DensityBands
+from repro.core.sns import SNSJobState, SNSScheduler
+from repro.core.profit_scheduler import GeneralProfitScheduler, ProfitJobState
+from repro.core.invariants import (
+    InvariantMonitor,
+    InvariantReport,
+    check_lemma15_slot_bands,
+)
+
+__all__ = [
+    "Constants",
+    "DensityBands",
+    "SNSJobState",
+    "SNSScheduler",
+    "GeneralProfitScheduler",
+    "ProfitJobState",
+    "InvariantMonitor",
+    "InvariantReport",
+    "check_lemma15_slot_bands",
+]

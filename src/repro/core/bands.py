@@ -1,0 +1,133 @@
+"""Density-band occupancy structure for the admission condition.
+
+Condition (2) of the paper's scheduler admits a job :math:`J_i` only if,
+for every job :math:`J_j` in the started set (including :math:`J_i`),
+the total allotment of jobs with density in :math:`[v_j, c\\,v_j)` stays
+at most :math:`b\\,m`.  :class:`DensityBands` maintains the multiset of
+``(density, allotment)`` pairs and answers
+
+* :meth:`band_load` -- the paper's :math:`N(T, v_1, v_2)`;
+* :meth:`can_insert` -- the full condition (2) check, using the
+  observation (also used in the paper's Lemma 18) that inserting a job
+  of density :math:`v` only perturbs bands anchored at densities
+  :math:`v_j \\in (v/c, v]`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterator
+
+
+class DensityBands:
+    """Multiset of (density, allotment) pairs with band-load queries.
+
+    Densities are kept in a sorted list; loads are computed over slices.
+    Sizes in this problem are modest (the started set never exceeds a
+    few hundred jobs), so O(band width) per query is the right
+    simplicity/performance trade-off -- profile before replacing with a
+    Fenwick tree.
+    """
+
+    def __init__(self) -> None:
+        self._densities: list[float] = []  # sorted ascending
+        self._allotments: list[int] = []  # parallel to _densities
+        self._keys: list[tuple[float, int]] = []  # (density, job_id), sorted
+        self._jobs: dict[int, tuple[float, int]] = {}  # job_id -> (v, n)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def density_of(self, job_id: int) -> float:
+        """Density of a tracked job."""
+        return self._jobs[job_id][0]
+
+    def allotment_of(self, job_id: int) -> int:
+        """Allotment of a tracked job."""
+        return self._jobs[job_id][1]
+
+    def items(self) -> Iterator[tuple[int, float, int]]:
+        """Iterate ``(job_id, density, allotment)`` in density order."""
+        for v, job_id in self._keys:
+            yield job_id, v, self._jobs[job_id][1]
+
+    # ------------------------------------------------------------------
+    def insert(self, job_id: int, density: float, allotment: int) -> None:
+        """Track a job (no admission check -- see :meth:`can_insert`)."""
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id} already tracked")
+        if density <= 0 or not math.isfinite(density):
+            raise ValueError("density must be positive and finite")
+        if allotment < 1:
+            raise ValueError("allotment must be >= 1")
+        key = (density, job_id)
+        pos = bisect.bisect_left(self._keys, key)
+        self._keys.insert(pos, key)
+        self._densities.insert(pos, density)
+        self._allotments.insert(pos, allotment)
+        self._jobs[job_id] = (density, allotment)
+
+    def remove(self, job_id: int) -> None:
+        """Stop tracking a job."""
+        density, _ = self._jobs.pop(job_id)
+        pos = bisect.bisect_left(self._keys, (density, job_id))
+        assert self._keys[pos] == (density, job_id)
+        del self._keys[pos]
+        del self._densities[pos]
+        del self._allotments[pos]
+
+    # ------------------------------------------------------------------
+    def band_load(self, v_lo: float, v_hi: float) -> int:
+        """Total allotment of jobs with density in ``[v_lo, v_hi)`` --
+        the paper's :math:`N(T, v_1, v_2)`."""
+        lo = bisect.bisect_left(self._densities, v_lo)
+        hi = bisect.bisect_left(self._densities, v_hi)
+        return sum(self._allotments[lo:hi])
+
+    def load_at_least(self, v: float) -> int:
+        """Total allotment of ``v``-dense jobs (density >= v)."""
+        lo = bisect.bisect_left(self._densities, v)
+        return sum(self._allotments[lo:])
+
+    def can_insert(
+        self, density: float, allotment: int, c: float, capacity: float
+    ) -> bool:
+        """Condition (2): would inserting ``(density, allotment)`` keep
+        every band load at most ``capacity``?
+
+        Only bands anchored at jobs with density in ``(density/c,
+        density]`` (including the new job's own band) can gain load, so
+        only those are checked.  Precondition: the tracked set already
+        satisfies the invariant (``max_band_load(c) <= capacity``) --
+        which the scheduler maintains by only inserting after this
+        check succeeds.
+        """
+        # The new job's own band [v, c v).
+        if self.band_load(density, c * density) + allotment > capacity + 1e-9:
+            return False
+        # Existing anchors whose band [v_j, c v_j) contains the new density.
+        lo = bisect.bisect_right(self._densities, density / c)
+        hi = bisect.bisect_right(self._densities, density)
+        for pos in range(lo, hi):
+            v_j = self._densities[pos]
+            if self.band_load(v_j, c * v_j) + allotment > capacity + 1e-9:
+                return False
+        return True
+
+    def max_band_load(self, c: float) -> int:
+        """Maximum load of any band ``[v_j, c v_j)`` anchored at a
+        tracked job -- Observation 3 asserts this stays <= b*m."""
+        best = 0
+        for v in self._densities:
+            load = self.band_load(v, c * v)
+            if load > best:
+                best = load
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DensityBands(jobs={len(self._jobs)})"

@@ -1,0 +1,165 @@
+"""Runtime verification of the paper's structural lemmas.
+
+:class:`InvariantMonitor` wraps an :class:`~repro.core.sns.SNSScheduler`
+and, after every event, re-checks the inequalities the analysis rests
+on.  The lemma-invariant experiment (E8) runs entire workloads under the
+monitor and reports violation counts (expected: zero under Theorem 2's
+assumption).
+
+Checked invariants
+------------------
+* **Lemma 1**: integral allotment ``n_i <= ceil(b^2 m)`` for every job
+  whose deadline satisfies the slack assumption.
+* **Lemma 2**: every such job is delta-good.
+* **Lemma 3**: ``x_i n_i <= a W_i`` (+ integrality allowance).
+* **Observation 3**: every density band ``[v, c v)`` over Q carries at
+  most ``b m`` allotment, at all times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.sns import SNSJobState, SNSScheduler
+from repro.sim.jobs import JobView
+
+
+@dataclass
+class InvariantReport:
+    """Accumulated results of invariant checking."""
+
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant was ever violated."""
+        return not self.violations
+
+    def record(self, message: str) -> None:
+        """Register a violation."""
+        self.violations.append(message)
+
+
+class InvariantMonitor:
+    """Scheduler wrapper re-checking the paper's lemmas at every event.
+
+    Use exactly like the wrapped scheduler::
+
+        sched = SNSScheduler(epsilon=1.0)
+        monitor = InvariantMonitor(sched)
+        result = Simulator(m=8, scheduler=monitor).run(specs)
+        assert monitor.report.ok
+
+    Jobs violating Theorem 2's deadline-slack *assumption* are noted
+    separately (``assumption_violations``) -- the lemmas are only
+    promised for conforming inputs.
+    """
+
+    def __init__(self, inner: SNSScheduler) -> None:
+        self.inner = inner
+        self.report = InvariantReport()
+        self.assumption_violations = 0
+
+    # -- delegated protocol -------------------------------------------
+    def on_start(self, m: int, speed: float) -> None:
+        """Forward, then snapshot machine size."""
+        self.inner.on_start(m, speed)
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """Forward, then check per-job lemmas and Observation 3."""
+        self.inner.on_arrival(job, t)
+        self._check_job(self.inner.all_states[job.job_id], t)
+        self._check_bands(t)
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        """Forward, then re-check Observation 3 (promotions happened)."""
+        self.inner.on_completion(job, t)
+        self._check_bands(t)
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """Forward, then re-check Observation 3."""
+        self.inner.on_expiry(job, t)
+        self._check_bands(t)
+
+    def allocate(self, t: int) -> dict[int, int]:
+        """Forward; allocation itself is validated by the engine."""
+        return self.inner.allocate(t)
+
+    def wakeup_after(self, t: int):
+        """Forward."""
+        return self.inner.wakeup_after(t)
+
+    def assign_deadline(self, job: JobView, t: int):
+        """Forward."""
+        return self.inner.assign_deadline(job, t)
+
+    # -- checks ---------------------------------------------------------
+    def _meets_assumption(self, job: JobView) -> bool:
+        consts = self.inner.constants
+        rel = job.relative_deadline
+        if rel is None:
+            return False
+        work = job.work / self.inner.speed
+        span = job.span / self.inner.speed
+        return rel >= consts.slack_requirement(work, span, self.inner.m) - 1e-9
+
+    def _check_job(self, state: SNSJobState, t: int) -> None:
+        consts = self.inner.constants
+        job = state.view
+        if not self._meets_assumption(job):
+            self.assumption_violations += 1
+            return
+        self.report.checks += 1
+        m = self.inner.m
+        # Lemma 1 (+1 for ceil rounding of the real-valued allotment)
+        if state.allotment > consts.allotment_cap(m) + 1:
+            self.report.record(
+                f"Lemma1 job={job.job_id}: n={state.allotment} > "
+                f"b^2 m + 1 = {consts.allotment_cap(m) + 1:.4g}"
+            )
+        # Lemma 2
+        if not state.delta_good:
+            self.report.record(f"Lemma2 job={job.job_id}: not delta-good")
+        # Lemma 3: x n <= a W (speed-scaled work, matching compute_state).
+        # Integral ceil-rounding of n can add up to one processor for x
+        # steps, so allow an x-sized slack on top of the exact bound.
+        work = job.work / self.inner.speed
+        if state.x * state.allotment > consts.a * work + state.x + 1e-6:
+            self.report.record(
+                f"Lemma3 job={job.job_id}: x*n={state.x * state.allotment:.6g} "
+                f"> a*W + x={consts.a * work + state.x:.6g}"
+            )
+
+    def _check_bands(self, t: int) -> None:
+        consts = self.inner.constants
+        self.report.checks += 1
+        load = self.inner.bands.max_band_load(consts.c)
+        if load > consts.band_capacity(self.inner.m) + 1e-9:
+            self.report.record(
+                f"Obs3 t={t}: band load {load} > b m = "
+                f"{consts.band_capacity(self.inner.m):.4g}"
+            )
+
+
+def check_lemma15_slot_bands(scheduler) -> list[str]:
+    """Lemma 15 for the general-profit scheduler: at every future time
+    step ``t``, the jobs assigned to ``t`` keep every density band
+    ``[v, c v)`` at load at most ``b m``.
+
+    Call after (or during) a run with a
+    :class:`~repro.core.profit_scheduler.GeneralProfitScheduler`;
+    returns violation messages (empty = invariant holds).
+    """
+    consts = scheduler.constants
+    capacity = consts.band_capacity(scheduler.m)
+    problems: list[str] = []
+    for t, bands in scheduler._slots.items():
+        if len(bands) == 0:
+            continue
+        load = bands.max_band_load(consts.c)
+        if load > capacity + 1e-9:
+            problems.append(
+                f"Lemma15 t={t}: slot band load {load} > b m = {capacity:.4g}"
+            )
+    return problems

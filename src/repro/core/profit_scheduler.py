@@ -1,0 +1,359 @@
+"""The paper's general-profit scheduler (Section 5).
+
+For each arriving job the scheduler *assigns* a relative deadline
+:math:`D_i` (the minimum "valid" one, maximizing the non-increasing
+profit :math:`p_i(D_i)`) and a set :math:`I_i` of
+:math:`(1+\\delta)x_i` time slots inside :math:`[r_i, r_i + D_i)`; the
+job may execute only during its slots.  A slot :math:`t` may be added
+while the band condition holds against :math:`J(t)`, the set of jobs
+already holding slot :math:`t` (Lemma 15's invariant).  Each time step
+the scheduler runs the densest slot-holders, giving each exactly
+:math:`n_i` processors.
+
+Allotment here uses the profit function's knee :math:`x^*` instead of a
+given deadline: :math:`n_i = (W_i-L_i)/(x^*/(1+2\\delta) - L_i)`, and the
+density of a job assigned deadline :math:`D` is
+:math:`v = p_i(D)/(x_i n_i)`.
+
+Implementation notes (documented deviations)
+--------------------------------------------
+* The paper searches "all potential deadlines".  We search exactly over
+  the *pieces* of the profit function where its value is constant
+  (steps/staircases), which is exact; for continuously decaying
+  functions we search a geometric grid of candidate deadlines and then
+  re-validate the chosen deadline with its exact density, which keeps
+  Lemma 15's invariant sound while bounding search cost.
+* Completed/expired jobs release their unused future slots.  The paper
+  leaves this unspecified; releasing only adds capacity and preserves
+  the admission invariant.
+* Jobs for which no valid deadline exists before their profit reaches
+  zero are rejected at arrival (they could never earn anything).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.bands import DensityBands
+from repro.core.theory import Constants
+from repro.errors import SchedulingError
+from repro.profit.functions import ProfitFunction, Staircase, StepProfit
+from repro.sim.jobs import JobView
+from repro.sim.scheduler import SchedulerBase
+
+
+@dataclass
+class ProfitJobState:
+    """Per-job assignment the scheduler fixes at arrival."""
+
+    view: JobView
+    allotment: int
+    x: float
+    #: slots required: ceil((1+delta) * x)
+    required_slots: int
+    #: assigned relative deadline (None = rejected)
+    assigned_relative_deadline: Optional[int] = None
+    #: density at the assigned deadline
+    density: float = 0.0
+    #: assigned slots, ascending
+    slots: list[int] = field(default_factory=list)
+    rejected: bool = False
+
+    @property
+    def job_id(self) -> int:
+        """The job's id."""
+        return self.view.job_id
+
+
+class GeneralProfitScheduler(SchedulerBase):
+    """Scheduler S for jobs with general non-increasing profit functions.
+
+    Parameters
+    ----------
+    epsilon:
+        Accuracy parameter of Theorem 3.
+    constants:
+        Override the constant derivation.
+    grid_ratio:
+        Geometric spacing of candidate deadlines for continuously
+        decaying profit functions (exact breakpoints are always used
+        for piecewise-constant ones).
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        constants: Optional[Constants] = None,
+        grid_ratio: float = 1.05,
+    ) -> None:
+        self.constants = (
+            constants if constants is not None else Constants.from_epsilon(epsilon)
+        )
+        if grid_ratio <= 1.0:
+            raise ValueError("grid_ratio must exceed 1")
+        self.grid_ratio = float(grid_ratio)
+        #: per-slot occupancy: t -> bands of jobs holding slot t
+        self._slots: dict[int, DensityBands] = {}
+        self._slot_times: list[int] = []  # heap for garbage collection
+        self._max_slot: int = -1
+        self.states: dict[int, ProfitJobState] = {}
+        self._live: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Arrival: deadline + slot assignment
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """Compute the assignment; the deadline itself is returned to the
+        engine from :meth:`assign_deadline`."""
+        state = self._assign(job, t)
+        self.states[job.job_id] = state
+        if not state.rejected:
+            self._live.add(job.job_id)
+
+    def assign_deadline(self, job: JobView, t: int) -> Optional[int]:
+        """Absolute deadline for the engine's expiry machinery."""
+        state = self.states[job.job_id]
+        if state.rejected:
+            # Expire immediately; the job can never earn profit.
+            return t + 1
+        assert state.assigned_relative_deadline is not None
+        return job.arrival + state.assigned_relative_deadline
+
+    def _profit_fn(self, job: JobView) -> ProfitFunction:
+        if job.profit_fn is not None:
+            return job.profit_fn
+        # Deadline jobs are the step-profit special case.
+        rel = job.relative_deadline
+        assert rel is not None
+        return StepProfit(peak=job.profit, x_star=float(rel))
+
+    def _assign(self, job: JobView, now: int) -> ProfitJobState:
+        consts = self.constants
+        fn = self._profit_fn(job)
+        # Speed-scaled work/span, as in Corollary 3's transformation.
+        work, span = job.work / self.speed, job.span / self.speed
+        # Allotment from the knee x*: n = (W-L) / (x*/(1+2delta) - L).
+        denom = fn.x_star / (1.0 + 2.0 * consts.delta) - span
+        if work <= span + 1e-12:
+            n = 1
+        elif denom <= 0:
+            n = self.m
+        else:
+            n = max(1, min(self.m, math.ceil((work - span) / denom - 1e-12)))
+        x = consts.execution_bound(work, span, n)
+        required = math.ceil((1.0 + consts.delta) * x - 1e-9)
+        state = ProfitJobState(view=job, allotment=n, x=x, required_slots=required)
+
+        if fn.peak <= 0 or n > consts.band_capacity(self.m) + 1e-9:
+            # A job whose allotment alone overflows a band can never hold
+            # a slot (only possible outside Theorem 3's assumption).
+            state.rejected = True
+            return state
+
+        found = self._search_deadline(state, fn, now)
+        if found is None:
+            state.rejected = True
+            return state
+        rel_deadline, density, slots = found
+        state.assigned_relative_deadline = rel_deadline
+        state.density = density
+        state.slots = slots
+        self._claim_slots(state)
+        return state
+
+    # -- deadline search -------------------------------------------------
+    def _search_deadline(
+        self, state: ProfitJobState, fn: ProfitFunction, now: int
+    ) -> Optional[tuple[int, float, list[int]]]:
+        """Find the minimum valid relative deadline.
+
+        Returns ``(D, density, slots)`` or ``None`` when no deadline with
+        positive profit admits enough slots.
+        """
+        consts = self.constants
+        job = state.view
+        r = job.arrival
+        xn = state.x * state.allotment
+        # Potential deadlines must exceed (1+eps)L (paper requirement)
+        # and leave room for the required number of slots after `now`
+        # (slots in the past are useless).
+        d_floor = max(
+            math.floor((1.0 + consts.epsilon) * job.span) + 1,
+            state.required_slots,
+            now - r + 1,
+        )
+        # Beyond the last currently-claimed slot everything is free, so
+        # no minimal deadline exceeds that point by more than the
+        # required slot count (plus the positive-profit horizon).
+        d_cap = max(self._max_slot + 1 - r, d_floor) + state.required_slots + 1
+        pos_horizon = fn.horizon(0.0)
+        if math.isfinite(pos_horizon):
+            d_cap = min(d_cap, math.ceil(pos_horizon))
+        if d_cap < d_floor:
+            return None
+
+        for d_lo, d_hi in self._candidate_pieces(fn, d_floor, d_cap):
+            nominal_density = fn(d_lo) / xn
+            if nominal_density <= 0:
+                break  # profit is zero from here on; later pieces too
+            candidate = self._earliest_valid_in_piece(
+                state, r, now, d_lo, d_hi, nominal_density
+            )
+            if candidate is None:
+                continue
+            # Re-validate with the exact density at the candidate (the
+            # nominal density may differ for continuous decays).
+            exact_density = fn(candidate) / xn
+            if exact_density <= 0:
+                continue
+            slots = self._admissible_slots(
+                state, max(r, now), r + candidate, exact_density
+            )
+            if len(slots) >= state.required_slots:
+                return candidate, exact_density, slots[: state.required_slots]
+        return None
+
+    def _candidate_pieces(
+        self, fn: ProfitFunction, d_floor: int, d_cap: int
+    ):
+        """Yield ``(d_lo, d_hi)`` integer deadline ranges of (near-)
+        constant profit, ascending."""
+        breakpoints: list[int]
+        if isinstance(fn, StepProfit):
+            breakpoints = [d_floor, math.floor(fn.x_star) + 1]
+        elif isinstance(fn, Staircase):
+            breakpoints = [d_floor] + [math.floor(bt) + 1 for bt, _ in fn.levels]
+        else:
+            # geometric grid for continuous decays; dense before the
+            # knee is pointless (flat), so start pieces at x_star
+            breakpoints = [d_floor]
+            knee = max(d_floor, math.floor(fn.x_star) + 1)
+            if knee > d_floor:
+                breakpoints.append(knee)
+            d = float(knee)
+            while d < d_cap:
+                d *= self.grid_ratio
+                breakpoints.append(math.ceil(d))
+        breakpoints = sorted({b for b in breakpoints if d_floor <= b <= d_cap})
+        if not breakpoints or breakpoints[0] != d_floor:
+            breakpoints.insert(0, d_floor)
+        breakpoints.append(d_cap + 1)
+        for lo, hi in zip(breakpoints, breakpoints[1:]):
+            if hi > lo:
+                yield lo, hi - 1
+
+    def _earliest_valid_in_piece(
+        self,
+        state: ProfitJobState,
+        r: int,
+        now: int,
+        d_lo: int,
+        d_hi: int,
+        density: float,
+    ) -> Optional[int]:
+        """Smallest D in [d_lo, d_hi] such that >= required_slots slots in
+        [max(r, now), r + D) admit (fixed density)."""
+        start = max(r, now)
+        end = r + d_hi
+        count = 0
+        for t in range(start, end):
+            if self._slot_admits(t, density, state.allotment):
+                count += 1
+                if count >= state.required_slots:
+                    return max(d_lo, t - r + 1)
+        return None
+
+    def _admissible_slots(
+        self, state: ProfitJobState, start: int, end: int, density: float
+    ) -> list[int]:
+        return [
+            t
+            for t in range(start, end)
+            if self._slot_admits(t, density, state.allotment)
+        ]
+
+    def _slot_admits(self, t: int, density: float, allotment: int) -> bool:
+        bands = self._slots.get(t)
+        capacity = self.constants.band_capacity(self.m)
+        if bands is None:
+            return allotment <= capacity + 1e-9
+        return bands.can_insert(density, allotment, self.constants.c, capacity)
+
+    def _claim_slots(self, state: ProfitJobState) -> None:
+        for t in state.slots:
+            bands = self._slots.get(t)
+            if bands is None:
+                bands = DensityBands()
+                self._slots[t] = bands
+                heapq.heappush(self._slot_times, t)
+            bands.insert(state.job_id, state.density, state.allotment)
+            if t > self._max_slot:
+                self._max_slot = t
+
+    def _release_slots(self, job_id: int, from_time: int) -> None:
+        state = self.states.get(job_id)
+        if state is None:
+            return
+        for t in state.slots:
+            if t < from_time:
+                continue
+            bands = self._slots.get(t)
+            if bands is not None and job_id in bands:
+                bands.remove(job_id)
+
+    # ------------------------------------------------------------------
+    # Events / execution
+    # ------------------------------------------------------------------
+    def on_completion(self, job: JobView, t: int) -> None:
+        """Release the job's unused future slots."""
+        self._live.discard(job.job_id)
+        self._release_slots(job.job_id, t)
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """Assigned deadline passed unfinished; release remaining slots."""
+        self._live.discard(job.job_id)
+        self._release_slots(job.job_id, t)
+
+    def allocate(self, t: int) -> dict[int, int]:
+        """Run the densest jobs holding slot ``t``, each at exactly
+        ``n_i`` processors."""
+        self._gc(t)
+        bands = self._slots.get(t)
+        if bands is None:
+            return {}
+        free = self.m
+        alloc: dict[int, int] = {}
+        for job_id, _v, n in reversed(list(bands.items())):
+            if free <= 0:
+                break
+            if job_id not in self._live:
+                continue
+            if n <= free:
+                alloc[job_id] = n
+                free -= n
+        return alloc
+
+    def wakeup_after(self, t: int) -> Optional[int]:
+        """Slot membership can change every step while slots remain."""
+        if self._max_slot > t:
+            return t + 1
+        return None
+
+    def _gc(self, t: int) -> None:
+        while self._slot_times and self._slot_times[0] < t:
+            old = heapq.heappop(self._slot_times)
+            self._slots.pop(old, None)
+
+    # ------------------------------------------------------------------
+    def slot_occupancy(self, t: int) -> Optional[DensityBands]:
+        """The J(t) bands (diagnostics / invariant checks)."""
+        return self._slots.get(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GeneralProfitScheduler(eps={self.constants.epsilon:g}, "
+            f"live={len(self._live)}, slots={len(self._slots)})"
+        )

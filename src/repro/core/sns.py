@@ -1,0 +1,270 @@
+"""Scheduler **S** -- the paper's semi-non-clairvoyant throughput
+algorithm (Section 3.1).
+
+On arrival of job :math:`J_i` with work :math:`W_i`, span :math:`L_i`,
+relative deadline :math:`D_i` and profit :math:`p_i`, the scheduler
+computes once and for all:
+
+* allotment :math:`n_i = (W_i - L_i)/(D_i/(1+2\\delta) - L_i)` --
+  (approximately) the fewest dedicated processors completing the job by
+  :math:`D_i/(1+2\\delta)`;
+* virtual execution time :math:`x_i = (W_i - L_i)/n_i + L_i` --
+  Observation 2's bound on the dedicated-processor completion time;
+* density :math:`v_i = p_i/(x_i n_i)` -- profit per processor-step.
+
+Jobs live in two density-ordered queues: **Q** (started) and **P**
+(parked).  An arriving job enters Q iff it is :math:`\\delta`-good
+(:math:`D_i \\ge (1+2\\delta)x_i`) and the band condition (2) holds;
+otherwise it parks in P.  On every job completion, P is scanned in
+density order and :math:`\\delta`-fresh jobs (:math:`d_i - t \\ge
+(1+\\delta)x_i`) are promoted while condition (2) allows.  Each time
+step, Q is scanned in density order and each job receives *exactly*
+:math:`n_i` processors if that many are free (jobs are never given more
+or fewer -- the algorithm is deliberately not work-conserving; see the
+paper's remark and the ablations in :mod:`repro.baselines.ablations`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bands import DensityBands
+from repro.core.theory import Constants
+from repro.errors import SchedulingError
+from repro.sim.jobs import JobView
+from repro.sim.scheduler import SchedulerBase
+
+
+@dataclass
+class SNSJobState:
+    """Per-job quantities S computes at arrival and never changes."""
+
+    view: JobView
+    #: integral allotment n_i
+    allotment: int
+    #: virtual execution time x_i
+    x: float
+    #: density v_i = p_i / (x_i n_i)
+    density: float
+    #: whether condition (1) (delta-goodness) held at arrival
+    delta_good: bool
+    #: the paper's real-valued allotment before rounding (diagnostics)
+    allotment_real: float = 0.0
+
+    @property
+    def job_id(self) -> int:
+        """The job's id."""
+        return self.view.job_id
+
+
+class _DensityQueue:
+    """Jobs ordered by density descending (ties by id), O(log n) updates."""
+
+    def __init__(self) -> None:
+        # sorted ascending by (-density, job_id) == descending density
+        self._keys: list[tuple[float, int]] = []
+        self._states: dict[int, SNSJobState] = {}
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._states
+
+    def add(self, state: SNSJobState) -> None:
+        if state.job_id in self._states:
+            raise SchedulingError(f"job {state.job_id} already queued")
+        bisect.insort(self._keys, (-state.density, state.job_id))
+        self._states[state.job_id] = state
+
+    def remove(self, job_id: int) -> SNSJobState:
+        state = self._states.pop(job_id)
+        pos = bisect.bisect_left(self._keys, (-state.density, job_id))
+        assert self._keys[pos] == (-state.density, job_id)
+        del self._keys[pos]
+        return state
+
+    def get(self, job_id: int) -> Optional[SNSJobState]:
+        return self._states.get(job_id)
+
+    def by_density_desc(self) -> list[SNSJobState]:
+        return [self._states[job_id] for _, job_id in self._keys]
+
+
+class SNSScheduler(SchedulerBase):
+    """The paper's scheduler S for jobs with deadlines and profits.
+
+    Parameters
+    ----------
+    epsilon:
+        Slack parameter of Theorem 2.  Constants ``delta``, ``c``, ``b``
+        derive from it (see :class:`~repro.core.theory.Constants`).
+    constants:
+        Pass explicitly to override the derivation.
+
+    Notes
+    -----
+    *Rounding.* The paper treats ``n_i`` as a real number; processors
+    are integral, so we use ``ceil`` clamped to ``[1, m]``.  Under
+    Theorem 2's assumption the unclamped value is below ``b^2 m``
+    (Lemma 1).
+
+    *Events.*  Jobs are admitted to Q only at arrivals and completions,
+    exactly as in the paper; deadline expiries merely clean up state.
+    """
+
+    def __init__(
+        self,
+        epsilon: float = 1.0,
+        constants: Optional[Constants] = None,
+    ) -> None:
+        self.constants = (
+            constants if constants is not None else Constants.from_epsilon(epsilon)
+        )
+        self.queue_started = _DensityQueue()  # the paper's Q
+        self.queue_parked = _DensityQueue()  # the paper's P
+        self.bands = DensityBands()  # allotments of jobs in Q
+        #: diagnostics: ids of every job ever admitted to Q (the set R)
+        self.started_ids: set[int] = set()
+        #: diagnostics: per-job state for every arrival (kept post-mortem)
+        self.all_states: dict[int, SNSJobState] = {}
+
+    # ------------------------------------------------------------------
+    # State computation (arrival-time, per the paper)
+    # ------------------------------------------------------------------
+    def compute_state(self, job: JobView) -> SNSJobState:
+        """Compute ``(n_i, x_i, v_i)`` and delta-goodness for a job.
+
+        Work and span are divided by the machine speed: with
+        augmentation ``s`` a job behaves like one whose every node is
+        ``s`` times smaller, which is exactly how Corollary 1's proof
+        transforms the instance.  At speed 1 this is a no-op.
+        """
+        rel_deadline = job.relative_deadline
+        if rel_deadline is None:
+            raise SchedulingError(
+                "SNSScheduler requires deadline jobs; use GeneralProfitScheduler "
+                "for profit-function jobs"
+            )
+        consts = self.constants
+        work = job.work / self.speed
+        span = job.span / self.speed
+        real = consts.allotment_real(work, span, rel_deadline)
+        n = consts.allotment(work, span, rel_deadline, self.m)
+        x = consts.execution_bound(work, span, n)
+        density = consts.density(job.profit, x, n)
+        good = consts.is_delta_good(rel_deadline, x)
+        return SNSJobState(
+            view=job,
+            allotment=n,
+            x=x,
+            density=density,
+            delta_good=good,
+            allotment_real=real,
+        )
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """Admit to Q if delta-good and condition (2) holds, else park."""
+        state = self.compute_state(job)
+        self.all_states[job.job_id] = state
+        if state.density <= 0:
+            # Zero-profit jobs can never contribute; park them forever.
+            self.queue_parked.add(state)
+            return
+        if state.delta_good and self.bands.can_insert(
+            state.density, state.allotment, self.constants.c, self._capacity()
+        ):
+            self._start(state)
+        else:
+            self.queue_parked.add(state)
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        """Remove from Q, then promote delta-fresh parked jobs."""
+        if job.job_id in self.queue_started:
+            self.queue_started.remove(job.job_id)
+            self.bands.remove(job.job_id)
+        elif job.job_id in self.queue_parked:
+            # A parked job can only complete if some other scheduler ran
+            # it -- impossible under this engine; defensive cleanup.
+            self.queue_parked.remove(job.job_id)
+        self._promote(t)
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """Deadline passed: drop the job from whichever queue holds it."""
+        if job.job_id in self.queue_started:
+            self.queue_started.remove(job.job_id)
+            self.bands.remove(job.job_id)
+        elif job.job_id in self.queue_parked:
+            self.queue_parked.remove(job.job_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def allocate(self, t: int) -> dict[int, int]:
+        """Scan Q by density (desc); give each job exactly ``n_i``
+        processors while they last."""
+        free = self.m
+        alloc: dict[int, int] = {}
+        for state in self.queue_started.by_density_desc():
+            if free <= 0:
+                break
+            if state.allotment <= free:
+                alloc[state.job_id] = state.allotment
+                free -= state.allotment
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _capacity(self) -> float:
+        if self.m <= 0:
+            raise SchedulingError("scheduler not started (on_start not called)")
+        return self.constants.band_capacity(self.m)
+
+    def _start(self, state: SNSJobState) -> None:
+        self.queue_started.add(state)
+        self.bands.insert(state.job_id, state.density, state.allotment)
+        self.started_ids.add(state.job_id)
+
+    def _promote(self, t: int) -> None:
+        """Move delta-fresh parked jobs into Q (paper: at completions)."""
+        capacity = self._capacity()
+        for state in self.queue_parked.by_density_desc():
+            deadline = state.view.deadline
+            assert deadline is not None
+            if deadline <= t:
+                # expired but engine notification pending; skip (engine
+                # will call on_expiry at this same time step)
+                continue
+            if state.density <= 0:
+                continue
+            if not self.constants.is_delta_fresh(deadline, t, state.x):
+                continue
+            if self.bands.can_insert(
+                state.density, state.allotment, self.constants.c, capacity
+            ):
+                self.queue_parked.remove(state.job_id)
+                self._start(state)
+
+    # ------------------------------------------------------------------
+    # Introspection for tests / invariant monitors
+    # ------------------------------------------------------------------
+    def started_states(self) -> list[SNSJobState]:
+        """States of jobs currently in Q, density-descending."""
+        return self.queue_started.by_density_desc()
+
+    def parked_states(self) -> list[SNSJobState]:
+        """States of jobs currently in P, density-descending."""
+        return self.queue_parked.by_density_desc()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SNSScheduler(eps={self.constants.epsilon:g}, "
+            f"|Q|={len(self.queue_started)}, |P|={len(self.queue_parked)})"
+        )

@@ -1,0 +1,216 @@
+"""Derivation of the paper's constants and proven bounds.
+
+From a single accuracy parameter :math:`\\epsilon > 0` the paper fixes
+
+* :math:`\\delta < \\epsilon/2` (we default to :math:`\\epsilon/4`),
+* :math:`c \\ge 1 + 1/(\\delta\\epsilon)` (band width of the admission
+  condition),
+* :math:`b = \\sqrt{(1+2\\delta)/(1+\\epsilon)} < 1` (band capacity
+  fraction),
+* :math:`a = 1 + (1+2\\delta)/(\\epsilon-2\\delta)` (processor-step
+  inflation, Lemma 3),
+
+and proves the competitive ratio of Lemma 10 (throughput) and Lemma 22
+(general profit), both :math:`O(1/\\epsilon^6)`.
+
+Deviation note (documented in EXPERIMENTS.md): with the paper's minimal
+``c = 1 + 1/(\\delta\\epsilon)``, the completion-ratio coefficient of
+Lemma 5, :math:`(1-b)/b - 1/((c-1)\\delta)`, evaluates to
+:math:`(1-b)/b - \\epsilon`, which is *negative* for small
+:math:`\\epsilon` -- the brief announcement's algebra identifies
+:math:`(1-b)/b` with :math:`\\epsilon`, which does not hold exactly.
+We therefore default ``c`` to the larger of the paper's value and the
+value making :math:`1/((c-1)\\delta) = \\tfrac12 (1-b)/b`, so the
+coefficient is a guaranteed-positive :math:`\\tfrac12 (1-b)/b`.  A larger
+``c`` only widens the admission bands (more conservative admission); it
+changes constants, not the algorithm's structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Constants:
+    """The paper's constants, derived from ``epsilon``.
+
+    Attributes
+    ----------
+    epsilon:
+        Deadline-slack parameter of Theorem 2 / Theorem 3.
+    delta:
+        Freshness parameter, ``< epsilon/2``.
+    c:
+        Density band width (admission condition (2) covers
+        ``[v, c*v)``).
+    b:
+        Band capacity fraction; condition (2) admits while band load
+        ``<= b*m``.
+    """
+
+    epsilon: float
+    delta: float
+    c: float
+    b: float
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_epsilon(
+        cls,
+        epsilon: float,
+        delta: float | None = None,
+        c: float | None = None,
+    ) -> "Constants":
+        """Derive all constants from ``epsilon`` (paper defaults).
+
+        ``delta`` defaults to ``epsilon/4``; ``c`` defaults to the
+        maximum of the paper's ``1 + 1/(delta*epsilon)`` and the value
+        that makes Lemma 5's coefficient positive (see module note).
+        """
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if delta is None:
+            delta = epsilon / 4.0
+        if not 0 < delta < epsilon / 2.0:
+            raise ValueError("delta must satisfy 0 < delta < epsilon/2")
+        b = math.sqrt((1.0 + 2.0 * delta) / (1.0 + epsilon))
+        if c is None:
+            c_paper = 1.0 + 1.0 / (delta * epsilon)
+            ratio = (1.0 - b) / b  # Lemma 5's credit-income coefficient
+            c_positive = 1.0 + 2.0 / (delta * ratio)
+            c = max(c_paper, c_positive)
+        if c <= 1.0 + 1.0 / (delta * epsilon) - 1e-12:
+            raise ValueError("c must be >= 1 + 1/(delta*epsilon)")
+        return cls(epsilon=epsilon, delta=delta, c=c, b=b)
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0 < self.delta < self.epsilon / 2.0:
+            raise ValueError("delta must satisfy 0 < delta < epsilon/2")
+        expected_b = math.sqrt((1.0 + 2.0 * self.delta) / (1.0 + self.epsilon))
+        if abs(self.b - expected_b) > 1e-9:
+            raise ValueError("b must equal sqrt((1+2delta)/(1+epsilon))")
+        if self.c <= 1.0:
+            raise ValueError("c must exceed 1")
+
+    # ------------------------------------------------------------------
+    # Derived quantities used throughout the proofs
+    # ------------------------------------------------------------------
+    @property
+    def a(self) -> float:
+        """Lemma 3's processor-step inflation: ``x_i n_i <= a W_i``."""
+        return 1.0 + (1.0 + 2.0 * self.delta) / (self.epsilon - 2.0 * self.delta)
+
+    @property
+    def credit_income(self) -> float:
+        """Per-profit credit every unfinished job receives (Lemma 5):
+        ``(1-b)/b``."""
+        return (1.0 - self.b) / self.b
+
+    @property
+    def credit_outgo(self) -> float:
+        """Per-profit credit a job pays out (Lemma 5): ``1/((c-1)delta)``."""
+        return 1.0 / ((self.c - 1.0) * self.delta)
+
+    @property
+    def completion_coefficient(self) -> float:
+        """Lemma 5's guarantee: ``||C|| >= coefficient * ||R||``.
+
+        Positive by our choice of ``c`` (see module note).
+        """
+        return self.credit_income - self.credit_outgo
+
+    @property
+    def opt_vs_started(self) -> float:
+        """Lemma 9's bound: ``||C^O|| <= opt_vs_started * ||R||``."""
+        return 1.0 + self.a * self.c * (1.0 + 2.0 * self.delta) / (
+            self.delta * self.b * (1.0 - self.b)
+        )
+
+    @property
+    def competitive_ratio_throughput(self) -> float:
+        """Lemma 10's proven competitive ratio for throughput."""
+        return self.opt_vs_started / self.completion_coefficient
+
+    @property
+    def opt_vs_started_profit(self) -> float:
+        """Lemma 21's bound for general profit (factor 2 vs Lemma 9)."""
+        return 1.0 + self.a * self.c * 2.0 * (1.0 + 2.0 * self.delta) / (
+            self.delta * self.b * (1.0 - self.b)
+        )
+
+    @property
+    def competitive_ratio_profit(self) -> float:
+        """Lemma 22's proven competitive ratio for general profit."""
+        return self.opt_vs_started_profit / self.completion_coefficient
+
+    # ------------------------------------------------------------------
+    # Per-job quantities
+    # ------------------------------------------------------------------
+    def allotment_real(self, work: float, span: float, deadline: float) -> float:
+        """The paper's (real-valued) allotment
+        ``n_i = (W - L) / (D/(1+2delta) - L)``.
+
+        Returns ``0`` for sequential jobs (``W == L``) and ``inf`` when
+        the denominator is non-positive (the job cannot be made
+        delta-good at any allotment).
+        """
+        denom = deadline / (1.0 + 2.0 * self.delta) - span
+        if work <= span + 1e-12:
+            return 0.0
+        if denom <= 0:
+            return math.inf
+        return (work - span) / denom
+
+    def allotment(self, work: float, span: float, deadline: float, m: int) -> int:
+        """Integral allotment: ``ceil`` of the real value, clamped to
+        ``[1, m]``.
+
+        Under Theorem 2's assumption the real value is at most
+        ``b^2 m < m`` (Lemma 1), so the clamp binds only outside the
+        assumption (where the paper's algorithm is undefined but the
+        experiments still need well-defined behaviour).
+        """
+        real = self.allotment_real(work, span, deadline)
+        if math.isinf(real):
+            return m
+        return max(1, min(m, math.ceil(real - 1e-12)))
+
+    def execution_bound(self, work: float, span: float, allotment: int) -> float:
+        """``x_i = (W - L)/n_i + L`` -- Observation 2's completion bound."""
+        return (work - span) / allotment + span
+
+    def density(self, profit: float, x: float, allotment: int) -> float:
+        """The paper's density ``v_i = p_i / (x_i n_i)``."""
+        return profit / (x * allotment)
+
+    def is_delta_good(self, deadline: float, x: float) -> bool:
+        """Condition (1): ``D_i >= (1 + 2delta) x_i``."""
+        return deadline >= (1.0 + 2.0 * self.delta) * x - 1e-9
+
+    def is_delta_fresh(self, abs_deadline: float, t: float, x: float) -> bool:
+        """Freshness at time ``t``: ``d_i - t >= (1 + delta) x_i``."""
+        return abs_deadline - t >= (1.0 + self.delta) * x - 1e-9
+
+    def band_capacity(self, m: int) -> float:
+        """Condition (2)'s capacity ``b * m``."""
+        return self.b * m
+
+    def allotment_cap(self, m: int) -> float:
+        """Lemma 1's bound ``b^2 m`` on any allotment (real-valued)."""
+        return self.b * self.b * m
+
+    def slack_requirement(self, work: float, span: float, m: int) -> float:
+        """Theorem 2's minimum relative deadline
+        ``(1+epsilon)((W-L)/m + L)``."""
+        return (1.0 + self.epsilon) * ((work - span) / m + span)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Constants(eps={self.epsilon:g}, delta={self.delta:g}, "
+            f"c={self.c:.4g}, b={self.b:.4g}, a={self.a:.4g}, "
+            f"ratio={self.competitive_ratio_throughput:.4g})"
+        )

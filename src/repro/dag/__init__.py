@@ -1,0 +1,69 @@
+"""DAG job substrate.
+
+This package models parallelizable jobs as directed acyclic graphs of
+work-carrying nodes, exactly as in the paper: a node is ready once all of
+its predecessors have completed, any set of ready nodes may execute
+simultaneously, and the job completes when every node has been processed.
+
+The two quantities the paper's semi-non-clairvoyant scheduler is allowed
+to see -- total work ``W`` and span (critical-path length) ``L`` -- are
+computed here, along with the runtime ready-set machinery the simulation
+engine drives.
+"""
+
+from repro.dag.node import NodeState
+from repro.dag.graph import DAGStructure
+from repro.dag.job import DAGJob
+from repro.dag.builders import (
+    DAGBuilder,
+    chain,
+    block,
+    single_node,
+    fork_join,
+    block_with_chain,
+    chain_then_block,
+    layered_random,
+    series_parallel_random,
+    recursive_fork_join,
+    random_dag_gnp,
+    wavefront,
+    reduction_tree,
+    pipeline,
+    from_networkx,
+)
+from repro.dag.serialize import (
+    structure_to_dict,
+    structure_from_dict,
+    structure_to_json,
+    structure_from_json,
+    structure_to_dot,
+)
+from repro.dag.validate import validate_structure, ValidationError
+
+__all__ = [
+    "NodeState",
+    "DAGStructure",
+    "DAGJob",
+    "DAGBuilder",
+    "chain",
+    "block",
+    "single_node",
+    "fork_join",
+    "block_with_chain",
+    "chain_then_block",
+    "layered_random",
+    "series_parallel_random",
+    "recursive_fork_join",
+    "random_dag_gnp",
+    "wavefront",
+    "reduction_tree",
+    "pipeline",
+    "from_networkx",
+    "structure_to_dict",
+    "structure_from_dict",
+    "structure_to_json",
+    "structure_from_json",
+    "structure_to_dot",
+    "validate_structure",
+    "ValidationError",
+]

@@ -1,0 +1,113 @@
+"""Structural analytics of DAG jobs.
+
+Workload characterization beyond ``W`` and ``L``: the parallelism
+profile (how many processors the DAG can use at each depth), width and
+depth statistics, and degree distributions.  Used by workload docs and
+the examples to sanity-check generated families against the paper's
+motivating applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+
+
+@dataclass(frozen=True)
+class DAGProfile:
+    """Summary statistics of one DAG's structure."""
+
+    num_nodes: int
+    num_edges: int
+    total_work: float
+    span: float
+    average_parallelism: float
+    depth: int
+    max_width: int
+    mean_width: float
+    max_out_degree: int
+    max_in_degree: int
+
+    def as_row(self) -> list:
+        """Row for :func:`repro.analysis.tables.format_table`."""
+        return [
+            self.num_nodes,
+            self.num_edges,
+            round(self.total_work, 3),
+            round(self.span, 3),
+            round(self.average_parallelism, 3),
+            self.depth,
+            self.max_width,
+            round(self.mean_width, 2),
+        ]
+
+
+def node_depths(structure: DAGStructure) -> np.ndarray:
+    """Hop depth of each node (longest predecessor *count* path)."""
+    depth = np.zeros(structure.num_nodes, dtype=np.int64)
+    for u in structure.topological_order():
+        for v in structure.successors(u):
+            if depth[u] + 1 > depth[v]:
+                depth[v] = depth[u] + 1
+    return depth
+
+
+def width_profile(structure: DAGStructure) -> np.ndarray:
+    """Number of nodes at each hop depth (the layer widths)."""
+    depths = node_depths(structure)
+    return np.bincount(depths)
+
+
+def work_parallelism_profile(
+    structure: DAGStructure, bins: int = 16
+) -> np.ndarray:
+    """Available work per span-progress bin.
+
+    Splits the weighted depth range (earliest possible start time of
+    each node if the machine were infinitely wide) into ``bins`` and
+    sums node work per bin -- a view of when the DAG *could* use
+    processors.
+    """
+    # earliest start = longest weighted path to the node, excluding it
+    start = np.zeros(structure.num_nodes, dtype=np.float64)
+    for u in structure.topological_order():
+        for v in structure.successors(u):
+            candidate = start[u] + structure.work[u]
+            if candidate > start[v]:
+                start[v] = candidate
+    horizon = structure.span
+    profile = np.zeros(bins, dtype=np.float64)
+    for node in range(structure.num_nodes):
+        frac = start[node] / horizon if horizon > 0 else 0.0
+        profile[min(bins - 1, int(frac * bins))] += structure.work[node]
+    return profile
+
+
+def profile(structure: DAGStructure) -> DAGProfile:
+    """Compute the full :class:`DAGProfile`."""
+    widths = width_profile(structure)
+    indeg = np.fromiter(
+        (structure.indegree(i) for i in range(structure.num_nodes)),
+        dtype=np.int64,
+        count=structure.num_nodes,
+    )
+    outdeg = np.fromiter(
+        (len(structure.successors(i)) for i in range(structure.num_nodes)),
+        dtype=np.int64,
+        count=structure.num_nodes,
+    )
+    return DAGProfile(
+        num_nodes=structure.num_nodes,
+        num_edges=structure.num_edges,
+        total_work=structure.total_work,
+        span=structure.span,
+        average_parallelism=structure.average_parallelism(),
+        depth=int(widths.size),
+        max_width=int(widths.max()),
+        mean_width=float(widths.mean()),
+        max_out_degree=int(outdeg.max()),
+        max_in_degree=int(indeg.max()),
+    )

@@ -1,0 +1,435 @@
+"""Constructors for DAG families.
+
+Includes the two adversarial DAGs from the paper's Section 4 (Figures 1
+and 2) plus the generic families used by the experiment workloads:
+chains, blocks, fork-joins, random layered graphs, series-parallel
+graphs, Cilk-style recursive fork-join graphs, and G(n, p) random DAGs.
+
+Every random generator takes an explicit :class:`numpy.random.Generator`
+(``rng``) so workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+
+
+class DAGBuilder:
+    """Incremental DAG construction helper.
+
+    Example
+    -------
+    >>> b = DAGBuilder("diamond")
+    >>> top = b.add_node(1.0)
+    >>> left, right = b.add_node(2.0), b.add_node(3.0)
+    >>> bottom = b.add_node(1.0)
+    >>> b.add_edges([(top, left), (top, right), (left, bottom), (right, bottom)])
+    >>> dag = b.build()
+    >>> dag.span
+    5.0
+    """
+
+    def __init__(self, name: str = "dag") -> None:
+        self.name = name
+        self._work: list[float] = []
+        self._edges: list[tuple[int, int]] = []
+
+    def add_node(self, work: float = 1.0) -> int:
+        """Append a node with the given work; returns its id."""
+        if work <= 0:
+            raise ValueError("node work must be positive")
+        self._work.append(float(work))
+        return len(self._work) - 1
+
+    def add_nodes(self, works: Sequence[float]) -> list[int]:
+        """Append several nodes; returns their ids."""
+        return [self.add_node(w) for w in works]
+
+    def add_edge(self, u: int, v: int) -> "DAGBuilder":
+        """Add precedence edge ``u -> v``."""
+        self._edges.append((u, v))
+        return self
+
+    def add_edges(self, edges: Sequence[tuple[int, int]]) -> "DAGBuilder":
+        """Add several precedence edges."""
+        self._edges.extend((int(u), int(v)) for u, v in edges)
+        return self
+
+    def add_chain(self, works: Sequence[float]) -> list[int]:
+        """Append a sequential chain of nodes; returns their ids."""
+        ids = self.add_nodes(works)
+        for a, bnode in zip(ids, ids[1:]):
+            self.add_edge(a, bnode)
+        return ids
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes added so far."""
+        return len(self._work)
+
+    def build(self) -> DAGStructure:
+        """Freeze into an immutable :class:`DAGStructure`."""
+        return DAGStructure(self._work, self._edges, name=self.name)
+
+
+# ----------------------------------------------------------------------
+# Elementary shapes
+# ----------------------------------------------------------------------
+def single_node(work: float = 1.0, name: str = "single") -> DAGStructure:
+    """A one-node job: ``W = L = work``."""
+    return DAGStructure([work], name=name)
+
+
+def chain(length: int, node_work: float = 1.0, name: str = "chain") -> DAGStructure:
+    """A fully sequential job: ``W = L = length * node_work``."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    edges = [(i, i + 1) for i in range(length - 1)]
+    return DAGStructure([node_work] * length, edges, name=name)
+
+
+def block(width: int, node_work: float = 1.0, name: str = "block") -> DAGStructure:
+    """A fully parallel job: ``W = width * node_work``, ``L = node_work``."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return DAGStructure([node_work] * width, (), name=name)
+
+
+def fork_join(
+    width: int,
+    node_work: float = 1.0,
+    fork_work: float = 1.0,
+    join_work: float = 1.0,
+    name: str = "fork_join",
+) -> DAGStructure:
+    """Fork node -> ``width`` parallel nodes -> join node."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    works = [fork_work] + [node_work] * width + [join_work]
+    join_id = width + 1
+    edges = [(0, i) for i in range(1, width + 1)]
+    edges += [(i, join_id) for i in range(1, width + 1)]
+    return DAGStructure(works, edges, name=name)
+
+
+# ----------------------------------------------------------------------
+# The paper's Section 4 adversarial DAGs
+# ----------------------------------------------------------------------
+def block_with_chain(
+    total_work: float,
+    num_processors: int,
+    node_work: float = 1.0,
+    name: str = "fig1",
+) -> DAGStructure:
+    """The Figure 1 DAG: a chain of length ``W/m`` in parallel with a block.
+
+    The job has total work ``W = total_work`` and span ``L = W/m``: one
+    sequential chain of ``L`` work with no dependence on a fully parallel
+    block carrying the remaining ``W - L`` work.  A clairvoyant scheduler
+    finishes in ``W/m`` (run the chain on one processor, the block on the
+    other ``m-1``); an unlucky semi-non-clairvoyant scheduler that
+    executes the whole block first needs ``(W - L)/m + L`` -- the
+    Theorem 1 lower bound of speed ``2 - 1/m``.
+
+    ``total_work`` must make both the chain length ``W/(m * node_work)``
+    and the block width integral.
+    """
+    m = int(num_processors)
+    if m < 2:
+        raise ValueError("num_processors must be >= 2")
+    span = total_work / m
+    chain_len = span / node_work
+    if abs(chain_len - round(chain_len)) > 1e-9 or round(chain_len) < 1:
+        raise ValueError(
+            f"total_work/(m*node_work) = {chain_len} must be a positive integer"
+        )
+    chain_len = int(round(chain_len))
+    block_width = (total_work - span) / node_work
+    if abs(block_width - round(block_width)) > 1e-9 or round(block_width) < 1:
+        raise ValueError(
+            f"(W - L)/node_work = {block_width} must be a positive integer"
+        )
+    block_width = int(round(block_width))
+    works = [node_work] * (chain_len + block_width)
+    edges = [(i, i + 1) for i in range(chain_len - 1)]
+    return DAGStructure(works, edges, name=name)
+
+
+def chain_then_block(
+    total_work: float,
+    span: float,
+    node_work: float,
+    name: str = "fig2",
+) -> DAGStructure:
+    """The Figure 2 DAG: a chain of ``L - eps`` then a parallel block.
+
+    With node size ``eps = node_work``, the chain has ``(L - eps)/eps``
+    nodes and the trailing block ``(W - L + eps)/eps`` nodes, every block
+    node depending on the last chain node.  Even a *clairvoyant*
+    scheduler needs ``(L - eps) + (W - L + eps)/m`` time, which tends to
+    ``(W - L)/m + L`` as ``eps -> 0`` -- justifying the paper's deadline
+    assumption ``D >= (W - L)/m + L``.
+    """
+    eps = node_work
+    chain_len = (span - eps) / eps
+    if abs(chain_len - round(chain_len)) > 1e-9 or round(chain_len) < 1:
+        raise ValueError(f"(span - eps)/eps = {chain_len} must be a positive integer")
+    chain_len = int(round(chain_len))
+    block_width = (total_work - span + eps) / eps
+    if abs(block_width - round(block_width)) > 1e-9 or round(block_width) < 1:
+        raise ValueError(
+            f"(W - L + eps)/eps = {block_width} must be a positive integer"
+        )
+    block_width = int(round(block_width))
+    works = [eps] * (chain_len + block_width)
+    edges = [(i, i + 1) for i in range(chain_len - 1)]
+    last_chain = chain_len - 1
+    edges += [(last_chain, chain_len + j) for j in range(block_width)]
+    return DAGStructure(works, edges, name=name)
+
+
+# ----------------------------------------------------------------------
+# Random families
+# ----------------------------------------------------------------------
+def layered_random(
+    num_layers: int,
+    width: int,
+    rng: np.random.Generator,
+    edge_prob: float = 0.5,
+    work_low: float = 0.5,
+    work_high: float = 2.0,
+    name: str = "layered",
+) -> DAGStructure:
+    """Random layered DAG: edges only between consecutive layers.
+
+    Each node in layer ``k > 0`` receives at least one predecessor from
+    layer ``k-1`` (so the span scales with ``num_layers``), plus extra
+    predecessors with probability ``edge_prob``.
+    """
+    if num_layers < 1 or width < 1:
+        raise ValueError("num_layers and width must be >= 1")
+    n = num_layers * width
+    works = rng.uniform(work_low, work_high, size=n)
+    edges: list[tuple[int, int]] = []
+    for layer in range(1, num_layers):
+        prev = range((layer - 1) * width, layer * width)
+        cur = range(layer * width, (layer + 1) * width)
+        for v in cur:
+            preds = [u for u in prev if rng.random() < edge_prob]
+            if not preds:
+                preds = [int(rng.integers((layer - 1) * width, layer * width))]
+            edges.extend((u, v) for u in preds)
+    return DAGStructure(works, edges, name=name)
+
+
+def series_parallel_random(
+    target_nodes: int,
+    rng: np.random.Generator,
+    work_low: float = 0.5,
+    work_high: float = 2.0,
+    series_prob: float = 0.5,
+    name: str = "series_parallel",
+) -> DAGStructure:
+    """Random series-parallel DAG via recursive composition.
+
+    Starts from a single edge and repeatedly applies series or parallel
+    compositions until roughly ``target_nodes`` nodes exist.  These model
+    structured parallel programs (nested fork-join), the family the
+    paper's motivating languages (Cilk, OpenMP tasks) produce.
+    """
+    if target_nodes < 1:
+        raise ValueError("target_nodes must be >= 1")
+
+    # Represent the SP-DAG as a recursive composition tree of leaf count
+    # target_nodes, then linearize to nodes/edges with unit source/sink
+    # fan structure.
+    builder = DAGBuilder(name)
+
+    def sample_work() -> float:
+        return float(rng.uniform(work_low, work_high))
+
+    def emit(count: int) -> tuple[int, int]:
+        """Emit a sub-DAG of ~count nodes; return (entry, exit) node ids."""
+        if count <= 1:
+            nid = builder.add_node(sample_work())
+            return nid, nid
+        left = int(rng.integers(1, count))
+        right = count - left
+        if rng.random() < series_prob:
+            e1, x1 = emit(left)
+            e2, x2 = emit(right)
+            builder.add_edge(x1, e2)
+            return e1, x2
+        e1, x1 = emit(left)
+        e2, x2 = emit(right)
+        entry = builder.add_node(sample_work())
+        exit_ = builder.add_node(sample_work())
+        builder.add_edges([(entry, e1), (entry, e2), (x1, exit_), (x2, exit_)])
+        return entry, exit_
+
+    emit(target_nodes)
+    return builder.build()
+
+
+def recursive_fork_join(
+    depth: int,
+    branching: int = 2,
+    node_work: float = 1.0,
+    leaf_work: float | None = None,
+    name: str = "recursive_fork_join",
+) -> DAGStructure:
+    """Cilk-style recursive fork-join (divide-and-conquer) DAG.
+
+    Each internal level forks ``branching`` children and joins them; the
+    leaves at ``depth`` carry ``leaf_work`` (defaults to ``node_work``).
+    Models recursive parallel programs such as parallel sort.
+    """
+    if depth < 0:
+        raise ValueError("depth must be >= 0")
+    if branching < 1:
+        raise ValueError("branching must be >= 1")
+    if leaf_work is None:
+        leaf_work = node_work
+    builder = DAGBuilder(name)
+
+    def emit(level: int) -> tuple[int, int]:
+        if level == depth:
+            nid = builder.add_node(leaf_work)
+            return nid, nid
+        fork = builder.add_node(node_work)
+        join = builder.add_node(node_work)
+        for _ in range(branching):
+            entry, exit_ = emit(level + 1)
+            builder.add_edge(fork, entry)
+            builder.add_edge(exit_, join)
+        return fork, join
+
+    emit(0)
+    return builder.build()
+
+
+def random_dag_gnp(
+    num_nodes: int,
+    edge_prob: float,
+    rng: np.random.Generator,
+    work_low: float = 0.5,
+    work_high: float = 2.0,
+    name: str = "gnp",
+) -> DAGStructure:
+    """Erdos-Renyi-style random DAG.
+
+    Orients each sampled edge from lower to higher node id, guaranteeing
+    acyclicity; this is the standard G(n, p) DAG model.
+    """
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if not 0 <= edge_prob <= 1:
+        raise ValueError("edge_prob must be in [0, 1]")
+    works = rng.uniform(work_low, work_high, size=num_nodes)
+    edges: list[tuple[int, int]] = []
+    if num_nodes > 1 and edge_prob > 0:
+        # Vectorized upper-triangular Bernoulli sampling.
+        iu, ju = np.triu_indices(num_nodes, k=1)
+        mask = rng.random(iu.size) < edge_prob
+        edges = list(zip(iu[mask].tolist(), ju[mask].tolist()))
+    return DAGStructure(works, edges, name=name)
+
+
+def wavefront(
+    rows: int,
+    cols: int,
+    node_work: float = 1.0,
+    name: str = "wavefront",
+) -> DAGStructure:
+    """2-D wavefront (grid) DAG: node (i, j) depends on (i-1, j) and
+    (i, j-1).
+
+    The classic HPC stencil / dynamic-programming dependence pattern;
+    span is ``(rows + cols - 1) * node_work`` along the anti-diagonal
+    frontier.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    n = rows * cols
+    works = [node_work] * n
+    edges: list[tuple[int, int]] = []
+    for i in range(rows):
+        for j in range(cols):
+            here = i * cols + j
+            if i + 1 < rows:
+                edges.append((here, here + cols))
+            if j + 1 < cols:
+                edges.append((here, here + 1))
+    return DAGStructure(works, edges, name=name)
+
+
+def reduction_tree(
+    leaves: int,
+    leaf_work: float = 1.0,
+    inner_work: float = 1.0,
+    name: str = "reduction",
+) -> DAGStructure:
+    """Binary reduction tree: ``leaves`` inputs pairwise combined.
+
+    The parallel-reduce pattern; span ~ ``log2(leaves)`` levels.
+    ``leaves`` must be a power of two.
+    """
+    if leaves < 1 or leaves & (leaves - 1):
+        raise ValueError("leaves must be a positive power of two")
+    builder = DAGBuilder(name)
+    frontier = [builder.add_node(leaf_work) for _ in range(leaves)]
+    while len(frontier) > 1:
+        nxt = []
+        for a, b in zip(frontier[::2], frontier[1::2]):
+            parent = builder.add_node(inner_work)
+            builder.add_edge(a, parent)
+            builder.add_edge(b, parent)
+            nxt.append(parent)
+        frontier = nxt
+    return builder.build()
+
+
+def pipeline(
+    stages: int,
+    width: int,
+    node_work: float = 1.0,
+    name: str = "pipeline",
+) -> DAGStructure:
+    """Software pipeline: ``stages`` fork-join phases chained serially.
+
+    Each stage is a ``width``-wide parallel phase whose join feeds the
+    next stage's fork -- the bulk-synchronous-parallel superstep shape.
+    """
+    if stages < 1 or width < 1:
+        raise ValueError("stages and width must be >= 1")
+    builder = DAGBuilder(name)
+    prev_join: int | None = None
+    for _ in range(stages):
+        fork = builder.add_node(node_work)
+        if prev_join is not None:
+            builder.add_edge(prev_join, fork)
+        join = builder.add_node(node_work)
+        for _ in range(width):
+            mid = builder.add_node(node_work)
+            builder.add_edge(fork, mid)
+            builder.add_edge(mid, join)
+        prev_join = join
+    return builder.build()
+
+
+def from_networkx(graph, work_attr: str = "work", name: str | None = None) -> DAGStructure:
+    """Import a :class:`networkx.DiGraph` as a :class:`DAGStructure`.
+
+    Node ids may be arbitrary hashables; they are relabeled to dense
+    integers in sorted-by-insertion order.  Per-node work is read from
+    ``work_attr`` (default 1.0 when absent).
+    """
+    nodes = list(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    works = [float(graph.nodes[node].get(work_attr, 1.0)) for node in nodes]
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return DAGStructure(works, edges, name=name or graph.name or "networkx")

@@ -1,0 +1,245 @@
+"""Static DAG structure: topology plus per-node work.
+
+:class:`DAGStructure` is the immutable description of a job's DAG.  It is
+shared between runs -- the mutable execution state lives in
+:class:`repro.dag.job.DAGJob`, so the same structure can be replayed under
+many schedulers without copying the topology.
+
+Two aggregate quantities drive the whole paper:
+
+* ``work`` (:attr:`DAGStructure.total_work`): the sum of node works,
+  written :math:`W_i` -- the job's execution time on one processor.
+* ``span`` (:attr:`DAGStructure.span`): the longest path weight, written
+  :math:`L_i` -- the job's execution time on infinitely many processors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class DAGStructure:
+    """Immutable topology and node works of a parallel job.
+
+    Parameters
+    ----------
+    work:
+        Per-node processing time; all entries must be positive and finite.
+    edges:
+        ``(u, v)`` pairs meaning node ``u`` must complete before node ``v``
+        may start.  The graph must be acyclic.
+    name:
+        Optional human-readable label used in traces and exports.
+
+    Notes
+    -----
+    Node ids are the integers ``0 .. n-1``, fixed by the order of ``work``.
+    Duplicate edges are rejected -- they would corrupt the indegree
+    counting that :class:`repro.dag.job.DAGJob` uses for readiness.
+    """
+
+    __slots__ = (
+        "_work",
+        "_succ",
+        "_pred",
+        "_name",
+        "_total_work",
+        "_span",
+        "_topo",
+        "_tail",
+        "_edge_count",
+    )
+
+    def __init__(
+        self,
+        work: Sequence[float] | np.ndarray,
+        edges: Iterable[tuple[int, int]] = (),
+        name: str = "dag",
+    ) -> None:
+        work_arr = np.asarray(work, dtype=np.float64)
+        if work_arr.ndim != 1 or work_arr.size == 0:
+            raise ValueError("work must be a non-empty 1-D sequence")
+        if not np.all(np.isfinite(work_arr)) or np.any(work_arr <= 0):
+            raise ValueError("all node works must be positive and finite")
+        n = int(work_arr.size)
+        succ: list[list[int]] = [[] for _ in range(n)]
+        pred: list[list[int]] = [[] for _ in range(n)]
+        seen: set[tuple[int, int]] = set()
+        edge_count = 0
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) references unknown node")
+            if u == v:
+                raise ValueError(f"self-loop on node {u}")
+            if (u, v) in seen:
+                raise ValueError(f"duplicate edge ({u}, {v})")
+            seen.add((u, v))
+            succ[u].append(v)
+            pred[v].append(u)
+            edge_count += 1
+
+        self._work = work_arr
+        self._work.setflags(write=False)
+        self._succ = tuple(tuple(s) for s in succ)
+        self._pred = tuple(tuple(p) for p in pred)
+        self._name = str(name)
+        self._edge_count = edge_count
+        self._topo = self._toposort()  # raises on cycles
+        self._total_work = float(work_arr.sum())
+        self._span = self._compute_span()
+        self._tail: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Human-readable label."""
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes in the DAG."""
+        return int(self._work.size)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of precedence edges."""
+        return self._edge_count
+
+    @property
+    def work(self) -> np.ndarray:
+        """Read-only per-node work array."""
+        return self._work
+
+    @property
+    def total_work(self) -> float:
+        """Total work :math:`W` (sum of node works)."""
+        return self._total_work
+
+    @property
+    def span(self) -> float:
+        """Critical-path length :math:`L` (maximum path weight)."""
+        return self._span
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Nodes that depend on ``node``."""
+        return self._succ[node]
+
+    def predecessors(self, node: int) -> tuple[int, ...]:
+        """Nodes that ``node`` depends on."""
+        return self._pred[node]
+
+    def indegree(self, node: int) -> int:
+        """Number of predecessors of ``node``."""
+        return len(self._pred[node])
+
+    def sources(self) -> tuple[int, ...]:
+        """Nodes with no predecessors (ready at job start)."""
+        return tuple(i for i in range(self.num_nodes) if not self._pred[i])
+
+    def sinks(self) -> tuple[int, ...]:
+        """Nodes with no successors."""
+        return tuple(i for i in range(self.num_nodes) if not self._succ[i])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all ``(u, v)`` precedence edges."""
+        for u, succs in enumerate(self._succ):
+            for v in succs:
+                yield (u, v)
+
+    def topological_order(self) -> tuple[int, ...]:
+        """A topological ordering of node ids (Kahn's algorithm)."""
+        return self._topo
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def _toposort(self) -> tuple[int, ...]:
+        n = self.num_nodes
+        indeg = [len(p) for p in self._pred]
+        queue: deque[int] = deque(i for i in range(n) if indeg[i] == 0)
+        order: list[int] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in self._succ[u]:
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        if len(order) != n:
+            raise ValueError("graph contains a cycle")
+        return tuple(order)
+
+    def _compute_span(self) -> float:
+        # Longest weighted path, DP over topological order.
+        dist = np.zeros(self.num_nodes, dtype=np.float64)
+        for u in self._topo:
+            dist[u] += self._work[u]
+            for v in self._succ[u]:
+                if dist[u] > dist[v]:
+                    dist[v] = dist[u]
+        return float(dist.max()) if self.num_nodes else 0.0
+
+    def tail_lengths(self) -> np.ndarray:
+        """Longest path weight from each node to any sink, inclusive.
+
+        The node(s) with the maximum tail lie on the critical path.  The
+        adversarial ready-node picker (Figure 1 / Theorem 1) uses this to
+        defer critical-path nodes for as long as possible.
+        """
+        if self._tail is None:
+            tail = np.zeros(self.num_nodes, dtype=np.float64)
+            for u in reversed(self._topo):
+                best = 0.0
+                for v in self._succ[u]:
+                    if tail[v] > best:
+                        best = tail[v]
+                tail[u] = best + self._work[u]
+            tail.setflags(write=False)
+            self._tail = tail
+        return self._tail
+
+    def average_parallelism(self) -> float:
+        """``W / L`` -- the classic parallelism measure of the DAG."""
+        return self._total_work / self._span
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with ``work`` node attrs."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self._name)
+        for i in range(self.num_nodes):
+            g.add_node(i, work=float(self._work[i]))
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DAGStructure(name={self._name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, W={self._total_work:.6g}, "
+            f"L={self._span:.6g})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DAGStructure):
+            return NotImplemented
+        return (
+            self.num_nodes == other.num_nodes
+            and np.array_equal(self._work, other._work)
+            and self._succ == other._succ
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self._edge_count, self._total_work, self._span))

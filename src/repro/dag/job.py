@@ -1,0 +1,218 @@
+"""Mutable execution state of one DAG job.
+
+:class:`DAGJob` layers runtime state (remaining work per node, readiness,
+completion) over an immutable :class:`repro.dag.graph.DAGStructure`.  The
+simulation engine is the only component that mutates it; schedulers see
+jobs through :class:`repro.sim.jobs.JobView`, which enforces the paper's
+semi-non-clairvoyance (only ``W``, ``L`` and the *number* of ready nodes
+are visible -- never the topology).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+from repro.dag.node import NodeState
+
+
+class DAGJob:
+    """Runtime instance of a DAG job.
+
+    The engine drives a job through three operations:
+
+    * :meth:`ready_nodes` -- which nodes may execute right now;
+    * :meth:`process` -- deplete work from a set of executing nodes and
+      unlock their successors on completion;
+    * :meth:`is_complete` -- all nodes done.
+
+    Work depletion is fractional (preemption at any step boundary), but
+    readiness changes only when a node's remaining work hits zero,
+    matching the paper's model where a node is a sequential instruction
+    block.
+    """
+
+    __slots__ = (
+        "structure",
+        "_remaining",
+        "_unmet",
+        "_state",
+        "_ready",
+        "_done_count",
+        "_done_work",
+    )
+
+    def __init__(self, structure: DAGStructure) -> None:
+        self.structure = structure
+        n = structure.num_nodes
+        self._remaining = structure.work.copy()
+        self._unmet = np.fromiter(
+            (structure.indegree(i) for i in range(n)), dtype=np.int64, count=n
+        )
+        self._state = np.full(n, NodeState.PENDING, dtype=np.int8)
+        self._ready: dict[int, None] = {}
+        for i in structure.topological_order():
+            if self._unmet[i] == 0:
+                self._state[i] = NodeState.READY
+                self._ready[i] = None
+        self._done_count = 0
+        self._done_work = 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_work(self) -> float:
+        """Total work :math:`W` of the job."""
+        return self.structure.total_work
+
+    @property
+    def span(self) -> float:
+        """Critical-path length :math:`L` of the job."""
+        return self.structure.span
+
+    def ready_nodes(self) -> tuple[int, ...]:
+        """Node ids currently allowed to execute (READY or RUNNING)."""
+        return tuple(self._ready)
+
+    def num_ready(self) -> int:
+        """How many nodes may execute right now."""
+        return len(self._ready)
+
+    def node_state(self, node: int) -> NodeState:
+        """Current state of ``node``."""
+        return NodeState(self._state[node])
+
+    def node_remaining(self, node: int) -> float:
+        """Remaining work of ``node``."""
+        return float(self._remaining[node])
+
+    def remaining_work(self) -> float:
+        """Total unprocessed work across all nodes."""
+        return float(self.structure.total_work - self._done_work - self._processed_partial())
+
+    def _processed_partial(self) -> float:
+        # Work already removed from not-yet-done nodes.
+        mask = self._state != NodeState.DONE
+        return float((self.structure.work[mask] - self._remaining[mask]).sum())
+
+    def remaining_span(self) -> float:
+        """Longest remaining path weight over unfinished nodes.
+
+        This is the quantity Observation 1 tracks: when all ready nodes
+        execute at speed ``s``, it decreases at rate ``s``.  Computed on
+        demand (O(nodes + edges)); used by diagnostics and tests, not by
+        the engine's hot path.
+        """
+        struct = self.structure
+        dist = np.zeros(struct.num_nodes, dtype=np.float64)
+        for u in reversed(struct.topological_order()):
+            if self._state[u] == NodeState.DONE:
+                continue
+            best = 0.0
+            for v in struct.successors(u):
+                if self._state[v] != NodeState.DONE and dist[v] > best:
+                    best = dist[v]
+            dist[u] = best + self._remaining[u]
+        return float(dist.max()) if struct.num_nodes else 0.0
+
+    def is_complete(self) -> bool:
+        """Whether every node of the DAG has been processed."""
+        return self._done_count == self.structure.num_nodes
+
+    @property
+    def completed_nodes(self) -> int:
+        """Number of DONE nodes."""
+        return self._done_count
+
+    # ------------------------------------------------------------------
+    # Mutation (engine only)
+    # ------------------------------------------------------------------
+    def mark_running(self, nodes: Iterable[int]) -> None:
+        """Flag ``nodes`` as RUNNING (must currently be executable)."""
+        for node in nodes:
+            if not NodeState(self._state[node]).is_executable():
+                raise ValueError(
+                    f"node {node} in state {NodeState(self._state[node]).name} "
+                    "cannot run"
+                )
+            self._state[node] = NodeState.RUNNING
+
+    def mark_preempted(self, nodes: Iterable[int]) -> None:
+        """Return RUNNING ``nodes`` to READY (preemption)."""
+        for node in nodes:
+            if self._state[node] == NodeState.RUNNING:
+                self._state[node] = NodeState.READY
+
+    def process(self, node: int, amount: float) -> bool:
+        """Deplete ``amount`` work from ``node``; return True on completion.
+
+        Completion unlocks successors whose other predecessors are all
+        done, appending them to the ready set in successor order (the
+        pick *policy* that chooses among ready nodes lives in
+        :mod:`repro.sim.picker`, not here).
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        state = NodeState(self._state[node])
+        if not state.is_executable():
+            raise ValueError(f"cannot process node {node} in state {state.name}")
+        rem = self._remaining[node] - amount
+        # Guard against float drift: snap tiny residues to done.
+        if rem <= 1e-12:
+            rem = 0.0
+        self._remaining[node] = rem
+        if rem > 0.0:
+            return False
+        self._complete_node(node)
+        return True
+
+    def _complete_node(self, node: int) -> None:
+        self._state[node] = NodeState.DONE
+        self._done_count += 1
+        self._done_work += float(self.structure.work[node])
+        del self._ready[node]
+        for v in self.structure.successors(node):
+            self._unmet[v] -= 1
+            if self._unmet[v] == 0:
+                self._state[v] = NodeState.READY
+                self._ready[v] = None
+
+    def add_overhead(self, node: int, amount: float) -> None:
+        """Charge preemption overhead to an unfinished node.
+
+        Models context-switch cost: remaining work grows by ``amount``,
+        capped at the node's original work (a node never costs more
+        than a cold restart).  No-op on DONE nodes.
+        """
+        if amount < 0:
+            raise ValueError("overhead must be non-negative")
+        if self._state[node] == NodeState.DONE:
+            return
+        original = float(self.structure.work[node])
+        self._remaining[node] = min(original, self._remaining[node] + amount)
+
+    def reset(self) -> None:
+        """Restore the job to its initial (unexecuted) state."""
+        struct = self.structure
+        n = struct.num_nodes
+        self._remaining[:] = struct.work
+        for i in range(n):
+            self._unmet[i] = struct.indegree(i)
+        self._state[:] = NodeState.PENDING
+        self._ready.clear()
+        for i in struct.topological_order():
+            if self._unmet[i] == 0:
+                self._state[i] = NodeState.READY
+                self._ready[i] = None
+        self._done_count = 0
+        self._done_work = 0.0
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DAGJob({self.structure.name!r}, done={self._done_count}/"
+            f"{self.structure.num_nodes}, ready={len(self._ready)})"
+        )

@@ -1,0 +1,55 @@
+"""Node-level definitions for DAG jobs.
+
+A node is the unit of sequential execution: a block of instructions with a
+fixed amount of *work* (processing time at speed 1).  Nodes move through a
+small state machine as the simulation executes the job:
+
+``PENDING`` -> ``READY`` -> ``RUNNING`` -> ``DONE``
+
+A node becomes ``READY`` when its last unfinished predecessor completes;
+the engine may move it between ``READY`` and ``RUNNING`` arbitrarily often
+(execution is preemptive), and it becomes ``DONE`` when its remaining work
+reaches zero.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeState(enum.IntEnum):
+    """Lifecycle state of a single DAG node."""
+
+    #: Some predecessor has not completed yet; the node may not execute.
+    PENDING = 0
+    #: All predecessors completed; the node may be assigned a processor.
+    READY = 1
+    #: Currently assigned to a processor.
+    RUNNING = 2
+    #: All work processed.
+    DONE = 3
+
+    def is_terminal(self) -> bool:
+        """Whether the node will never change state again."""
+        return self is NodeState.DONE
+
+    def is_executable(self) -> bool:
+        """Whether the node may legally receive processor time right now."""
+        return self in (NodeState.READY, NodeState.RUNNING)
+
+
+#: Transitions allowed by the node state machine.  Used by the validator
+#: and by :class:`repro.dag.job.DAGJob` debug assertions.
+ALLOWED_TRANSITIONS: frozenset[tuple[NodeState, NodeState]] = frozenset(
+    {
+        (NodeState.PENDING, NodeState.READY),
+        (NodeState.READY, NodeState.RUNNING),
+        (NodeState.RUNNING, NodeState.READY),  # preemption
+        (NodeState.RUNNING, NodeState.DONE),
+    }
+)
+
+
+def is_allowed_transition(old: NodeState, new: NodeState) -> bool:
+    """Whether ``old -> new`` is a legal node state transition."""
+    return (old, new) in ALLOWED_TRANSITIONS

@@ -1,0 +1,60 @@
+"""Serialization of DAG structures (dict / JSON / Graphviz DOT).
+
+The dict format is versioned so saved workloads stay loadable:
+
+.. code-block:: python
+
+    {"version": 1, "name": "fig1", "work": [...], "edges": [[u, v], ...]}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.dag.graph import DAGStructure
+
+FORMAT_VERSION = 1
+
+
+def structure_to_dict(structure: DAGStructure) -> dict[str, Any]:
+    """Serialize a structure to a plain JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": structure.name,
+        "work": [float(w) for w in structure.work],
+        "edges": [[u, v] for u, v in structure.edges()],
+    }
+
+
+def structure_from_dict(data: dict[str, Any]) -> DAGStructure:
+    """Rebuild a structure from :func:`structure_to_dict` output."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported DAG format version {version}")
+    return DAGStructure(
+        data["work"],
+        [(int(u), int(v)) for u, v in data.get("edges", ())],
+        name=data.get("name", "dag"),
+    )
+
+
+def structure_to_json(structure: DAGStructure, indent: int | None = None) -> str:
+    """Serialize a structure to a JSON string."""
+    return json.dumps(structure_to_dict(structure), indent=indent)
+
+
+def structure_from_json(text: str) -> DAGStructure:
+    """Rebuild a structure from :func:`structure_to_json` output."""
+    return structure_from_dict(json.loads(text))
+
+
+def structure_to_dot(structure: DAGStructure) -> str:
+    """Export to Graphviz DOT, labeling nodes ``id (work)``."""
+    lines = [f'digraph "{structure.name}" {{']
+    for i in range(structure.num_nodes):
+        lines.append(f'  n{i} [label="{i} ({structure.work[i]:g})"];')
+    for u, v in structure.edges():
+        lines.append(f"  n{u} -> n{v};")
+    lines.append("}")
+    return "\n".join(lines)

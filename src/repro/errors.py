@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class AllocationError(ReproError):
+    """A scheduler returned an invalid processor allocation."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler violated its protocol (unknown job, bad event order)."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or infeasible to generate."""

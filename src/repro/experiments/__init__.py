@@ -1,0 +1,10 @@
+"""Experiment runners: one module per table/figure of the reproduction.
+
+See DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+recorded outcomes.  Use :func:`repro.experiments.registry.run_experiment`
+or the ``repro-experiments`` CLI.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

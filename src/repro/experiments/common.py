@@ -1,0 +1,55 @@
+"""Shared infrastructure for experiment runners.
+
+Every experiment (E1..E14 in DESIGN.md) is a function
+``run(quick=False) -> ExperimentResult`` that regenerates one table or
+figure-equivalent of the reproduction.  ``quick=True`` shrinks the
+configuration for CI/benchmark use while preserving the qualitative
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.analysis.tables import format_markdown, format_table
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table plus its provenance."""
+
+    key: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    #: the paper's qualitative claim this table checks
+    claim: str = ""
+    #: free-form observations filled by the runner
+    notes: list[str] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render for terminal output."""
+        parts = [format_table(self.headers, self.rows, title=f"{self.key}: {self.title}")]
+        if self.claim:
+            parts.append(f"claim: {self.claim}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_markdown(self) -> str:
+        """Render for EXPERIMENTS.md."""
+        parts = [f"### {self.key}: {self.title}", ""]
+        if self.claim:
+            parts += [f"**Claim.** {self.claim}", ""]
+        parts.append(format_markdown(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts += [f"- {note}" for note in self.notes]
+        return "\n".join(parts)
+
+
+def first_record(result) -> Any:
+    """The single completion record of a one-job run."""
+    (record,) = result.records.values()
+    return record

@@ -1,0 +1,77 @@
+"""E4 -- Corollary 1: ``(2+eps)`` speed suffices without assumptions.
+
+Workloads with *tight* deadlines (a small factor above the clairvoyant
+feasibility limit ``max(L, W/m)``, violating Theorem 2's assumption)
+are run under S at speeds 1 .. 3, always normalized by the *speed-1* LP
+bound.  Corollary 1 predicts the profit fraction becomes a healthy
+constant once speed reaches about ``2 + eps``; Theorem 1 says no
+semi-non-clairvoyant scheduler can be constant-competitive below
+``2 - 1/m`` on such inputs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the speed-augmentation sweep."""
+    m = 8
+    epsilon = 0.5
+    n_jobs = 40 if quick else 80
+    seeds = [0, 1] if quick else [0, 1, 2, 3]
+    speeds = [1.0, 1.5, 2.0, 2.5, 3.0]
+    # Coarse node works so fractional speeds bite (see E1 note).
+    family_kwargs = {
+        "min_width": 2,
+        "max_width": 24,
+        "min_node_work": 8,
+        "max_node_work": 32,
+    }
+    base = dict(
+        n_jobs=n_jobs,
+        m=m,
+        load=1.5,
+        family="fork_join",
+        epsilon=epsilon,
+        deadline_policy="tight",
+        tight_factor=1.1,
+        profit="uniform",
+        family_kwargs=family_kwargs,
+    )
+    rows = []
+    for speed in speeds:
+        fractions = []
+        for seed in seeds:
+            specs = generate_workload(WorkloadConfig(seed=seed, **base))
+            bound = interval_lp_upper_bound(specs, m)
+            if bound <= 0:
+                continue
+            result = Simulator(
+                m=m, scheduler=SNSScheduler(epsilon=epsilon), speed=speed
+            ).run(specs)
+            fractions.append(result.total_profit / bound)
+        agg = Aggregate.of(fractions)
+        rows.append([speed, round(agg.mean, 4), round(agg.std, 4), agg.n])
+    result = ExperimentResult(
+        key="E4",
+        title="Corollary 1: speed augmentation on tight-deadline workloads",
+        headers=["speed", "profit/bound(speed-1 OPT)", "std", "runs"],
+        rows=rows,
+        claim=(
+            "With deadlines near max(L, W/m) (assumption violated), S's "
+            "fraction of the speed-1 OPT bound is poor at speed 1 and "
+            "rises to a solid constant by speed ~2+eps."
+        ),
+    )
+    lo, hi = rows[0][1], rows[-1][1]
+    result.notes.append(
+        f"fraction at speed 1: {lo}; at speed 3: {hi} "
+        f"(gain x{hi / lo if lo > 0 else float('inf'):.2f})"
+    )
+    return result

@@ -1,0 +1,86 @@
+"""E5 -- Corollary 2: ``(1+eps)`` speed for "reasonable" deadlines.
+
+Deadlines exactly at the semi-non-clairvoyant bound ``(W-L)/m + L``
+(slack factor 1, i.e. *not* meeting Theorem 2's (1+eps) assumption but
+meeting Corollary 2's weaker one) are run under S at speeds ``1+eps``
+for several eps, against the speed-1 LP bound.  Corollary 2 predicts
+modest augmentation already yields a constant fraction -- contrast with
+E4 where deadlines were below the bound and ~2x speed was needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import JobSpec, Simulator
+from repro.workloads import WorkloadConfig, generate_workload, sequential_bound
+
+
+def _reasonable_workload(n_jobs: int, m: int, seed: int) -> list[JobSpec]:
+    """Mixed workload with deadlines at exactly (W-L)/m + L."""
+    base = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs,
+            m=m,
+            load=1.5,
+            family="mixed",
+            epsilon=0.5,  # placeholder; deadlines replaced below
+            deadline_policy="slack",
+            profit="uniform",
+            seed=seed,
+        )
+    )
+    specs = []
+    for sp in base:
+        rel = max(1, math.ceil(sequential_bound(sp.structure, m)))
+        specs.append(
+            JobSpec(
+                sp.job_id,
+                sp.structure,
+                arrival=sp.arrival,
+                deadline=sp.arrival + rel,
+                profit=sp.profit,
+            )
+        )
+    return specs
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the Corollary 2 table."""
+    m = 8
+    n_jobs = 40 if quick else 80
+    seeds = [0, 1] if quick else [0, 1, 2, 3]
+    epsilons = [0.25, 0.5, 1.0]
+    rows = []
+    for eps in epsilons:
+        for speed in (1.0, 1.0 + eps):
+            fractions = []
+            for seed in seeds:
+                specs = _reasonable_workload(n_jobs, m, seed)
+                bound = interval_lp_upper_bound(specs, m)
+                if bound <= 0:
+                    continue
+                result = Simulator(
+                    m=m, scheduler=SNSScheduler(epsilon=eps), speed=speed
+                ).run(specs)
+                fractions.append(result.total_profit / bound)
+            agg = Aggregate.of(fractions)
+            rows.append(
+                [eps, speed, round(agg.mean, 4), round(agg.std, 4), agg.n]
+            )
+    result = ExperimentResult(
+        key="E5",
+        title="Corollary 2: (1+eps) speed with deadlines >= (W-L)/m + L",
+        headers=["epsilon", "speed", "profit/bound", "std", "runs"],
+        rows=rows,
+        claim=(
+            "With 'reasonable' deadlines (at the semi-non-clairvoyant "
+            "bound), speed 1+eps already restores a constant fraction of "
+            "the speed-1 OPT bound."
+        ),
+    )
+    return result

@@ -1,0 +1,82 @@
+"""E6 -- Theorem 3 / Corollary 3: the general-profit scheduler.
+
+Workloads of jobs carrying non-increasing profit functions (flat to the
+Theorem 3 knee ``x* >= (1+eps)((W-L)/m + L)``, then linear /
+exponential / staircase decay) run under the slot-assigning scheduler
+of Section 5, normalized by the piecewise LP bound; a work-conserving
+greedy baseline shows the assignment machinery is not vacuous.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.baselines import GreedyDensity
+from repro.core import GeneralProfitScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+from repro.workloads.profits import make_profit_fn_sampler
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the general-profit table."""
+    m = 4
+    epsilon = 1.0
+    n_jobs = 20 if quick else 50
+    seeds = [0, 1] if quick else [0, 1, 2]
+    decays = ["linear", "exponential", "staircase"]
+    loads = [1.0, 2.0] if quick else [1.0, 2.0, 4.0]
+    rows = []
+    for decay in decays:
+        for load in loads:
+            s_fracs, g_fracs = [], []
+            for seed in seeds:
+                specs = generate_workload(
+                    WorkloadConfig(
+                        n_jobs=n_jobs,
+                        m=m,
+                        load=load,
+                        family="fork_join",
+                        epsilon=epsilon,
+                        profit_fn_sampler=make_profit_fn_sampler(decay),
+                        seed=seed,
+                    )
+                )
+                bound = interval_lp_upper_bound(specs, m)
+                if bound <= 0:
+                    continue
+                res_s = Simulator(
+                    m=m, scheduler=GeneralProfitScheduler(epsilon=epsilon)
+                ).run(specs)
+                # Greedy runs jobs forever (no deadline); horizon keeps the
+                # comparison finite.
+                horizon = max(sp.arrival for sp in specs) * 2 + 4000
+                res_g = Simulator(
+                    m=m, scheduler=GreedyDensity(), horizon=horizon
+                ).run(specs)
+                s_fracs.append(res_s.total_profit / bound)
+                g_fracs.append(res_g.total_profit / bound)
+            s_agg, g_agg = Aggregate.of(s_fracs), Aggregate.of(g_fracs)
+            rows.append(
+                [
+                    decay,
+                    load,
+                    round(s_agg.mean, 4),
+                    round(g_agg.mean, 4),
+                    s_agg.n,
+                ]
+            )
+    result = ExperimentResult(
+        key="E6",
+        title="Theorem 3: general-profit scheduler vs OPT bound",
+        headers=["decay", "load", "S profit/bound", "greedy/bound", "runs"],
+        rows=rows,
+        claim=(
+            "With profit flat to x* >= (1+eps)((W-L)/m + L) and arbitrary "
+            "non-increasing decay after, the slot-assigning S earns a "
+            "constant fraction of the OPT bound across decay shapes and "
+            "loads."
+        ),
+    )
+    return result

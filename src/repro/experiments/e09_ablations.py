@@ -1,0 +1,130 @@
+"""E9 -- Ablations of S's design decisions (paper remark + conclusion).
+
+Compares, on assumption-respecting overload workloads:
+
+* **S** -- the paper's algorithm;
+* **no-admission** -- conditions (1)/(2) removed;
+* **work-conserving** -- spare processors top up admitted jobs (the
+  practical variant the paper's conclusion asks for);
+* **p/W density** -- classical density instead of ``p/(x n)``.
+
+Reported per variant: profit fraction of the LP bound and preemptions
+(the conclusion's other concern).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.baselines import (
+    EagerPromotionSNS,
+    SNSNoAdmission,
+    SNSWorkDensity,
+    WorkConservingSNS,
+)
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+def _paper_c(eps: float) -> SNSScheduler:
+    """S with the paper's minimal band width c = 1 + 1/(delta*eps).
+
+    The algorithm is identical in structure; only Lemma 5's coefficient
+    positivity (our default widens c to guarantee it) is given up.
+    """
+    from repro.core import Constants
+
+    delta = eps / 4.0
+    return SNSScheduler(
+        constants=Constants.from_epsilon(eps, c=1.0 + 1.0 / (delta * eps))
+    )
+
+
+VARIANTS = {
+    "S": lambda eps: SNSScheduler(epsilon=eps),
+    "S-no-admission": lambda eps: SNSNoAdmission(epsilon=eps),
+    "S-work-conserving": lambda eps: WorkConservingSNS(epsilon=eps),
+    "S-p/W-density": lambda eps: SNSWorkDensity(epsilon=eps),
+    "S-eager-promote": lambda eps: EagerPromotionSNS(epsilon=eps),
+    "S-paper-c": _paper_c,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the ablation table."""
+    m = 8
+    eps = 1.0
+    n_jobs = 40 if quick else 80
+    seeds = [0, 1] if quick else [0, 1, 2, 3]
+    loads = [1.0, 4.0] if quick else [1.0, 2.0, 4.0, 8.0]
+    rows = []
+    for load in loads:
+        for name, factory in VARIANTS.items():
+            fracs, preemptions = [], []
+            for seed in seeds:
+                specs = generate_workload(
+                    WorkloadConfig(
+                        n_jobs=n_jobs,
+                        m=m,
+                        load=load,
+                        family="mixed",
+                        epsilon=eps,
+                        deadline_policy="slack",
+                        slack_range=(1.0, 1.5),
+                        profit="heavy_tailed",
+                        seed=seed,
+                    )
+                )
+                bound = interval_lp_upper_bound(specs, m)
+                if bound <= 0:
+                    continue
+                res = Simulator(m=m, scheduler=factory(eps)).run(specs)
+                fracs.append(res.total_profit / bound)
+                preemptions.append(float(res.counters.preemptions))
+            rows.append(
+                [
+                    load,
+                    name,
+                    round(Aggregate.of(fracs).mean, 4),
+                    round(Aggregate.of(preemptions).mean, 1),
+                ]
+            )
+    # The admission-trap stream: dense-but-doomed jobs alternate with
+    # feasible payloads.  Without conditions (1)+(2) the machine chases
+    # traps and completes ~nothing.
+    from repro.workloads import admission_trap
+
+    trap_specs = admission_trap(m, n_pairs=20 if quick else 50)
+    payload_profit = sum(
+        sp.profit for sp in trap_specs if sp.structure.name == "payload"
+    )
+    for name, factory in VARIANTS.items():
+        res = Simulator(m=m, scheduler=factory(eps)).run(trap_specs)
+        rows.append(
+            [
+                "trap",
+                name,
+                round(res.total_profit / payload_profit, 4),
+                res.counters.preemptions,
+            ]
+        )
+
+    result = ExperimentResult(
+        key="E9",
+        title="Ablations: admission control, work conservation, density",
+        headers=["load", "variant", "profit/bound", "preemptions"],
+        rows=rows,
+        claim=(
+            "On benign random loads admission control costs a constant "
+            "factor, but on dense-but-doomed (trap) streams it is the "
+            "difference between ~0 and near-full profit; work "
+            "conservation only helps; the p/(x n) density matters when "
+            "profits decouple from work."
+        ),
+    )
+    result.notes.append(
+        "trap rows are normalized by the total feasible (payload) profit, "
+        "the exact OPT on that instance"
+    )
+    return result

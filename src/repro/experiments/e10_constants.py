@@ -1,0 +1,65 @@
+"""E10 -- The constants table (paper Tables 1-3, made quantitative).
+
+For a grid of eps, derives delta, c, b, a, Lemma 5's completion
+coefficient, and the proven competitive-ratio bounds for throughput
+(Lemma 10) and general profit (Lemma 22).  The last column multiplies
+the bound by eps^6: its flattening as eps -> 0 exhibits the O(1/eps^6)
+growth the theorems state.
+"""
+
+from __future__ import annotations
+
+from repro.core import Constants
+from repro.experiments.common import ExperimentResult
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the derived-constants table."""
+    epsilons = (
+        [0.25, 0.5, 1.0, 2.0]
+        if quick
+        else [0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+    )
+    rows = []
+    for eps in epsilons:
+        consts = Constants.from_epsilon(eps)
+        ratio = consts.competitive_ratio_throughput
+        rows.append(
+            [
+                eps,
+                round(consts.delta, 4),
+                round(consts.c, 2),
+                round(consts.b, 4),
+                round(consts.a, 3),
+                round(consts.completion_coefficient, 5),
+                f"{ratio:.4g}",
+                f"{consts.competitive_ratio_profit:.4g}",
+                f"{ratio * eps ** 6:.4g}",
+            ]
+        )
+    result = ExperimentResult(
+        key="E10",
+        title="Derived constants and proven bounds (O(1/eps^6))",
+        headers=[
+            "epsilon",
+            "delta",
+            "c",
+            "b",
+            "a",
+            "Lemma5 coeff",
+            "ratio (Thm2)",
+            "ratio (Thm3)",
+            "ratio*eps^6",
+        ],
+        rows=rows,
+        claim=(
+            "All constants are positive and finite for every eps > 0, and "
+            "the proven competitive ratio grows as O(1/eps^6)."
+        ),
+    )
+    result.notes.append(
+        "c uses the repository's strictly-positive-coefficient choice "
+        "(see repro.core.theory module docstring); the paper's minimal c "
+        "makes the Lemma 5 coefficient non-positive under exact algebra"
+    )
+    return result

@@ -1,0 +1,125 @@
+"""E12 -- Beyond the paper: federated, non-clairvoyant, and recurring
+tasks (the conclusion's future-work directions).
+
+Three panels:
+
+* **schedulers** -- S vs online federated scheduling (the real-time
+  community's allotment rule the paper's descends from) vs the fully
+  non-clairvoyant doubling variant, on assumption-respecting overload;
+* **diurnal** -- the same schedulers on a diurnal (day/night) demand
+  trace, split by arrival phase;
+* **periodic** -- a harmonic recurring DAG task set at increasing
+  utilization: deadline-miss fractions per scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.baselines import DoublingNonClairvoyant, FederatedScheduler
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    harmonic_taskset,
+    unroll_periodic,
+)
+from repro.workloads.dag_families import make_family
+from repro.workloads.traces import DiurnalConfig, generate_diurnal_trace
+
+EXTENDED = {
+    "S(eps=1)": lambda: SNSScheduler(epsilon=1.0),
+    "Federated": FederatedScheduler,
+    "NC-doubling": lambda: DoublingNonClairvoyant(epsilon=1.0),
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the extensions table."""
+    m = 8
+    seeds = [0, 1] if quick else [0, 1, 2]
+    n_jobs = 40 if quick else 80
+    rows = []
+
+    # panel 1: overload sweep
+    for load in ([1.0, 4.0] if quick else [1.0, 2.0, 4.0, 8.0]):
+        per = {name: [] for name in EXTENDED}
+        for seed in seeds:
+            specs = generate_workload(
+                WorkloadConfig(
+                    n_jobs=n_jobs, m=m, load=load, family="mixed",
+                    epsilon=1.0, deadline_policy="slack",
+                    slack_range=(1.0, 1.5), profit="heavy_tailed", seed=seed,
+                )
+            )
+            bound = interval_lp_upper_bound(specs, m)
+            if bound <= 0:
+                continue
+            for name, factory in EXTENDED.items():
+                res = Simulator(m=m, scheduler=factory()).run(specs)
+                per[name].append(res.total_profit / bound)
+        rows.append(
+            [f"load={load}"]
+            + [round(Aggregate.of(per[name]).mean, 4) for name in EXTENDED]
+        )
+
+    # panel 2: diurnal trace
+    per = {name: [] for name in EXTENDED}
+    for seed in seeds:
+        specs = generate_diurnal_trace(
+            DiurnalConfig(n_jobs=n_jobs * 2, m=m, base_load=1.5, swing=0.8,
+                          seed=seed)
+        )
+        bound = interval_lp_upper_bound(specs, m)
+        if bound <= 0:
+            continue
+        for name, factory in EXTENDED.items():
+            res = Simulator(m=m, scheduler=factory()).run(specs)
+            per[name].append(res.total_profit / bound)
+    rows.append(
+        ["diurnal"]
+        + [round(Aggregate.of(per[name]).mean, 4) for name in EXTENDED]
+    )
+
+    # panel 3: periodic task sets at rising utilization
+    import numpy as np
+
+    for util in ([0.3, 0.6] if quick else [0.3, 0.5, 0.7, 0.9]):
+        per = {name: [] for name in EXTENDED}
+        for seed in seeds:
+            rng = np.random.default_rng(seed)
+            family = make_family("fork_join")
+            structures = [family(rng) for _ in range(6)]
+            tasks = harmonic_taskset(structures, base_period=64, m=m,
+                                     target_utilization=util)
+            specs = unroll_periodic(tasks, horizon=512)
+            if not specs:
+                continue
+            for name, factory in EXTENDED.items():
+                res = Simulator(m=m, scheduler=factory()).run(specs)
+                per[name].append(res.completed_on_time / len(specs))
+        rows.append(
+            [f"periodic u={util}"]
+            + [round(Aggregate.of(per[name]).mean, 4) for name in EXTENDED]
+        )
+
+    result = ExperimentResult(
+        key="E12",
+        title="Extensions: federated, non-clairvoyant, recurring tasks",
+        headers=["scenario"] + list(EXTENDED),
+        rows=rows,
+        claim=(
+            "The paper's future-work directions, measured: federated "
+            "scheduling (delta=0, no bands) and a fully non-clairvoyant "
+            "doubling variant are competitive on benign inputs, with S's "
+            "structure paying off as overload grows; on recurring task "
+            "sets on-time fractions degrade gracefully with utilization."
+        ),
+    )
+    result.notes.append(
+        "load/diurnal rows report profit / LP bound; periodic rows report "
+        "the on-time completion fraction"
+    )
+    return result

@@ -1,0 +1,99 @@
+"""E13 -- Preemption cost (the conclusion's "fewer preemptions" motive).
+
+The paper's conclusion asks for schedulers with fewer preemptions; this
+experiment quantifies *why*: the engine charges configurable overhead
+(extra work) to every preempted node, and the sweep shows how each
+scheduler's profit degrades with the overhead.  S preempts rarely
+(fixed allotments, admission-stable queues), so its curve should be
+nearly flat while preemption-happy baselines decay.
+
+A second panel compares admission styles at zero overhead:
+S (density bands) vs AdmissionEDF (demand-bound test) vs plain EDF,
+isolating what the band machinery adds over "any admission control".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import interval_lp_upper_bound
+from repro.analysis.stats import Aggregate
+from repro.baselines import GlobalEDF, GreedyDensity
+from repro.baselines.admission_edf import AdmissionEDF
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+SCHEDULERS = {
+    "S(eps=1)": lambda: SNSScheduler(epsilon=1.0),
+    "EDF": GlobalEDF,
+    "AdmissionEDF": AdmissionEDF,
+    "GreedyDensity": GreedyDensity,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the preemption-cost table."""
+    m = 8
+    n_jobs = 40 if quick else 80
+    seeds = [0, 1] if quick else [0, 1, 2, 3]
+    overheads = [0.0, 1.0] if quick else [0.0, 0.5, 1.0, 2.0]
+    base = dict(
+        n_jobs=n_jobs,
+        m=m,
+        load=2.0,
+        family="mixed",
+        epsilon=1.0,
+        deadline_policy="slack",
+        slack_range=(1.0, 1.5),
+        profit="heavy_tailed",
+    )
+    rows = []
+    for overhead in overheads:
+        per: dict[str, list[float]] = {name: [] for name in SCHEDULERS}
+        preempts: dict[str, list[float]] = {name: [] for name in SCHEDULERS}
+        for seed in seeds:
+            specs = generate_workload(WorkloadConfig(seed=seed, **base))
+            bound = interval_lp_upper_bound(specs, m)
+            if bound <= 0:
+                continue
+            for name, factory in SCHEDULERS.items():
+                res = Simulator(
+                    m=m,
+                    scheduler=factory(),
+                    preemption_overhead=overhead,
+                ).run(specs)
+                per[name].append(res.total_profit / bound)
+                preempts[name].append(float(res.counters.preemptions))
+        row = [overhead]
+        for name in SCHEDULERS:
+            row.append(round(Aggregate.of(per[name]).mean, 4))
+        for name in SCHEDULERS:
+            row.append(round(Aggregate.of(preempts[name]).mean, 1))
+        rows.append(row)
+
+    headers = (
+        ["overhead"]
+        + [f"{name}" for name in SCHEDULERS]
+        + [f"preempts:{name}" for name in SCHEDULERS]
+    )
+    result = ExperimentResult(
+        key="E13",
+        title="Preemption cost: profit vs per-preemption overhead",
+        headers=headers,
+        rows=rows,
+        claim=(
+            "S's fixed-allotment design preempts orders of magnitude less "
+            "than work-conserving baselines, so its profit is nearly flat "
+            "in the per-preemption overhead while theirs degrades -- the "
+            "conclusion's 'fewer preemptions' goal, quantified."
+        ),
+    )
+    # degradation note
+    first, last = rows[0], rows[-1]
+    for i, name in enumerate(SCHEDULERS, start=1):
+        drop = first[i] - last[i]
+        result.notes.append(
+            f"{name}: profit drop {drop:+.4f} from overhead 0 to "
+            f"{overheads[-1]}"
+        )
+    return result

@@ -1,0 +1,94 @@
+"""E14 -- True competitive ratios on small instances (exact OPT).
+
+The LP bound used elsewhere over-estimates OPT, so measured ratios are
+pessimistic.  On small instances (n <= 10) OPT can be bracketed exactly
+by subset enumeration (:mod:`repro.analysis.smallopt`); when the
+bracket is tight the reported ratio is against *true* OPT.  This
+experiment samples many small overloaded instances, reports how often
+the bracket closes, and the distribution of S's exact ratios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.smallopt import small_instance_opt
+from repro.analysis.stats import Aggregate, geometric_mean
+from repro.core import SNSScheduler
+from repro.experiments.common import ExperimentResult
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    """Regenerate the exact-ratio table."""
+    m = 4
+    n_jobs = 8
+    instances = 10 if quick else 40
+    rows = []
+    for load in (2.0, 4.0):
+        exact_ratios: list[float] = []
+        fractions: list[float] = []
+        closed = 0
+        usable = 0
+        for seed in range(instances):
+            specs = generate_workload(
+                WorkloadConfig(
+                    n_jobs=n_jobs,
+                    m=m,
+                    load=load,
+                    family="mixed",
+                    epsilon=1.0,
+                    deadline_policy="slack",
+                    slack_range=(1.0, 1.5),
+                    profit="uniform",
+                    seed=1000 + seed,
+                )
+            )
+            bracket = small_instance_opt(specs, m)
+            if bracket.upper <= 0:
+                continue
+            usable += 1
+            profit = (
+                Simulator(m=m, scheduler=SNSScheduler(epsilon=1.0))
+                .run(specs)
+                .total_profit
+            )
+            fractions.append(profit / bracket.upper)
+            if bracket.exact and profit > 0:
+                closed += 1
+                exact_ratios.append(bracket.lower / profit)
+        agg = Aggregate.of(fractions)
+        rows.append(
+            [
+                load,
+                usable,
+                closed,
+                round(agg.mean, 4),
+                round(max(fractions), 4) if fractions else "-",
+                round(geometric_mean(exact_ratios), 4) if exact_ratios else "-",
+                round(max(exact_ratios), 4) if exact_ratios else "-",
+            ]
+        )
+    result = ExperimentResult(
+        key="E14",
+        title="Exact OPT on small instances: S's true competitive ratio",
+        headers=[
+            "load",
+            "instances",
+            "OPT known exactly",
+            "mean profit/OPT-ub",
+            "best",
+            "geomean exact ratio",
+            "worst exact ratio",
+        ],
+        rows=rows,
+        claim=(
+            "Against *exact* OPT (subset enumeration, tight brackets) S's "
+            "ratio is a small constant -- the LP-normalized fractions "
+            "reported elsewhere are conservative."
+        ),
+    )
+    result.notes.append(
+        "'exact ratio' rows use only instances where the OPT bracket "
+        "closed and S earned positive profit"
+    )
+    return result

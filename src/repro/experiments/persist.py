@@ -1,0 +1,101 @@
+"""Persistence and regression comparison of experiment results.
+
+Experiment tables can be saved as JSON artifacts and later compared
+against a fresh run -- the regression-detection workflow for keeping
+EXPERIMENTS.md honest as the code evolves.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+from typing import Any
+
+from repro.experiments.common import ExperimentResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Serialize an experiment result."""
+    data = asdict(result)
+    data["version"] = FORMAT_VERSION
+    return data
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an experiment result."""
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported result format version {version}")
+    return ExperimentResult(
+        key=data["key"],
+        title=data["title"],
+        headers=list(data["headers"]),
+        rows=[list(row) for row in data["rows"]],
+        claim=data.get("claim", ""),
+        notes=list(data.get("notes", [])),
+    )
+
+
+def save_result(result: ExperimentResult, path: str) -> None:
+    """Write an experiment result JSON artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_to_dict(result), fh, indent=2)
+
+
+def load_result(path: str) -> ExperimentResult:
+    """Read an experiment result JSON artifact."""
+    with open(path, encoding="utf-8") as fh:
+        return result_from_dict(json.load(fh))
+
+
+def compare_results(
+    baseline: ExperimentResult,
+    current: ExperimentResult,
+    rel_tol: float = 0.25,
+) -> list[str]:
+    """Regression check: numeric cells within ``rel_tol`` of baseline.
+
+    Returns human-readable deviation messages (empty = no regressions).
+    Non-numeric cells must match exactly; structural changes (headers,
+    row count) are reported as deviations, not errors.
+    """
+    problems: list[str] = []
+    if baseline.headers != current.headers:
+        problems.append(
+            f"headers changed: {baseline.headers} -> {current.headers}"
+        )
+        return problems
+    if len(baseline.rows) != len(current.rows):
+        problems.append(
+            f"row count changed: {len(baseline.rows)} -> {len(current.rows)}"
+        )
+        return problems
+    for r, (brow, crow) in enumerate(zip(baseline.rows, current.rows)):
+        for c, (bval, cval) in enumerate(zip(brow, crow)):
+            name = f"row {r} col {baseline.headers[c]!r}"
+            b_num = _as_number(bval)
+            c_num = _as_number(cval)
+            if b_num is None or c_num is None:
+                if str(bval) != str(cval):
+                    problems.append(f"{name}: {bval!r} != {cval!r}")
+                continue
+            if math.isclose(b_num, 0.0, abs_tol=1e-12):
+                if abs(c_num) > rel_tol:
+                    problems.append(f"{name}: {b_num} -> {c_num}")
+            elif abs(c_num - b_num) > rel_tol * abs(b_num):
+                problems.append(f"{name}: {b_num} -> {c_num}")
+    return problems
+
+
+def _as_number(value: Any):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except (TypeError, ValueError):
+        return None

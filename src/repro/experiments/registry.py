@@ -1,0 +1,94 @@
+"""Experiment registry and CLI.
+
+``repro-experiments all`` regenerates every table of the reproduction;
+``repro-experiments E1 E7 --quick`` runs a subset at reduced size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import (
+    e01_fig1,
+    e02_fig2,
+    e03_thm2,
+    e04_cor1,
+    e05_cor2,
+    e06_thm3,
+    e07_baselines,
+    e08_invariants,
+    e09_ablations,
+    e10_constants,
+    e11_engine,
+    e12_extensions,
+    e13_preemption_cost,
+    e14_small_exact,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
+    "E1": e01_fig1.run,
+    "E2": e02_fig2.run,
+    "E3": e03_thm2.run,
+    "E4": e04_cor1.run,
+    "E5": e05_cor2.run,
+    "E6": e06_thm3.run,
+    "E7": e07_baselines.run,
+    "E8": e08_invariants.run,
+    "E9": e09_ablations.run,
+    "E10": e10_constants.run,
+    "E11": e11_engine.run,
+    "E12": e12_extensions.run,
+    "E13": e13_preemption_cost.run,
+    "E14": e14_small_exact.run,
+}
+
+
+def run_experiment(key: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by key (``"E1"`` .. ``"E14"``)."""
+    try:
+        runner = EXPERIMENTS[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Regenerate the reproduction's experiment tables."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment keys (E1..E14) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced sizes (CI-friendly)"
+    )
+    parser.add_argument(
+        "--markdown", action="store_true", help="emit Markdown instead of text"
+    )
+    args = parser.parse_args(argv)
+
+    keys = list(EXPERIMENTS) if args.experiments == ["all"] or args.experiments == [] else [
+        k.upper() for k in args.experiments
+    ]
+    for key in keys:
+        t0 = time.perf_counter()
+        result = run_experiment(key, quick=args.quick)
+        elapsed = time.perf_counter() - t0
+        print(result.to_markdown() if args.markdown else result.to_text())
+        print(f"[{key} finished in {elapsed:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Profit-function substrate for the general-profit setting (paper §5)."""
+
+from repro.profit.functions import (
+    ProfitFunction,
+    StepProfit,
+    FlatThenLinear,
+    FlatThenExponential,
+    Staircase,
+    from_deadline,
+)
+from repro.profit.serialize import profit_fn_from_dict, profit_fn_to_dict
+from repro.profit.validate import (
+    check_non_increasing,
+    check_flat_until,
+    check_theorem3_assumption,
+    validate_profit_function,
+)
+
+__all__ = [
+    "ProfitFunction",
+    "StepProfit",
+    "FlatThenLinear",
+    "FlatThenExponential",
+    "Staircase",
+    "from_deadline",
+    "profit_fn_from_dict",
+    "profit_fn_to_dict",
+    "check_non_increasing",
+    "check_flat_until",
+    "check_theorem3_assumption",
+    "validate_profit_function",
+]

@@ -1,0 +1,200 @@
+"""Non-increasing profit functions :math:`p_i(t)`.
+
+The general-profit setting (paper Section 5) attaches to each job an
+arbitrary non-negative, non-increasing function of its *relative*
+completion time.  Theorem 3 additionally assumes the function is flat up
+to some :math:`x_i^*` -- "no additional benefit for completing before
+``x*``" -- which every class here models via an explicit ``x_star``
+attribute (the knee where decay may begin).
+
+All functions are callable (``fn(t) -> float``) and expose:
+
+* ``peak`` -- the flat initial value :math:`p(0) = p(x^*)`;
+* ``x_star`` -- the knee;
+* ``horizon(threshold)`` -- the earliest ``t`` with ``p(t) <= threshold``
+  (possibly ``inf``), which schedulers use to bound deadline searches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ProfitFunction(Protocol):
+    """Structural type of a profit function."""
+
+    peak: float
+    x_star: float
+
+    def __call__(self, t: float) -> float:
+        """Profit for completing ``t`` after arrival."""
+        ...
+
+    def horizon(self, threshold: float = 0.0) -> float:
+        """Earliest ``t`` with ``p(t) <= threshold`` (``inf`` if never)."""
+        ...
+
+
+class _Base:
+    """Shared validation for concrete profit functions."""
+
+    def __init__(self, peak: float, x_star: float) -> None:
+        if peak < 0:
+            raise ValueError("peak profit must be non-negative")
+        if x_star < 0:
+            raise ValueError("x_star must be non-negative")
+        self.peak = float(peak)
+        self.x_star = float(x_star)
+
+    def __call__(self, t: float) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def horizon(self, threshold: float = 0.0) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+class StepProfit(_Base):
+    """The throughput special case: ``peak`` until ``x_star``, then 0.
+
+    Equivalent to a deadline at relative time ``x_star``.
+    """
+
+    def __call__(self, t: float) -> float:
+        return self.peak if t <= self.x_star else 0.0
+
+    def horizon(self, threshold: float = 0.0) -> float:
+        """Earliest ``t`` with ``p(t) <= threshold``."""
+        if self.peak <= threshold:
+            return 0.0
+        return self.x_star + 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"StepProfit(peak={self.peak:g}, x_star={self.x_star:g})"
+
+
+class FlatThenLinear(_Base):
+    """Flat at ``peak`` until ``x_star``, then linear decay to 0.
+
+    ``p(t) = peak * max(0, 1 - (t - x_star)/decay_span)`` for
+    ``t > x_star``.
+    """
+
+    def __init__(self, peak: float, x_star: float, decay_span: float) -> None:
+        super().__init__(peak, x_star)
+        if decay_span <= 0:
+            raise ValueError("decay_span must be positive")
+        self.decay_span = float(decay_span)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.x_star:
+            return self.peak
+        frac = 1.0 - (t - self.x_star) / self.decay_span
+        return self.peak * frac if frac > 0 else 0.0
+
+    def horizon(self, threshold: float = 0.0) -> float:
+        """Earliest ``t`` with ``p(t) <= threshold`` (linear inverse)."""
+        if self.peak <= threshold:
+            return 0.0
+        if threshold <= 0:
+            return self.x_star + self.decay_span
+        return self.x_star + self.decay_span * (1.0 - threshold / self.peak)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FlatThenLinear(peak={self.peak:g}, x_star={self.x_star:g}, "
+            f"decay_span={self.decay_span:g})"
+        )
+
+
+class FlatThenExponential(_Base):
+    """Flat at ``peak`` until ``x_star``, then exponential decay.
+
+    ``p(t) = peak * exp(-(t - x_star)/tau)`` for ``t > x_star``.
+    Never reaches zero; ``horizon`` solves for the threshold.
+    """
+
+    def __init__(self, peak: float, x_star: float, tau: float) -> None:
+        super().__init__(peak, x_star)
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.tau = float(tau)
+
+    def __call__(self, t: float) -> float:
+        if t <= self.x_star:
+            return self.peak
+        return self.peak * math.exp(-(t - self.x_star) / self.tau)
+
+    def horizon(self, threshold: float = 0.0) -> float:
+        """Earliest ``t`` with ``p(t) <= threshold`` (``inf`` for 0)."""
+        if self.peak <= threshold:
+            return 0.0
+        if threshold <= 0:
+            return math.inf
+        return self.x_star + self.tau * math.log(self.peak / threshold)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"FlatThenExponential(peak={self.peak:g}, x_star={self.x_star:g}, "
+            f"tau={self.tau:g})"
+        )
+
+
+class Staircase(_Base):
+    """Piecewise-constant decay: profit drops after each breakpoint.
+
+    Parameters
+    ----------
+    peak:
+        Profit on ``[0, t_0]``.
+    levels:
+        ``[(t_0, p_0), (t_1, p_1), ...]`` with strictly increasing
+        ``t_k`` and non-increasing ``peak >= p_0 >= p_1 >= ...``.
+        For ``t_k < t <= t_{k+1}`` the profit is ``p_k``; after the last
+        breakpoint it stays at ``p_last``.  ``t_0`` is the ``x_star``
+        knee.
+    """
+
+    def __init__(self, peak: float, levels: list[tuple[float, float]]) -> None:
+        if not levels:
+            raise ValueError("levels must be non-empty")
+        times = [t for t, _ in levels]
+        values = [p for _, p in levels]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("breakpoint times must be strictly increasing")
+        seq = [peak] + values
+        if any(b > a + 1e-12 for a, b in zip(seq, seq[1:])):
+            raise ValueError("profit levels must be non-increasing")
+        if any(v < 0 for v in values):
+            raise ValueError("profit levels must be non-negative")
+        super().__init__(peak, times[0])
+        self.levels = [(float(t), float(p)) for t, p in levels]
+
+    def __call__(self, t: float) -> float:
+        value = self.peak
+        for bt, bp in self.levels:
+            if t > bt:
+                value = bp
+            else:
+                break
+        return value
+
+    def horizon(self, threshold: float = 0.0) -> float:
+        """Earliest ``t`` with ``p(t) <= threshold`` (first breakpoint
+        whose level falls to the threshold)."""
+        if self.peak <= threshold:
+            return 0.0
+        for bt, bp in self.levels:
+            if bp <= threshold:
+                # profit becomes bp immediately after bt
+                return bt + 1
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Staircase(peak={self.peak:g}, levels={self.levels!r})"
+
+
+def from_deadline(profit: float, relative_deadline: float) -> StepProfit:
+    """Build the step function equivalent to a (profit, deadline) pair."""
+    return StepProfit(peak=profit, x_star=relative_deadline)

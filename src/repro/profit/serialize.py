@@ -1,0 +1,59 @@
+"""Serialization of profit functions (dict / JSON).
+
+Used by :mod:`repro.workloads.serialize` so whole workloads round-trip
+to disk.  Each concrete class maps to a ``kind`` tag; unknown tags are
+rejected loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.profit.functions import (
+    FlatThenExponential,
+    FlatThenLinear,
+    ProfitFunction,
+    Staircase,
+    StepProfit,
+)
+
+
+def profit_fn_to_dict(fn: ProfitFunction) -> dict[str, Any]:
+    """Serialize a profit function to a JSON-compatible dict."""
+    if isinstance(fn, StepProfit):
+        return {"kind": "step", "peak": fn.peak, "x_star": fn.x_star}
+    if isinstance(fn, FlatThenLinear):
+        return {
+            "kind": "flat_linear",
+            "peak": fn.peak,
+            "x_star": fn.x_star,
+            "decay_span": fn.decay_span,
+        }
+    if isinstance(fn, FlatThenExponential):
+        return {
+            "kind": "flat_exponential",
+            "peak": fn.peak,
+            "x_star": fn.x_star,
+            "tau": fn.tau,
+        }
+    if isinstance(fn, Staircase):
+        return {
+            "kind": "staircase",
+            "peak": fn.peak,
+            "levels": [[t, p] for t, p in fn.levels],
+        }
+    raise TypeError(f"cannot serialize profit function of type {type(fn).__name__}")
+
+
+def profit_fn_from_dict(data: dict[str, Any]) -> ProfitFunction:
+    """Rebuild a profit function from :func:`profit_fn_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "step":
+        return StepProfit(data["peak"], data["x_star"])
+    if kind == "flat_linear":
+        return FlatThenLinear(data["peak"], data["x_star"], data["decay_span"])
+    if kind == "flat_exponential":
+        return FlatThenExponential(data["peak"], data["x_star"], data["tau"])
+    if kind == "staircase":
+        return Staircase(data["peak"], [(t, p) for t, p in data["levels"]])
+    raise ValueError(f"unknown profit function kind {kind!r}")

@@ -1,0 +1,72 @@
+"""Validation of profit functions against the paper's assumptions.
+
+Theorem 3 requires each job's profit function to be (a) non-negative,
+(b) non-increasing, and (c) flat up to
+:math:`x^* \\ge (1+\\epsilon)((W-L)/m + L)`.  These checks are sampled
+numerically; they are used by workload generators (to certify generated
+workloads) and by tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.profit.functions import ProfitFunction
+
+
+def check_non_increasing(
+    fn: ProfitFunction, t_max: float, samples: int = 256, tol: float = 1e-9
+) -> bool:
+    """Sampled monotonicity check of ``fn`` on ``[0, t_max]``."""
+    ts = np.linspace(0.0, float(t_max), samples)
+    values = np.array([fn(t) for t in ts])
+    if np.any(values < -tol):
+        return False
+    return bool(np.all(np.diff(values) <= tol))
+
+
+def check_flat_until(
+    fn: ProfitFunction, x_star: float, samples: int = 64, tol: float = 1e-9
+) -> bool:
+    """Whether ``fn`` is constant on ``[0, x_star]`` (sampled)."""
+    if x_star <= 0:
+        return True
+    ts = np.linspace(0.0, float(x_star), samples)
+    values = np.array([fn(t) for t in ts])
+    return bool(np.all(np.abs(values - values[0]) <= tol))
+
+
+def check_theorem3_assumption(
+    fn: ProfitFunction,
+    work: float,
+    span: float,
+    m: int,
+    epsilon: float,
+) -> bool:
+    """Whether ``fn`` satisfies Theorem 3's flatness assumption for a job
+    with the given ``work``/``span`` on ``m`` processors:
+    ``x_star >= (1+epsilon) * ((W - L)/m + L)`` and flat until
+    ``x_star``."""
+    required = (1.0 + epsilon) * ((work - span) / m + span)
+    if fn.x_star < required - 1e-9:
+        return False
+    return check_flat_until(fn, fn.x_star)
+
+
+def validate_profit_function(
+    fn: ProfitFunction, t_max: float | None = None
+) -> list[str]:
+    """Return a list of violated properties (empty = all good)."""
+    problems: list[str] = []
+    if fn.peak < 0:
+        problems.append("peak is negative")
+    if fn.x_star < 0:
+        problems.append("x_star is negative")
+    if abs(fn(0.0) - fn.peak) > 1e-9:
+        problems.append("p(0) != peak")
+    horizon = t_max if t_max is not None else max(4.0 * fn.x_star + 16.0, 64.0)
+    if not check_non_increasing(fn, horizon):
+        problems.append("function increases somewhere")
+    if not check_flat_until(fn, fn.x_star):
+        problems.append("function decays before x_star")
+    return problems

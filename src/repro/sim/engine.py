@@ -1,0 +1,436 @@
+"""Discrete-time multiprocessor simulation engine.
+
+The engine realizes the paper's machine model: ``m`` identical
+processors, integer time steps, preemption at step boundaries, and speed
+augmentation ``s`` (each processor removes ``s`` units of work from its
+node per step -- Observation 1's "critical path decreases at rate s").
+
+Semantics
+---------
+* Time advances in integer steps.  Between *decision points* the
+  allocation is frozen; the engine fast-forwards across event-free gaps
+  in one chunk, so cost scales with events, not wall-clock steps.
+* A node occupies its processor for whole steps; work beyond completion
+  within a node's final step is lost (discrete-step semantics).  With
+  integer node works and speed 1 no work is lost.
+* Decision points are: job arrival, node/job completion, (effective)
+  deadline expiry, scheduler wakeup requests, and the horizon.
+* A job that reaches its effective deadline unfinished is *expired*:
+  removed and worth nothing, matching the paper's removal rule.
+* The engine -- never the scheduler -- picks which ready nodes run,
+  via the configured :class:`~repro.sim.picker.NodePicker`.
+
+Example
+-------
+>>> from repro.dag import chain
+>>> from repro.sim import Simulator, JobSpec
+>>> from repro.baselines import GlobalEDF
+>>> spec = JobSpec(0, chain(4), arrival=0, deadline=10, profit=1.0)
+>>> result = Simulator(m=2, scheduler=GlobalEDF()).run([spec])
+>>> result.total_profit
+1.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import AllocationError, SimulationError
+from repro.sim.jobs import ActiveJob, CompletionRecord, JobSpec
+from repro.sim.picker import FIFOPicker, NodePicker
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import EventKind, RunCounters, Trace
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run reports."""
+
+    m: int
+    speed: float
+    records: dict[int, CompletionRecord]
+    counters: RunCounters
+    #: time of the final event processed
+    end_time: int
+    trace: Optional[Trace] = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_profit(self) -> float:
+        """Sum of profit earned across all jobs."""
+        return sum(r.profit for r in self.records.values())
+
+    @property
+    def completed_on_time(self) -> int:
+        """Number of jobs that finished by their effective deadline."""
+        return sum(1 for r in self.records.values() if r.on_time)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs in the workload."""
+        return len(self.records)
+
+    def profit_of(self, job_id: int) -> float:
+        """Profit earned by one job."""
+        return self.records[job_id].profit
+
+
+class Simulator:
+    """Drives a scheduler over a workload on a simulated machine.
+
+    Parameters
+    ----------
+    m:
+        Number of identical processors.
+    scheduler:
+        Event-driven scheduler (see :class:`~repro.sim.scheduler.Scheduler`).
+    picker:
+        Ready-node pick policy; defaults to FIFO.  The adversarial and
+        clairvoyant policies live in :mod:`repro.sim.picker`.
+    speed:
+        Resource augmentation ``s >= 1`` (work removed per processor-step).
+        Fractional speeds are allowed (the paper's ``1+eps``).
+    record_trace:
+        Keep a full :class:`~repro.sim.trace.Trace` (costs memory).
+    horizon:
+        Optional hard stop; unfinished jobs are marked abandoned.
+    validate:
+        Re-check model invariants after every decision (slow; tests only).
+    preemption_overhead:
+        Work added to a node each time it is preempted mid-execution
+        (context-switch cost; capped at the node's original work).
+        Default 0 = the paper's free-preemption model.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        scheduler: Scheduler,
+        picker: Optional[NodePicker] = None,
+        speed: float = 1.0,
+        record_trace: bool = False,
+        horizon: Optional[int] = None,
+        validate: bool = False,
+        preemption_overhead: float = 0.0,
+    ) -> None:
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        if horizon is not None and horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if preemption_overhead < 0:
+            raise ValueError("preemption_overhead must be non-negative")
+        self.m = int(m)
+        self.scheduler = scheduler
+        self.picker = picker if picker is not None else FIFOPicker()
+        self.speed = float(speed)
+        self.record_trace = bool(record_trace)
+        self.horizon = horizon
+        self.validate = bool(validate)
+        self.preemption_overhead = float(preemption_overhead)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
+        """Simulate the workload to completion (or horizon) and report."""
+        specs = sorted(specs, key=lambda sp: (sp.arrival, sp.job_id))
+        ids = [sp.job_id for sp in specs]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate job ids in workload")
+
+        trace = Trace(self.m, self.speed) if self.record_trace else None
+        counters = RunCounters()
+        active: dict[int, ActiveJob] = {}
+        finished: dict[int, CompletionRecord] = {}
+        deadline_heap: list[tuple[int, int]] = []  # (deadline, job_id)
+        prev_running: dict[int, set[int]] = {}  # job_id -> node ids last step
+
+        self.scheduler.on_start(self.m, self.speed)
+
+        idx = 0
+        n = len(specs)
+        t = specs[0].arrival if specs else 0
+        if self.horizon is not None:
+            t = min(t, self.horizon)
+        end_time = t
+
+        def finish_record(job: ActiveJob) -> CompletionRecord:
+            return CompletionRecord(
+                job_id=job.job_id,
+                arrival=job.spec.arrival,
+                deadline=job.spec.deadline,
+                completion_time=job.completion_time,
+                profit=job.earned_profit,
+                processor_steps=job.processor_steps,
+                expired=job.expired,
+                abandoned=job.abandoned,
+                assigned_deadline=job.assigned_deadline,
+            )
+
+        while True:
+            # ---- arrivals at (or before) t -------------------------------
+            while idx < n and specs[idx].arrival <= t:
+                spec = specs[idx]
+                idx += 1
+                job = ActiveJob(spec)
+                active[spec.job_id] = job
+                if trace:
+                    trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
+                logger.debug(
+                    "t=%d arrival job=%d W=%.6g L=%.6g d=%s",
+                    t, spec.job_id, spec.work, spec.span, spec.deadline,
+                )
+                self.scheduler.on_arrival(job.view, t)
+                assigned = self.scheduler.assign_deadline(job.view, t)
+                if assigned is not None:
+                    if assigned <= t:
+                        raise SimulationError(
+                            f"scheduler assigned past deadline {assigned} <= {t}"
+                        )
+                    job.assigned_deadline = int(assigned)
+                    if trace:
+                        trace.event(
+                            t, EventKind.DEADLINE_ASSIGNED, spec.job_id, assigned
+                        )
+                eff = job.effective_deadline()
+                if eff is not None:
+                    heapq.heappush(deadline_heap, (eff, spec.job_id))
+
+            # ---- expiries at t -------------------------------------------
+            while deadline_heap and deadline_heap[0][0] <= t:
+                _, job_id = heapq.heappop(deadline_heap)
+                job = active.get(job_id)
+                if job is None or not job.is_live():
+                    continue  # stale entry
+                eff = job.effective_deadline()
+                if eff is None or eff > t:
+                    continue
+                job.expired = True
+                job.dag.mark_preempted(job.executing)
+                job.executing = ()
+                prev_running.pop(job_id, None)
+                del active[job_id]
+                finished[job_id] = finish_record(job)
+                counters.expiries += 1
+                if trace:
+                    trace.event(t, EventKind.EXPIRY, job_id)
+                logger.debug("t=%d expiry job=%d", t, job_id)
+                self.scheduler.on_expiry(job.view, t)
+
+            end_time = t
+
+            # ---- termination ---------------------------------------------
+            if not active and idx >= n:
+                break
+            if self.horizon is not None and t >= self.horizon:
+                self._abandon_all(active, finished, prev_running, counters, trace, t,
+                                  finish_record)
+                break
+
+            # ---- allocation ----------------------------------------------
+            alloc = self.scheduler.allocate(t)
+            self._check_allocation(alloc, active)
+            counters.decisions += 1
+
+            assignment: list[tuple[ActiveJob, list[int]]] = []
+            allocated_procs = 0
+            executing_procs = 0
+            slice_entries: list[tuple[int, int, int]] = []
+            for job_id, k in alloc.items():
+                if k <= 0:
+                    continue
+                job = active[job_id]
+                ready = job.dag.ready_nodes()
+                nodes = self.picker.pick(job.dag, ready, k)
+                if len(nodes) > k or len(set(nodes)) != len(nodes):
+                    raise SimulationError("picker returned invalid node set")
+                # preemption accounting: previously-running nodes that are
+                # neither rerun nor finished count as preempted
+                prev = prev_running.get(job_id, set())
+                now = set(nodes)
+                stale = {
+                    nd for nd in prev - now
+                    if nd in job.dag.ready_nodes() or job.dag.node_remaining(nd) > 0
+                }
+                counters.preemptions += len(stale)
+                job.dag.mark_preempted(stale)
+                if self.preemption_overhead > 0:
+                    for nd in stale:
+                        job.dag.add_overhead(nd, self.preemption_overhead)
+                job.dag.mark_running(nodes)
+                prev_running[job_id] = now
+                job.executing = tuple(nodes)
+                assignment.append((job, nodes))
+                allocated_procs += k
+                executing_procs += len(nodes)
+                slice_entries.append((job_id, k, len(nodes)))
+            # jobs allocated nothing this round lose their running marks
+            for job_id in list(prev_running):
+                if job_id not in alloc or alloc.get(job_id, 0) <= 0:
+                    job = active.get(job_id)
+                    prev = prev_running.pop(job_id)
+                    if job is not None:
+                        stale = {
+                            nd for nd in prev if job.dag.node_remaining(nd) > 0
+                        }
+                        counters.preemptions += len(stale)
+                        job.dag.mark_preempted(stale)
+                        if self.preemption_overhead > 0:
+                            for nd in stale:
+                                job.dag.add_overhead(nd, self.preemption_overhead)
+                        job.executing = ()
+
+            # ---- choose chunk length dt ----------------------------------
+            dt = self._next_dt(t, idx, specs, deadline_heap, assignment)
+            if dt is None:
+                # Nothing executing and no future event can change that.
+                self._abandon_all(active, finished, prev_running, counters, trace, t,
+                                  finish_record)
+                break
+            if self.horizon is not None:
+                dt = min(dt, self.horizon - t)
+                if dt <= 0:
+                    self._abandon_all(active, finished, prev_running, counters,
+                                      trace, t, finish_record)
+                    break
+
+            # ---- execute the chunk ---------------------------------------
+            completions: list[ActiveJob] = []
+            for job, nodes in assignment:
+                for node in nodes:
+                    job.dag.process(node, self.speed * dt)
+            for job_id, k, _execing in slice_entries:
+                active[job_id].processor_steps += k * dt
+            counters.steps += dt
+            counters.allocated_steps += allocated_procs * dt
+            counters.busy_steps += executing_procs * dt
+            if trace:
+                trace.slice(t, t + dt, tuple(slice_entries))
+            t += dt
+
+            # ---- completions at t ----------------------------------------
+            for job, nodes in assignment:
+                if job.dag.is_complete() and job.completion_time is None:
+                    job.completion_time = t
+                    job.earned_profit = self._profit_at_completion(job, t)
+                    completions.append(job)
+            for job in completions:
+                job.executing = ()
+                prev_running.pop(job.job_id, None)
+                del active[job.job_id]
+                finished[job.job_id] = finish_record(job)
+                counters.completions += 1
+                if trace:
+                    trace.event(t, EventKind.COMPLETION, job.job_id)
+                logger.debug(
+                    "t=%d completion job=%d profit=%.6g",
+                    t, job.job_id, job.earned_profit,
+                )
+                self.scheduler.on_completion(job.view, t)
+
+            if self.validate:
+                self._validate_state(active)
+
+        # jobs never released (horizon before arrival) get empty records
+        while idx < n:
+            spec = specs[idx]
+            idx += 1
+            finished[spec.job_id] = CompletionRecord(
+                job_id=spec.job_id,
+                arrival=spec.arrival,
+                deadline=spec.deadline,
+                completion_time=None,
+                profit=0.0,
+                abandoned=True,
+            )
+            counters.abandons += 1
+
+        return SimulationResult(
+            m=self.m,
+            speed=self.speed,
+            records=finished,
+            counters=counters,
+            end_time=end_time,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+    def _profit_at_completion(self, job: ActiveJob, t: int) -> float:
+        spec = job.spec
+        offset = t - spec.arrival
+        if spec.profit_fn is not None:
+            return float(spec.profit_fn(offset))
+        assert spec.deadline is not None
+        return spec.profit if t <= spec.deadline else 0.0
+
+    def _check_allocation(self, alloc: dict[int, int], active: dict[int, ActiveJob]) -> None:
+        if not isinstance(alloc, dict):
+            raise AllocationError("allocation must be a dict of job_id -> processors")
+        total = 0
+        for job_id, k in alloc.items():
+            if job_id not in active:
+                raise AllocationError(f"allocation references inactive job {job_id}")
+            if not isinstance(k, int) or isinstance(k, bool):
+                raise AllocationError(f"processor count for job {job_id} must be int")
+            if k < 0:
+                raise AllocationError(f"negative processor count for job {job_id}")
+            total += k
+        if total > self.m:
+            raise AllocationError(f"allocation uses {total} > m={self.m} processors")
+
+    def _next_dt(
+        self,
+        t: int,
+        idx: int,
+        specs: Sequence[JobSpec],
+        deadline_heap: list[tuple[int, int]],
+        assignment: list[tuple[ActiveJob, list[int]]],
+    ) -> Optional[int]:
+        candidates: list[int] = []
+        if idx < len(specs):
+            candidates.append(specs[idx].arrival - t)
+        if deadline_heap:
+            candidates.append(deadline_heap[0][0] - t)
+        for job, nodes in assignment:
+            for node in nodes:
+                rem = job.dag.node_remaining(node)
+                candidates.append(math.ceil(rem / self.speed))
+        wake = getattr(self.scheduler, "wakeup_after", None)
+        if wake is not None:
+            wt = wake(t)
+            if wt is not None:
+                if wt <= t:
+                    raise SimulationError(f"scheduler wakeup {wt} not after t={t}")
+                candidates.append(wt - t)
+        if not assignment:
+            # nothing executing: only external events can change state
+            candidates = [c for c in candidates if c > 0]
+            if not candidates:
+                return None
+            return max(1, min(candidates))
+        return max(1, min(c for c in candidates if c > 0))
+
+    def _abandon_all(self, active, finished, prev_running, counters, trace, t,
+                     finish_record) -> None:
+        for job_id, job in list(active.items()):
+            job.abandoned = True
+            job.dag.mark_preempted(job.executing)
+            job.executing = ()
+            prev_running.pop(job_id, None)
+            finished[job_id] = finish_record(job)
+            counters.abandons += 1
+            if trace:
+                trace.event(t, EventKind.ABANDON, job_id)
+            del active[job_id]
+
+    def _validate_state(self, active: dict[int, ActiveJob]) -> None:
+        from repro.dag.validate import validate_job_state
+
+        for job in active.values():
+            validate_job_state(job.dag)

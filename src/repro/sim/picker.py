@@ -1,0 +1,146 @@
+"""Ready-node pick policies.
+
+When a scheduler grants a job ``k`` processors and more than ``k`` nodes
+are ready, *someone* must choose which ``k`` run.  The paper's
+semi-non-clairvoyant model says the scheduler cannot distinguish ready
+nodes, so the choice is arbitrary -- and Theorem 1's lower bound comes
+precisely from an adversarial choice.  The engine therefore owns this
+decision and delegates it to a pluggable :class:`NodePicker`:
+
+* :class:`FIFOPicker` / :class:`LIFOPicker` -- deterministic orders;
+* :class:`RandomPicker` -- uniformly random (typical behaviour);
+* :class:`AdversarialPicker` -- defers critical-path nodes as long as
+  possible (realizes the Figure 1 worst case);
+* :class:`CriticalPathPicker` -- the clairvoyant best choice (runs the
+  deepest nodes first); used as the "fully clairvoyant scheduler"
+  reference in the Figure 1 experiment.
+
+Pickers that consult DAG structure (the last two) model the *adversary*
+or the *clairvoyant reference*, never the semi-non-clairvoyant
+algorithm; schedulers have no access to them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.dag.job import DAGJob
+
+
+class NodePicker(Protocol):
+    """Strategy choosing which ready nodes receive processors."""
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Select ``min(k, len(ready))`` node ids from ``ready``."""
+        ...
+
+
+class FIFOPicker:
+    """Pick ready nodes in the order they became ready."""
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Take the oldest ``k`` ready nodes."""
+        return list(ready[:k])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "FIFOPicker()"
+
+
+class LIFOPicker:
+    """Pick the most recently readied nodes first."""
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Take the ``k`` most recently readied nodes."""
+        return list(ready[max(0, len(ready) - k):])
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "LIFOPicker()"
+
+
+class RandomPicker:
+    """Pick uniformly at random among ready nodes.
+
+    Parameters
+    ----------
+    rng:
+        Random generator, or an integer seed for convenience.
+    """
+
+    def __init__(self, rng: np.random.Generator | int | None = None) -> None:
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Sample ``k`` ready nodes uniformly without replacement."""
+        if len(ready) <= k:
+            return list(ready)
+        idx = self.rng.choice(len(ready), size=k, replace=False)
+        return [ready[i] for i in idx]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "RandomPicker()"
+
+
+class AdversarialPicker:
+    """Defer critical-path nodes: pick the *shallowest* ready nodes first.
+
+    A node's depth is its tail length (longest remaining path through
+    it, over the static DAG).  Picking small-tail nodes first postpones
+    the critical path, realizing the paper's Figure 1 worst case where
+    the entire parallel block is drained before the chain starts.
+    """
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Take the ``k`` ready nodes with the *shortest* tails."""
+        if len(ready) <= k:
+            return list(ready)
+        tails = dag.structure.tail_lengths()
+        order = sorted(ready, key=lambda node: (tails[node], node))
+        return order[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "AdversarialPicker()"
+
+
+class CriticalPathPicker:
+    """Clairvoyant pick: run the deepest (longest-tail) ready nodes first.
+
+    This is the textbook critical-path-first heuristic; on the Figure 1
+    DAG it achieves the clairvoyant optimum ``W/m``.
+    """
+
+    def pick(self, dag: DAGJob, ready: Sequence[int], k: int) -> list[int]:
+        """Take the ``k`` ready nodes with the *longest* tails."""
+        if len(ready) <= k:
+            return list(ready)
+        tails = dag.structure.tail_lengths()
+        order = sorted(ready, key=lambda node: (-tails[node], node))
+        return order[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "CriticalPathPicker()"
+
+
+#: Registry of picker factories by name, for experiment configs.
+PICKERS = {
+    "fifo": FIFOPicker,
+    "lifo": LIFOPicker,
+    "random": RandomPicker,
+    "adversarial": AdversarialPicker,
+    "critical_path": CriticalPathPicker,
+}
+
+
+def make_picker(name: str, rng: np.random.Generator | int | None = None) -> NodePicker:
+    """Instantiate a picker by registry name."""
+    try:
+        cls = PICKERS[name]
+    except KeyError:
+        raise ValueError(f"unknown picker {name!r}; known: {sorted(PICKERS)}") from None
+    if cls is RandomPicker:
+        return RandomPicker(rng)
+    return cls()

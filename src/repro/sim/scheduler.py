@@ -1,0 +1,87 @@
+"""The scheduler protocol the simulation engine drives.
+
+A scheduler is an event-driven object.  The engine notifies it of job
+arrivals, completions and expiries, and between events repeatedly asks
+for a processor *allocation*: a mapping ``job_id -> processor count``
+whose values sum to at most ``m``.  The engine then picks ready nodes
+(via the configured :mod:`~repro.sim.picker` policy -- never the
+scheduler) and advances time.
+
+Semi-non-clairvoyance is structural: schedulers receive
+:class:`~repro.sim.jobs.JobView` objects only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.sim.jobs import JobView
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Protocol every scheduler must implement."""
+
+    def on_start(self, m: int, speed: float) -> None:
+        """Called once before the run with the machine configuration."""
+        ...
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """Job released at time ``t``."""
+        ...
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        """Job finished all DAG nodes at time ``t``."""
+        ...
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """Job removed unfinished at its (effective) deadline ``t``."""
+        ...
+
+    def allocate(self, t: int) -> dict[int, int]:
+        """Return the processor allocation for the step starting at ``t``."""
+        ...
+
+
+class SchedulerBase:
+    """Convenience base with no-op event handlers and machine capture.
+
+    Subclasses get ``self.m`` and ``self.speed`` after :meth:`on_start`
+    and may override only the hooks they need.  ``wakeup_after`` lets
+    time-slot-driven schedulers (the paper's general-profit algorithm)
+    bound the engine's fast-forward so allocation changes at slot
+    boundaries are not skipped.
+    """
+
+    m: int = 0
+    speed: float = 1.0
+
+    def on_start(self, m: int, speed: float) -> None:
+        """Record machine configuration; override to add setup."""
+        self.m = m
+        self.speed = speed
+
+    def on_arrival(self, job: JobView, t: int) -> None:
+        """No-op; override in subclasses."""
+
+    def on_completion(self, job: JobView, t: int) -> None:
+        """No-op; override in subclasses."""
+
+    def on_expiry(self, job: JobView, t: int) -> None:
+        """No-op; override in subclasses."""
+
+    def allocate(self, t: int) -> dict[int, int]:  # pragma: no cover - abstract
+        """Override: return ``{job_id: processors}`` with total <= m."""
+        raise NotImplementedError
+
+    def wakeup_after(self, t: int) -> Optional[int]:
+        """Next time > ``t`` at which the allocation may change without an
+        arrival/completion/expiry event, or ``None`` if only events can
+        change it.  Default: only events."""
+        return None
+
+    def assign_deadline(self, job: JobView, t: int) -> Optional[int]:
+        """Absolute deadline this scheduler imposes on ``job`` (general-
+        profit setting), or ``None``.  Called right after ``on_arrival``;
+        the engine expires the job past the returned time."""
+        return None

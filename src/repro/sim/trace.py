@@ -1,0 +1,157 @@
+"""Execution traces: everything a finished run can be interrogated about.
+
+A :class:`Trace` is a flat record of events (arrivals, admissions,
+completions, expiries) and *slices* -- maximal intervals during which the
+processor allocation was constant.  The analysis package reconstructs
+utilization, per-density processor-step usage (the paper's
+:math:`T_S(v, .)`), and lemma-verification data from it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+class EventKind(enum.Enum):
+    """Type of a trace event."""
+
+    ARRIVAL = "arrival"
+    COMPLETION = "completion"
+    EXPIRY = "expiry"
+    ABANDON = "abandon"
+    DEADLINE_ASSIGNED = "deadline_assigned"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event of the run."""
+
+    time: int
+    kind: EventKind
+    job_id: int
+    #: event-specific payload (e.g. assigned deadline)
+    value: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class AllocationSlice:
+    """A maximal interval ``[t0, t1)`` with a fixed allocation.
+
+    ``entries`` holds ``(job_id, allocated, executing)`` triples:
+    ``allocated`` processors were dedicated to the job (the paper's
+    processor-step accounting), of which ``executing`` actually ran
+    ready nodes (the rest idled when fewer nodes were ready).
+    """
+
+    t0: int
+    t1: int
+    entries: tuple[tuple[int, int, int], ...]
+
+    @property
+    def duration(self) -> int:
+        """Length of the slice in time steps."""
+        return self.t1 - self.t0
+
+    @property
+    def allocated(self) -> int:
+        """Total processors dedicated during the slice."""
+        return sum(a for _, a, _ in self.entries)
+
+    @property
+    def busy(self) -> int:
+        """Total processors actually executing nodes during the slice."""
+        return sum(e for _, _, e in self.entries)
+
+
+class Trace:
+    """Accumulates events and allocation slices during a run."""
+
+    def __init__(self, m: int, speed: float) -> None:
+        self.m = m
+        self.speed = speed
+        self.events: list[TraceEvent] = []
+        self.slices: list[AllocationSlice] = []
+
+    # -- recording ------------------------------------------------------
+    def event(
+        self, time: int, kind: EventKind, job_id: int, value: Optional[float] = None
+    ) -> None:
+        """Record a timestamped event."""
+        self.events.append(TraceEvent(time, kind, job_id, value))
+
+    def slice(
+        self, t0: int, t1: int, entries: tuple[tuple[int, int, int], ...]
+    ) -> None:
+        """Record an allocation slice; merges with the previous slice when
+        contiguous and identical (keeps traces compact across decision
+        rounds that changed nothing)."""
+        if t1 <= t0:
+            return
+        if self.slices:
+            last = self.slices[-1]
+            if last.t1 == t0 and last.entries == entries:
+                self.slices[-1] = AllocationSlice(last.t0, t1, entries)
+                return
+        self.slices.append(AllocationSlice(t0, t1, entries))
+
+    # -- queries ----------------------------------------------------------
+    def events_of_kind(self, kind: EventKind) -> Iterator[TraceEvent]:
+        """All events of one kind, in time order."""
+        return (e for e in self.events if e.kind == kind)
+
+    def job_events(self, job_id: int) -> list[TraceEvent]:
+        """All events touching one job, in time order."""
+        return [e for e in self.events if e.job_id == job_id]
+
+    def processor_steps_of(self, job_id: int) -> int:
+        """Total dedicated processor-steps the run spent on ``job_id``."""
+        total = 0
+        for sl in self.slices:
+            for jid, alloc, _ in sl.entries:
+                if jid == job_id:
+                    total += alloc * sl.duration
+        return total
+
+    def busy_steps_of(self, job_id: int) -> int:
+        """Total executing processor-steps the run spent on ``job_id``."""
+        total = 0
+        for sl in self.slices:
+            for jid, _, execing in sl.entries:
+                if jid == job_id:
+                    total += execing * sl.duration
+        return total
+
+    def utilization(self) -> float:
+        """Fraction of processor-steps that executed nodes, over the span
+        of recorded slices."""
+        if not self.slices:
+            return 0.0
+        horizon = self.slices[-1].t1 - self.slices[0].t0
+        if horizon <= 0:
+            return 0.0
+        busy = sum(sl.busy * sl.duration for sl in self.slices)
+        return busy / (self.m * horizon)
+
+    def max_concurrent_allocation(self) -> int:
+        """Largest total allocation over all slices (should be <= m)."""
+        return max((sl.allocated for sl in self.slices), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace(events={len(self.events)}, slices={len(self.slices)})"
+
+
+@dataclass
+class RunCounters:
+    """Cheap always-on statistics of a run (kept even without a trace)."""
+
+    decisions: int = 0
+    steps: int = 0
+    allocated_steps: float = 0.0
+    busy_steps: float = 0.0
+    preemptions: int = 0
+    completions: int = 0
+    expiries: int = 0
+    abandons: int = 0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,90 @@
+"""Workload generation: arrivals, DAG families, deadlines, profits."""
+
+from repro.workloads.arrivals import (
+    batch_arrivals,
+    bursty_arrivals,
+    mmpp_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+    spike_arrivals,
+)
+from repro.workloads.dag_families import DAGFamily, FAMILIES, make_family, mixture
+from repro.workloads.deadlines import (
+    meets_assumption,
+    proportional_deadline,
+    sequential_bound,
+    slack_deadline,
+    tight_deadline,
+)
+from repro.workloads.profits import (
+    PROFIT_FN_SAMPLERS,
+    PROFIT_SAMPLERS,
+    make_profit_fn_sampler,
+    make_profit_sampler,
+)
+from repro.workloads.adversarial import (
+    admission_trap,
+    edf_domino,
+    fig1_jobs,
+    fig2_jobs,
+    overload_stream,
+)
+from repro.workloads.periodic import (
+    PeriodicTask,
+    harmonic_taskset,
+    taskset_utilization,
+    unroll_periodic,
+)
+from repro.workloads.serialize import (
+    load_workload,
+    save_workload,
+    spec_from_dict,
+    spec_to_dict,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.workloads.suite import (
+    WorkloadConfig,
+    generate_workload,
+    workload_capacity_ratio,
+)
+
+__all__ = [
+    "batch_arrivals",
+    "bursty_arrivals",
+    "mmpp_arrivals",
+    "periodic_arrivals",
+    "poisson_arrivals",
+    "spike_arrivals",
+    "DAGFamily",
+    "FAMILIES",
+    "make_family",
+    "mixture",
+    "meets_assumption",
+    "proportional_deadline",
+    "sequential_bound",
+    "slack_deadline",
+    "tight_deadline",
+    "PROFIT_FN_SAMPLERS",
+    "PROFIT_SAMPLERS",
+    "make_profit_fn_sampler",
+    "make_profit_sampler",
+    "admission_trap",
+    "edf_domino",
+    "fig1_jobs",
+    "fig2_jobs",
+    "overload_stream",
+    "WorkloadConfig",
+    "generate_workload",
+    "workload_capacity_ratio",
+    "PeriodicTask",
+    "harmonic_taskset",
+    "taskset_utilization",
+    "unroll_periodic",
+    "load_workload",
+    "save_workload",
+    "spec_from_dict",
+    "spec_to_dict",
+    "workload_from_json",
+    "workload_to_json",
+]

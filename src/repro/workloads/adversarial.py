@@ -1,0 +1,199 @@
+"""Adversarial instances: the paper's Section 4 examples and overload
+streams.
+
+* :func:`fig1_jobs` / :func:`fig2_jobs` -- single-job instances built
+  from the Figure 1 / Figure 2 DAGs with deadlines placed exactly where
+  the paper's lower-bound arguments need them;
+* :func:`overload_stream` -- sustained overload: far more profitable
+  work arrives than ``m`` processors can finish, the regime where
+  admission control separates S from work-conserving baselines;
+* :func:`edf_domino` -- the classic EDF overload trap: a stream of
+  almost-finished-then-preempted jobs that makes EDF complete nothing
+  while a selective scheduler completes half.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dag import builders
+from repro.errors import WorkloadError
+from repro.sim.jobs import JobSpec
+from repro.workloads.deadlines import sequential_bound
+
+
+def fig1_jobs(
+    m: int,
+    total_work: float | None = None,
+    deadline_factor: float = 1.0,
+    profit: float = 1.0,
+    node_work: float = 1.0,
+) -> list[JobSpec]:
+    """One Figure-1 job with relative deadline ``factor * W/m``.
+
+    With ``deadline_factor = 1`` the deadline equals the clairvoyant
+    completion time ``W/m = L``; Theorem 1 says a semi-non-clairvoyant
+    scheduler then needs speed ``2 - 1/m`` to finish on time.  Use a
+    coarse ``node_work`` when sweeping fractional speeds (a node
+    occupies ``ceil(w/s)`` whole steps, so unit nodes cannot speed up).
+    """
+    if total_work is None:
+        # chain of 8*m nodes, block of 8*m*(m-1) nodes
+        total_work = float(8 * m * m) * node_work
+    dag = builders.block_with_chain(total_work, m, node_work=node_work)
+    deadline = max(1, math.ceil(deadline_factor * total_work / m))
+    return [JobSpec(0, dag, arrival=0, deadline=deadline, profit=profit)]
+
+
+def fig2_jobs(
+    m: int,
+    total_work: float,
+    span: float,
+    node_work: float = 1.0,
+    deadline_factor: float = 1.0,
+    profit: float = 1.0,
+) -> list[JobSpec]:
+    """One Figure-2 job with deadline ``factor * ((W-L)/m + L)``.
+
+    Even a clairvoyant scheduler needs
+    ``(L - eps) + (W - L + eps)/m`` for this DAG, so with
+    ``deadline_factor`` slightly below 1 *nobody* can finish on time --
+    the justification for the paper's deadline assumption.
+    """
+    dag = builders.chain_then_block(total_work, span, node_work)
+    bound = (total_work - span) / m + span
+    deadline = max(1, math.ceil(deadline_factor * bound))
+    return [JobSpec(0, dag, arrival=0, deadline=deadline, profit=profit)]
+
+
+def overload_stream(
+    m: int,
+    epsilon: float,
+    n_jobs: int,
+    overload: float,
+    rng: np.random.Generator,
+    work_low: int = 16,
+    work_high: int = 128,
+) -> list[JobSpec]:
+    """Sustained overload of fork-join jobs at ``overload`` x capacity.
+
+    Every deadline meets Theorem 2's assumption (slack exactly 1+eps),
+    but total offered work is ``overload`` times what ``m`` processors
+    can do, so every scheduler must *choose*; profits are heavy-tailed
+    so the choice matters.
+    """
+    if overload <= 0:
+        raise WorkloadError("overload must be positive")
+    specs: list[JobSpec] = []
+    t = 0.0
+    mean_work = (work_low + work_high) / 2.0
+    rate = overload * m / mean_work  # jobs per step
+    for i in range(n_jobs):
+        t += rng.exponential(1.0 / rate)
+        width = int(rng.integers(2, 4 * m))
+        node = max(1, int(rng.integers(work_low, work_high + 1)) // width)
+        dag = builders.fork_join(width, node_work=node)
+        rel = max(1, math.ceil((1.0 + epsilon) * sequential_bound(dag, m)))
+        profit = float(1.0 + rng.pareto(1.5))
+        specs.append(
+            JobSpec(
+                i,
+                dag,
+                arrival=int(t),
+                deadline=int(t) + rel,
+                profit=profit,
+            )
+        )
+    return specs
+
+
+def admission_trap(
+    m: int,
+    n_pairs: int,
+    block_steps: int = 16,
+    trap_profit: float = 10.0,
+    rng: np.random.Generator | None = None,
+) -> list[JobSpec]:
+    """Alternating doomed-but-dense and feasible jobs.
+
+    Every ``block_steps`` steps two jobs arrive:
+
+    * a **trap**: a full-machine block (work ``m * block_steps``) with a
+      deadline *one step below* the feasibility limit ``max(L, W/m)``
+      and a large profit -- top density, impossible to finish;
+    * a **payload**: the same block with an amply slack deadline and
+      unit profit.
+
+    A scheduler without admission control runs the densest job first
+    and wastes the whole machine on traps, completing (almost) nothing;
+    the paper's conditions (1)+(2) park every trap at arrival (it can
+    never be delta-good), so S runs the payloads.  This is the workload
+    where admission control is the difference between ~0 and ~full
+    profit.
+    """
+    specs: list[JobSpec] = []
+    for i in range(n_pairs):
+        arrival = i * block_steps
+        trap_dag = builders.block(m, node_work=float(block_steps), name="trap")
+        # infeasible by one step: even the whole machine needs block_steps
+        trap_deadline = arrival + block_steps - 1
+        if block_steps < 2:
+            raise WorkloadError("block_steps must be >= 2")
+        specs.append(
+            JobSpec(
+                2 * i,
+                trap_dag,
+                arrival=arrival,
+                deadline=trap_deadline,
+                profit=trap_profit,
+            )
+        )
+        payload_dag = builders.block(m, node_work=float(block_steps), name="payload")
+        payload_deadline = arrival + 8 * block_steps
+        specs.append(
+            JobSpec(
+                2 * i + 1,
+                payload_dag,
+                arrival=arrival,
+                deadline=payload_deadline,
+                profit=1.0,
+            )
+        )
+    return specs
+
+
+def edf_domino(
+    m: int,
+    n_jobs: int,
+    job_work: int = 64,
+    profit: float = 1.0,
+) -> list[JobSpec]:
+    """The EDF overload trap.
+
+    Job ``i`` arrives at ``i * gap`` with work ``job_work`` (a block of
+    width m, so it needs ``job_work/m`` dedicated steps) and deadline
+    just after the *next* arrival.  EDF always switches to the newer,
+    earlier-deadline-relative work in a way that lets a nearly finished
+    job expire; completing every other job is feasible, so a selective
+    scheduler earns ~n/2 while EDF earns ~0.
+
+    Construction: deadline ``= arrival + need + gap_slack`` where the
+    next job arrives ``gap = need - 1`` later with an *earlier* absolute
+    deadline is impossible (deadlines increase with arrival), so instead
+    each job's deadline is set so that serving the newest job starves
+    the previous one exactly: gap ``= ceil(need/2)``.
+    """
+    need = math.ceil(job_work / m)  # dedicated steps to finish one job
+    gap = max(1, need // 2)
+    specs: list[JobSpec] = []
+    for i in range(n_jobs):
+        arrival = i * gap
+        # a block of m nodes, each `need` steps long: the job occupies
+        # the whole machine for `need` dedicated steps
+        dag = builders.block(m, node_work=float(need))
+        deadline = arrival + need + gap - 1
+        specs.append(JobSpec(i, dag, arrival=arrival, deadline=deadline,
+                             profit=profit))
+    return specs

@@ -1,0 +1,109 @@
+"""Arrival-time processes.
+
+All generators return sorted integer arrival times (the engine's time is
+discrete) and take an explicit :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def poisson_arrivals(
+    n: int, rate: float, rng: np.random.Generator, start: int = 0
+) -> np.ndarray:
+    """``n`` arrivals with exponential(1/rate) gaps, rounded to steps.
+
+    ``rate`` is jobs per time step; the workload suite derives it from
+    the target load.
+    """
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if rate <= 0:
+        raise WorkloadError("rate must be positive")
+    gaps = rng.exponential(1.0 / rate, size=n)
+    times = start + np.floor(np.cumsum(gaps)).astype(np.int64)
+    return times
+
+
+def periodic_arrivals(n: int, period: int, start: int = 0) -> np.ndarray:
+    """``n`` arrivals exactly ``period`` steps apart."""
+    if period < 1:
+        raise WorkloadError("period must be >= 1")
+    return start + period * np.arange(n, dtype=np.int64)
+
+
+def bursty_arrivals(
+    n: int,
+    burst_size: int,
+    burst_gap: int,
+    rng: np.random.Generator,
+    jitter: int = 0,
+    start: int = 0,
+) -> np.ndarray:
+    """Bursts of ``burst_size`` simultaneous jobs every ``burst_gap``
+    steps, with optional uniform jitter inside each burst."""
+    if burst_size < 1 or burst_gap < 1:
+        raise WorkloadError("burst_size and burst_gap must be >= 1")
+    times = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        burst = i // burst_size
+        base = start + burst * burst_gap
+        offset = int(rng.integers(0, jitter + 1)) if jitter > 0 else 0
+        times[i] = base + offset
+    return np.sort(times)
+
+
+def batch_arrivals(n: int, time: int = 0) -> np.ndarray:
+    """All ``n`` jobs released simultaneously (offline-style instance)."""
+    return np.full(n, time, dtype=np.int64)
+
+
+def mmpp_arrivals(
+    n: int,
+    slow_rate: float,
+    fast_rate: float,
+    switch_prob: float,
+    rng: np.random.Generator,
+    start: int = 0,
+) -> np.ndarray:
+    """Two-state Markov-modulated Poisson arrivals.
+
+    The process alternates between a slow and a fast Poisson regime;
+    after each arrival the regime flips with probability
+    ``switch_prob``.  Produces the bursty-but-correlated arrival
+    patterns (busy periods, lulls) that stress admission control
+    differently from memoryless Poisson arrivals.
+    """
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if slow_rate <= 0 or fast_rate <= 0:
+        raise WorkloadError("rates must be positive")
+    if not 0 <= switch_prob <= 1:
+        raise WorkloadError("switch_prob must be in [0, 1]")
+    rates = (slow_rate, fast_rate)
+    state = 0
+    t = float(start)
+    times = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        t += rng.exponential(1.0 / rates[state])
+        times[i] = int(t)
+        if rng.random() < switch_prob:
+            state = 1 - state
+    return times
+
+
+def spike_arrivals(
+    n_background: int,
+    n_spike: int,
+    rate: float,
+    spike_time: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Poisson background plus ``n_spike`` simultaneous jobs at
+    ``spike_time`` -- the overload pattern admission control exists for."""
+    background = poisson_arrivals(n_background, rate, rng)
+    spike = np.full(n_spike, spike_time, dtype=np.int64)
+    return np.sort(np.concatenate([background, spike]))

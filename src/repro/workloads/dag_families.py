@@ -1,0 +1,213 @@
+"""Samplers of DAG structures, by named family.
+
+A *family* is a callable ``(rng) -> DAGStructure``.  The registry covers
+the shapes the paper's motivation names (structured fork-join parallel
+programs) plus stress shapes (pure chains, pure blocks, random DAGs).
+Node works are integers by default so the engine's discrete-step
+semantics are exact (see :mod:`repro.sim.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dag import builders
+from repro.dag.graph import DAGStructure
+from repro.errors import WorkloadError
+
+DAGFamily = Callable[[np.random.Generator], DAGStructure]
+
+
+def _int_works(structure: DAGStructure, name: str) -> DAGStructure:
+    """Round node works up to integers (keeps discrete semantics exact)."""
+    works = np.ceil(structure.work).astype(np.float64)
+    return DAGStructure(works, list(structure.edges()), name=name)
+
+
+def chain_family(min_len: int = 4, max_len: int = 32) -> DAGFamily:
+    """Sequential chains with uniform random length."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        length = int(rng.integers(min_len, max_len + 1))
+        return builders.chain(length, name="chain")
+
+    return sample
+
+
+def block_family(min_width: int = 4, max_width: int = 64) -> DAGFamily:
+    """Embarrassingly parallel blocks with uniform random width."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        width = int(rng.integers(min_width, max_width + 1))
+        return builders.block(width, name="block")
+
+    return sample
+
+
+def fork_join_family(
+    min_width: int = 2,
+    max_width: int = 32,
+    min_node_work: int = 1,
+    max_node_work: int = 1,
+) -> DAGFamily:
+    """Single-level fork-join graphs.
+
+    Use coarse node works (e.g. 8-32) in speed-augmentation experiments:
+    a node occupies ``ceil(w/s)`` whole steps, so unit-work nodes cannot
+    benefit from fractional speed.
+    """
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        width = int(rng.integers(min_width, max_width + 1))
+        work = float(rng.integers(min_node_work, max_node_work + 1))
+        return builders.fork_join(
+            width, node_work=work, fork_work=work, join_work=work, name="fork_join"
+        )
+
+    return sample
+
+
+def layered_family(
+    min_layers: int = 2,
+    max_layers: int = 8,
+    min_width: int = 2,
+    max_width: int = 8,
+    edge_prob: float = 0.5,
+) -> DAGFamily:
+    """Random layered DAGs (integer works)."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        layers = int(rng.integers(min_layers, max_layers + 1))
+        width = int(rng.integers(min_width, max_width + 1))
+        dag = builders.layered_random(
+            layers, width, rng, edge_prob=edge_prob, work_low=1.0, work_high=4.0
+        )
+        return _int_works(dag, "layered")
+
+    return sample
+
+
+def series_parallel_family(min_nodes: int = 8, max_nodes: int = 64) -> DAGFamily:
+    """Random series-parallel DAGs (integer works)."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        target = int(rng.integers(min_nodes, max_nodes + 1))
+        dag = builders.series_parallel_random(
+            target, rng, work_low=1.0, work_high=4.0
+        )
+        return _int_works(dag, "series_parallel")
+
+    return sample
+
+
+def recursive_fork_join_family(min_depth: int = 1, max_depth: int = 4) -> DAGFamily:
+    """Cilk-style divide-and-conquer DAGs."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        depth = int(rng.integers(min_depth, max_depth + 1))
+        return builders.recursive_fork_join(depth, branching=2, name="recursive_fj")
+
+    return sample
+
+
+def wavefront_family(min_side: int = 3, max_side: int = 8) -> DAGFamily:
+    """Square-ish wavefront (grid) DAGs — the HPC stencil pattern."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        rows = int(rng.integers(min_side, max_side + 1))
+        cols = int(rng.integers(min_side, max_side + 1))
+        return builders.wavefront(rows, cols, name="wavefront")
+
+    return sample
+
+
+def reduction_family(min_log: int = 2, max_log: int = 5) -> DAGFamily:
+    """Binary reduction trees with 2^k leaves."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        k = int(rng.integers(min_log, max_log + 1))
+        return builders.reduction_tree(2 ** k, name="reduction")
+
+    return sample
+
+
+def pipeline_family(
+    min_stages: int = 2,
+    max_stages: int = 6,
+    min_width: int = 2,
+    max_width: int = 8,
+) -> DAGFamily:
+    """Chained fork-join supersteps (bulk-synchronous pipelines)."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        stages = int(rng.integers(min_stages, max_stages + 1))
+        width = int(rng.integers(min_width, max_width + 1))
+        return builders.pipeline(stages, width, name="pipeline")
+
+    return sample
+
+
+def gnp_family(
+    min_nodes: int = 8, max_nodes: int = 48, edge_prob: float = 0.15
+) -> DAGFamily:
+    """Erdos-Renyi random DAGs (integer works)."""
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        n = int(rng.integers(min_nodes, max_nodes + 1))
+        dag = builders.random_dag_gnp(
+            n, edge_prob, rng, work_low=1.0, work_high=4.0
+        )
+        return _int_works(dag, "gnp")
+
+    return sample
+
+
+def mixture(
+    families: Sequence[DAGFamily], weights: Sequence[float] | None = None
+) -> DAGFamily:
+    """Sample from several families with given weights."""
+    if not families:
+        raise WorkloadError("mixture needs at least one family")
+    if weights is None:
+        probs = np.full(len(families), 1.0 / len(families))
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        if probs.size != len(families) or np.any(probs < 0) or probs.sum() <= 0:
+            raise WorkloadError("weights must be non-negative and sum positive")
+        probs = probs / probs.sum()
+
+    def sample(rng: np.random.Generator) -> DAGStructure:
+        idx = int(rng.choice(len(families), p=probs))
+        return families[idx](rng)
+
+    return sample
+
+
+#: Named registry for experiment configs.
+FAMILIES: dict[str, Callable[[], DAGFamily]] = {
+    "chain": chain_family,
+    "block": block_family,
+    "fork_join": fork_join_family,
+    "layered": layered_family,
+    "series_parallel": series_parallel_family,
+    "recursive_fork_join": recursive_fork_join_family,
+    "gnp": gnp_family,
+    "wavefront": wavefront_family,
+    "reduction": reduction_family,
+    "pipeline": pipeline_family,
+}
+
+
+def make_family(name: str, **kwargs) -> DAGFamily:
+    """Instantiate a registered family by name."""
+    if name == "mixed":
+        return mixture([factory() for factory in FAMILIES.values()])
+    try:
+        factory = FAMILIES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown DAG family {name!r}; known: {sorted(FAMILIES)} + ['mixed']"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,95 @@
+"""Deadline assignment policies.
+
+Theorem 2 assumes ``D_i >= (1+epsilon) * ((W_i - L_i)/m + L_i)``; the
+experiments need workloads on both sides of that line:
+
+* :func:`slack_deadline` -- deadlines that satisfy the assumption by a
+  controllable (possibly random) factor;
+* :func:`tight_deadline` -- deadlines proportional to the *clairvoyant*
+  lower bound ``max(L, W/m)``, which can violate the assumption (the
+  regime of Theorem 1 / Corollary 1);
+* :func:`proportional_deadline` -- classic "deadline = factor * W/m"
+  soft real-time style.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+from repro.errors import WorkloadError
+
+
+def sequential_bound(structure: DAGStructure, m: int) -> float:
+    """``(W - L)/m + L`` for the structure on ``m`` processors."""
+    return (structure.total_work - structure.span) / m + structure.span
+
+
+def slack_deadline(
+    structure: DAGStructure,
+    m: int,
+    epsilon: float,
+    rng: np.random.Generator | None = None,
+    slack_low: float = 1.0,
+    slack_high: float = 1.0,
+) -> int:
+    """Relative deadline ``ceil(slack * (1+epsilon) * ((W-L)/m + L))``.
+
+    With the default ``slack_low == slack_high == 1`` the assumption is
+    met exactly at its boundary; random slack in ``[low, high]`` spreads
+    deadlines while keeping the assumption satisfied (requires
+    ``slack_low >= 1``).
+    """
+    if slack_low < 1.0:
+        raise WorkloadError("slack_low < 1 would violate Theorem 2's assumption")
+    if slack_high < slack_low:
+        raise WorkloadError("slack_high must be >= slack_low")
+    slack = (
+        slack_low
+        if rng is None or slack_high == slack_low
+        else float(rng.uniform(slack_low, slack_high))
+    )
+    bound = sequential_bound(structure, m)
+    return max(1, math.ceil(slack * (1.0 + epsilon) * bound))
+
+
+def tight_deadline(
+    structure: DAGStructure,
+    m: int,
+    factor: float = 1.0,
+    rng: np.random.Generator | None = None,
+    jitter: float = 0.0,
+) -> int:
+    """Relative deadline ``ceil(factor * max(L, W/m))`` (+ jitter).
+
+    ``factor = 1`` is the absolute feasibility limit for *any*
+    scheduler; values below ``((W-L)/m + L) / max(L, W/m)`` violate
+    Theorem 2's assumption -- the Corollary 1 regime.
+    """
+    if factor <= 0:
+        raise WorkloadError("factor must be positive")
+    lower = max(structure.span, structure.total_work / m)
+    value = factor * lower
+    if jitter > 0 and rng is not None:
+        value *= float(rng.uniform(1.0, 1.0 + jitter))
+    return max(1, math.ceil(value))
+
+
+def proportional_deadline(
+    structure: DAGStructure,
+    m: int,
+    factor: float = 2.0,
+) -> int:
+    """Relative deadline ``ceil(factor * W/m)`` -- utilization-style."""
+    if factor <= 0:
+        raise WorkloadError("factor must be positive")
+    return max(1, math.ceil(factor * structure.total_work / m))
+
+
+def meets_assumption(
+    structure: DAGStructure, m: int, epsilon: float, relative_deadline: int
+) -> bool:
+    """Whether the deadline satisfies Theorem 2's slack assumption."""
+    return relative_deadline >= (1.0 + epsilon) * sequential_bound(structure, m) - 1e-9

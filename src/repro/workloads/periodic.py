@@ -1,0 +1,155 @@
+"""Periodic / sporadic DAG task sets (real-time style workloads).
+
+The paper's related work (refs [17, 18, 25-31]) studies *recurring*
+DAG tasks: a task releases a job instance every period, each instance
+due by the next release (implicit deadline) or an explicit relative
+deadline.  This module unrolls such task sets into
+:class:`~repro.sim.jobs.JobSpec` streams so the throughput schedulers
+can be evaluated on the workloads that community uses, and computes the
+standard utilization metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+from repro.errors import WorkloadError
+from repro.sim.jobs import JobSpec
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """One recurring DAG task.
+
+    Attributes
+    ----------
+    structure:
+        The DAG every instance executes.
+    period:
+        Release separation (exact for periodic, minimum for sporadic).
+    relative_deadline:
+        Defaults to the period (implicit deadline).
+    profit:
+        Profit per on-time instance.
+    offset:
+        First release time.
+    """
+
+    structure: DAGStructure
+    period: int
+    relative_deadline: Optional[int] = None
+    profit: float = 1.0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise WorkloadError("period must be >= 1")
+        deadline = self.deadline
+        if deadline < 1:
+            raise WorkloadError("relative deadline must be >= 1")
+        if self.offset < 0:
+            raise WorkloadError("offset must be non-negative")
+
+    @property
+    def deadline(self) -> int:
+        """Effective relative deadline (implicit = period)."""
+        return (
+            self.relative_deadline
+            if self.relative_deadline is not None
+            else self.period
+        )
+
+    @property
+    def utilization(self) -> float:
+        """``W / period`` — the task's long-run processor demand."""
+        return self.structure.total_work / self.period
+
+    @property
+    def density(self) -> float:
+        """``W / min(D, period)`` — the classic density metric."""
+        return self.structure.total_work / min(self.deadline, self.period)
+
+
+def taskset_utilization(tasks: Sequence[PeriodicTask]) -> float:
+    """Total utilization of the task set (compare against ``m``)."""
+    return sum(task.utilization for task in tasks)
+
+
+def unroll_periodic(
+    tasks: Sequence[PeriodicTask],
+    horizon: int,
+    sporadic_jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> list[JobSpec]:
+    """Unroll a task set into job instances over ``[0, horizon)``.
+
+    ``sporadic_jitter > 0`` turns periodic releases into sporadic ones:
+    each inter-release gap is the period times ``1 + U(0, jitter)``.
+    """
+    if horizon < 1:
+        raise WorkloadError("horizon must be >= 1")
+    if sporadic_jitter < 0:
+        raise WorkloadError("sporadic_jitter must be non-negative")
+    if sporadic_jitter > 0 and rng is None:
+        raise WorkloadError("sporadic_jitter needs an rng")
+    specs: list[JobSpec] = []
+    job_id = 0
+    for task in tasks:
+        release = float(task.offset)
+        while release < horizon:
+            arrival = int(release)
+            specs.append(
+                JobSpec(
+                    job_id,
+                    task.structure,
+                    arrival=arrival,
+                    deadline=arrival + task.deadline,
+                    profit=task.profit,
+                )
+            )
+            job_id += 1
+            gap = task.period
+            if sporadic_jitter > 0:
+                assert rng is not None
+                gap = task.period * (1.0 + float(rng.uniform(0.0, sporadic_jitter)))
+            release += gap
+    specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+    return specs
+
+
+def harmonic_taskset(
+    structures: Sequence[DAGStructure],
+    base_period: int,
+    m: int,
+    target_utilization: float = 0.8,
+) -> list[PeriodicTask]:
+    """Build a harmonic task set (periods = powers of two x base) scaled
+    to roughly ``target_utilization * m`` total utilization.
+
+    Tasks get periods ``base, 2*base, 4*base, ...`` cyclically; the base
+    period is then scaled so utilization hits the target (rounded up to
+    keep periods integral, so the realized utilization is at most the
+    target).
+    """
+    if not structures:
+        raise WorkloadError("need at least one structure")
+    if target_utilization <= 0:
+        raise WorkloadError("target_utilization must be positive")
+    raw = [
+        (structure, base_period * (2 ** (i % 4)))
+        for i, structure in enumerate(structures)
+    ]
+    utilization = sum(s.total_work / p for s, p in raw)
+    scale = utilization / (target_utilization * m)
+    tasks = []
+    for structure, period in raw:
+        scaled = max(
+            math.ceil(period * scale), math.ceil(structure.span) + 1
+        )
+        tasks.append(PeriodicTask(structure=structure, period=scaled))
+    return tasks

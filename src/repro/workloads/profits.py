@@ -1,0 +1,195 @@
+"""Profit samplers: scalar profits and general profit functions.
+
+Scalar samplers drive the throughput experiments; the density spread
+(``max p/W`` over ``min p/W``) is the classic hardness knob, so each
+sampler documents how it shapes it.  Function samplers build the
+general-profit workloads of experiment E6, always honoring Theorem 3's
+flatness assumption through the ``x_star`` knee.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.dag.graph import DAGStructure
+from repro.errors import WorkloadError
+from repro.profit.functions import (
+    FlatThenExponential,
+    FlatThenLinear,
+    ProfitFunction,
+    Staircase,
+)
+
+ProfitSampler = Callable[[DAGStructure, np.random.Generator], float]
+ProfitFnSampler = Callable[[DAGStructure, int, float, np.random.Generator], ProfitFunction]
+
+
+# ----------------------------------------------------------------------
+# Scalar profits (throughput setting)
+# ----------------------------------------------------------------------
+def unit_profit() -> ProfitSampler:
+    """Every job worth 1 (pure job-count throughput)."""
+
+    def sample(structure: DAGStructure, rng: np.random.Generator) -> float:
+        return 1.0
+
+    return sample
+
+
+def uniform_profit(low: float = 0.5, high: float = 2.0) -> ProfitSampler:
+    """Profit uniform in ``[low, high]`` regardless of size: small jobs
+    become disproportionately dense."""
+    if low <= 0 or high < low:
+        raise WorkloadError("need 0 < low <= high")
+
+    def sample(structure: DAGStructure, rng: np.random.Generator) -> float:
+        return float(rng.uniform(low, high))
+
+    return sample
+
+
+def work_proportional_profit(rate: float = 1.0, noise: float = 0.0) -> ProfitSampler:
+    """Profit ~ ``rate * W`` (uniform density): the benign regime where
+    greedy density has no signal to exploit."""
+    if rate <= 0:
+        raise WorkloadError("rate must be positive")
+
+    def sample(structure: DAGStructure, rng: np.random.Generator) -> float:
+        factor = 1.0 if noise <= 0 else float(rng.uniform(1.0 - noise, 1.0 + noise))
+        return rate * structure.total_work * max(factor, 1e-6)
+
+    return sample
+
+
+def heavy_tailed_profit(alpha: float = 1.5, scale: float = 1.0) -> ProfitSampler:
+    """Pareto(alpha) profits: a few jackpot jobs dominate total profit,
+    stressing the admission policy's ability to hold capacity for them."""
+    if alpha <= 0:
+        raise WorkloadError("alpha must be positive")
+
+    def sample(structure: DAGStructure, rng: np.random.Generator) -> float:
+        return scale * float(1.0 + rng.pareto(alpha))
+
+    return sample
+
+
+#: Registry for experiment configs.
+PROFIT_SAMPLERS: dict[str, Callable[[], ProfitSampler]] = {
+    "unit": unit_profit,
+    "uniform": uniform_profit,
+    "work_proportional": work_proportional_profit,
+    "heavy_tailed": heavy_tailed_profit,
+}
+
+
+def make_profit_sampler(name: str, **kwargs) -> ProfitSampler:
+    """Instantiate a registered scalar-profit sampler."""
+    try:
+        factory = PROFIT_SAMPLERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown profit sampler {name!r}; known: {sorted(PROFIT_SAMPLERS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# General profit functions (Section 5 setting)
+# ----------------------------------------------------------------------
+def _knee(structure: DAGStructure, m: int, epsilon: float, slack: float) -> float:
+    """An x* honoring Theorem 3: ``slack * (1+eps) * ((W-L)/m + L)``."""
+    bound = (structure.total_work - structure.span) / m + structure.span
+    return slack * (1.0 + epsilon) * bound
+
+
+def linear_decay_fn(
+    peak_low: float = 0.5,
+    peak_high: float = 2.0,
+    decay_factor: float = 2.0,
+    knee_slack: float = 1.0,
+) -> ProfitFnSampler:
+    """Flat to the knee, then linear to zero over ``decay_factor * x*``."""
+
+    def sample(
+        structure: DAGStructure, m: int, epsilon: float, rng: np.random.Generator
+    ) -> ProfitFunction:
+        peak = float(rng.uniform(peak_low, peak_high))
+        x_star = _knee(structure, m, epsilon, knee_slack)
+        return FlatThenLinear(peak, x_star, decay_span=decay_factor * x_star)
+
+    return sample
+
+
+def exponential_decay_fn(
+    peak_low: float = 0.5,
+    peak_high: float = 2.0,
+    tau_factor: float = 1.0,
+    knee_slack: float = 1.0,
+) -> ProfitFnSampler:
+    """Flat to the knee, then exponential with time constant
+    ``tau_factor * x*``."""
+
+    def sample(
+        structure: DAGStructure, m: int, epsilon: float, rng: np.random.Generator
+    ) -> ProfitFunction:
+        peak = float(rng.uniform(peak_low, peak_high))
+        x_star = _knee(structure, m, epsilon, knee_slack)
+        return FlatThenExponential(peak, x_star, tau=tau_factor * x_star)
+
+    return sample
+
+
+def staircase_fn(
+    peak_low: float = 0.5,
+    peak_high: float = 2.0,
+    steps: int = 3,
+    step_span_factor: float = 0.75,
+    knee_slack: float = 1.0,
+) -> ProfitFnSampler:
+    """Flat to the knee, then ``steps`` equal drops to zero."""
+    if steps < 1:
+        raise WorkloadError("steps must be >= 1")
+
+    def sample(
+        structure: DAGStructure, m: int, epsilon: float, rng: np.random.Generator
+    ) -> ProfitFunction:
+        peak = float(rng.uniform(peak_low, peak_high))
+        x_star = _knee(structure, m, epsilon, knee_slack)
+        span = max(1.0, step_span_factor * x_star)
+        return Staircase(peak, _staircase_levels(peak, x_star, span, steps))
+
+    return sample
+
+
+def _staircase_levels(
+    peak: float, x_star: float, span: float, steps: int
+) -> list[tuple[float, float]]:
+    """Breakpoints for a flat-then-staircase decay ending at zero."""
+    levels: list[tuple[float, float]] = []
+    for k in range(steps):
+        t_k = x_star + k * span / steps
+        p_k = peak * (1.0 - (k + 1) / steps)
+        levels.append((t_k, p_k))
+    return levels
+
+
+#: Registry for the general-profit experiment.
+PROFIT_FN_SAMPLERS: dict[str, Callable[[], ProfitFnSampler]] = {
+    "linear": linear_decay_fn,
+    "exponential": exponential_decay_fn,
+    "staircase": staircase_fn,
+}
+
+
+def make_profit_fn_sampler(name: str, **kwargs) -> ProfitFnSampler:
+    """Instantiate a registered profit-function sampler."""
+    try:
+        factory = PROFIT_FN_SAMPLERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown profit-fn sampler {name!r}; known: {sorted(PROFIT_FN_SAMPLERS)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,80 @@
+"""Workload serialization: JobSpec lists <-> JSON.
+
+Lets experiments persist exact workload artifacts (structures,
+arrivals, deadlines, profits, profit functions) for replay across
+machines and versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.dag.serialize import structure_from_dict, structure_to_dict
+from repro.profit.serialize import profit_fn_from_dict, profit_fn_to_dict
+from repro.sim.jobs import JobSpec
+
+FORMAT_VERSION = 1
+
+
+def spec_to_dict(spec: JobSpec) -> dict[str, Any]:
+    """Serialize one job spec."""
+    data: dict[str, Any] = {
+        "job_id": spec.job_id,
+        "structure": structure_to_dict(spec.structure),
+        "arrival": spec.arrival,
+    }
+    if spec.profit_fn is not None:
+        data["profit_fn"] = profit_fn_to_dict(spec.profit_fn)
+    else:
+        data["deadline"] = spec.deadline
+        data["profit"] = spec.profit
+    return data
+
+
+def spec_from_dict(data: dict[str, Any]) -> JobSpec:
+    """Rebuild one job spec."""
+    structure = structure_from_dict(data["structure"])
+    if "profit_fn" in data:
+        return JobSpec(
+            data["job_id"],
+            structure,
+            arrival=data["arrival"],
+            profit_fn=profit_fn_from_dict(data["profit_fn"]),
+        )
+    return JobSpec(
+        data["job_id"],
+        structure,
+        arrival=data["arrival"],
+        deadline=data["deadline"],
+        profit=data.get("profit", 1.0),
+    )
+
+
+def workload_to_json(specs: Sequence[JobSpec], indent: int | None = None) -> str:
+    """Serialize a workload to a JSON string."""
+    return json.dumps(
+        {"version": FORMAT_VERSION, "jobs": [spec_to_dict(sp) for sp in specs]},
+        indent=indent,
+    )
+
+
+def workload_from_json(text: str) -> list[JobSpec]:
+    """Rebuild a workload from :func:`workload_to_json` output."""
+    data = json.loads(text)
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported workload format version {version}")
+    return [spec_from_dict(job) for job in data["jobs"]]
+
+
+def save_workload(specs: Sequence[JobSpec], path: str) -> None:
+    """Write a workload JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(workload_to_json(specs, indent=2))
+
+
+def load_workload(path: str) -> list[JobSpec]:
+    """Read a workload JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        return workload_from_json(fh.read())

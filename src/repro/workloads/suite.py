@@ -1,0 +1,145 @@
+"""Workload suite: composing arrivals, DAG families, deadlines and
+profits into :class:`~repro.sim.jobs.JobSpec` lists.
+
+:func:`generate_workload` is the one entry point experiments use; the
+``load`` parameter is offered work relative to machine capacity
+(``load = 1`` means arriving work equals ``m`` processor-steps per
+step on average).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.sim.jobs import JobSpec
+from repro.workloads.dag_families import DAGFamily, make_family
+from repro.workloads.deadlines import slack_deadline, tight_deadline
+from repro.workloads.profits import (
+    ProfitFnSampler,
+    ProfitSampler,
+    make_profit_sampler,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Declarative description of a random workload.
+
+    Attributes
+    ----------
+    n_jobs:
+        Number of jobs.
+    m:
+        Machine size the deadlines are computed against.
+    load:
+        Offered load relative to capacity (1.0 = saturation).
+    family:
+        DAG family name (see :data:`repro.workloads.dag_families.FAMILIES`)
+        or ``"mixed"``.
+    epsilon:
+        Slack parameter used for deadline assignment.
+    deadline_policy:
+        ``"slack"`` (meets Theorem 2's assumption) or ``"tight"``
+        (clairvoyant-limit deadlines, violating it).
+    slack_range:
+        ``(low, high)`` random extra slack beyond ``1+epsilon``
+        (slack policy only).
+    tight_factor:
+        Multiple of ``max(L, W/m)`` (tight policy only).
+    profit:
+        Scalar-profit sampler name (throughput setting).
+    profit_fn_sampler:
+        When set, produces general-profit jobs instead of deadline jobs.
+    seed:
+        RNG seed (fully determines the workload).
+    """
+
+    n_jobs: int = 100
+    m: int = 8
+    load: float = 1.0
+    family: str = "mixed"
+    epsilon: float = 1.0
+    deadline_policy: str = "slack"
+    slack_range: tuple[float, float] = (1.0, 2.0)
+    tight_factor: float = 1.0
+    profit: str = "uniform"
+    profit_fn_sampler: Optional[ProfitFnSampler] = None
+    seed: int = 0
+    family_kwargs: dict = field(default_factory=dict)
+    profit_kwargs: dict = field(default_factory=dict)
+
+
+def generate_workload(config: WorkloadConfig) -> list[JobSpec]:
+    """Materialize a workload from its config (deterministic per seed)."""
+    rng = np.random.default_rng(config.seed)
+    family: DAGFamily = make_family(config.family, **config.family_kwargs)
+    profit_sampler: ProfitSampler = make_profit_sampler(
+        config.profit, **config.profit_kwargs
+    )
+
+    # Draw structures first so the arrival rate can target the load.
+    structures = [family(rng) for _ in range(config.n_jobs)]
+    mean_work = float(np.mean([s.total_work for s in structures])) or 1.0
+    if config.load <= 0:
+        raise WorkloadError("load must be positive")
+    rate = config.load * config.m / mean_work  # jobs per time step
+
+    specs: list[JobSpec] = []
+    t = 0.0
+    for i, structure in enumerate(structures):
+        t += rng.exponential(1.0 / rate)
+        arrival = int(t)
+        if config.profit_fn_sampler is not None:
+            fn = config.profit_fn_sampler(structure, config.m, config.epsilon, rng)
+            specs.append(
+                JobSpec(i, structure, arrival=arrival, profit_fn=fn)
+            )
+            continue
+        if config.deadline_policy == "slack":
+            rel = slack_deadline(
+                structure,
+                config.m,
+                config.epsilon,
+                rng,
+                slack_low=config.slack_range[0],
+                slack_high=config.slack_range[1],
+            )
+        elif config.deadline_policy == "tight":
+            rel = tight_deadline(
+                structure, config.m, factor=config.tight_factor, rng=rng, jitter=0.25
+            )
+        else:
+            raise WorkloadError(
+                f"unknown deadline policy {config.deadline_policy!r}"
+            )
+        profit = profit_sampler(structure, rng)
+        specs.append(
+            JobSpec(
+                i,
+                structure,
+                arrival=arrival,
+                deadline=arrival + rel,
+                profit=profit,
+            )
+        )
+    return specs
+
+
+def workload_capacity_ratio(specs: list[JobSpec], m: int) -> float:
+    """Offered work divided by machine capacity over the active window --
+    a posteriori load measurement for reporting."""
+    if not specs:
+        return 0.0
+    total_work = sum(sp.work for sp in specs)
+    start = min(sp.arrival for sp in specs)
+    end = max(
+        (sp.deadline if sp.deadline is not None else sp.arrival + math.ceil(sp.work))
+        for sp in specs
+    )
+    horizon = max(1, end - start)
+    return total_work / (m * horizon)

@@ -1,0 +1,111 @@
+"""Unit tests for the resource-augmentation analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    min_speed_for_fraction,
+    profit_at_speed,
+    speed_profile,
+)
+from repro.baselines import FIFOScheduler
+from repro.core import SNSScheduler
+from repro.sim import JobSpec
+from repro.workloads import WorkloadConfig, fig1_jobs, generate_workload
+
+
+def tight_workload(seed=4):
+    return generate_workload(
+        WorkloadConfig(
+            n_jobs=30,
+            m=8,
+            load=1.5,
+            epsilon=0.5,
+            deadline_policy="tight",
+            tight_factor=1.1,
+            family="fork_join",
+            family_kwargs={"min_node_work": 8, "max_node_work": 16},
+            seed=seed,
+        )
+    )
+
+
+class TestSpeedProfile:
+    def test_profile_grid(self):
+        specs = tight_workload()
+        points = speed_profile(
+            specs, 8, lambda: SNSScheduler(epsilon=0.5), [1.0, 2.0, 3.0]
+        )
+        assert [p.speed for p in points] == [1.0, 2.0, 3.0]
+        fractions = [p.fraction for p in points]
+        assert fractions[0] <= fractions[1] <= fractions[2] + 1e-9
+        assert fractions[2] > 0.3
+
+    def test_fraction_against_fixed_bound(self):
+        specs = tight_workload()
+        points = speed_profile(
+            specs, 8, lambda: SNSScheduler(epsilon=0.5), [2.0], bound=100.0
+        )
+        assert points[0].fraction == pytest.approx(points[0].profit / 100.0)
+
+
+class TestMinSpeed:
+    def test_fig1_recovery_speed(self):
+        """On the Figure 1 instance the FIFO/adversarial combination needs
+        ~2 - 1/m speed to earn the job's profit (Theorem 1)."""
+        from repro.sim import AdversarialPicker, Simulator
+
+        m = 8
+        specs = fig1_jobs(m, deadline_factor=1.0, node_work=64.0)
+
+        def profit_at(speed):
+            sim = Simulator(
+                m=m,
+                scheduler=FIFOScheduler(),
+                picker=AdversarialPicker(),
+                speed=speed,
+            )
+            return sim.run(list(specs)).total_profit
+
+        # bisect manually against the adversarial picker (the helper's
+        # Simulator uses the default picker, so replicate its logic)
+        lo, hi = 1.0, 2.5
+        assert profit_at(hi) == 1.0
+        assert profit_at(lo) == 0.0
+        while hi - lo > 0.01:
+            mid = (lo + hi) / 2
+            if profit_at(mid) >= 1.0:
+                hi = mid
+            else:
+                lo = mid
+        assert hi == pytest.approx(2.0 - 1.0 / m, abs=0.05)
+
+    def test_min_speed_monotone_target(self):
+        specs = tight_workload()
+        factory = lambda: SNSScheduler(epsilon=0.5)
+        s_low = min_speed_for_fraction(specs, 8, factory, 0.2)
+        s_high = min_speed_for_fraction(specs, 8, factory, 0.6)
+        assert s_low is not None and s_high is not None
+        assert s_low <= s_high + 1e-9
+
+    def test_unreachable_target(self):
+        specs = tight_workload()
+        result = min_speed_for_fraction(
+            specs, 8, lambda: SNSScheduler(epsilon=0.5), 5.0, speed_hi=2.0
+        )
+        assert result is None
+
+    def test_trivial_target(self):
+        specs = tight_workload()
+        result = min_speed_for_fraction(
+            specs, 8, FIFOScheduler, 1e-9, bound=1e-6
+        )
+        assert result == 1.0
+
+    def test_bad_args(self):
+        specs = tight_workload()
+        with pytest.raises(ValueError):
+            min_speed_for_fraction(specs, 8, FIFOScheduler, 0.0)
+        with pytest.raises(ValueError):
+            min_speed_for_fraction(
+                specs, 8, FIFOScheduler, 0.5, speed_lo=2.0, speed_hi=1.0
+            )

@@ -1,0 +1,72 @@
+"""Unit + property tests of the MILP OPT bound."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    interval_lp_upper_bound,
+    interval_milp_upper_bound,
+    opt_bound,
+    small_instance_opt,
+)
+from repro.dag import block, chain
+from repro.sim import JobSpec
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class TestMILPBound:
+    def test_single_job(self):
+        spec = JobSpec(0, chain(4), arrival=0, deadline=10, profit=3.0)
+        assert interval_milp_upper_bound([spec], 2) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert interval_milp_upper_bound([], 4) == 0.0
+
+    def test_integrality_forbids_fractional_packing(self):
+        # capacity 12 over the window; 2 jobs of work 8: LP packs 1.5,
+        # MILP only 1
+        specs = [
+            JobSpec(i, block(8), arrival=0, deadline=12, profit=1.0)
+            for i in range(2)
+        ]
+        assert interval_lp_upper_bound(specs, 1) == pytest.approx(1.5)
+        assert interval_milp_upper_bound(specs, 1) == pytest.approx(1.0)
+
+    def test_dispatch(self):
+        specs = [JobSpec(0, chain(4), arrival=0, deadline=10, profit=3.0)]
+        assert opt_bound(specs, 2, method="milp") == pytest.approx(3.0)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.sampled_from([1.0, 3.0]),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_ordering_milp_between_subset_upper_and_lp(self, n, load, seed):
+        """lower(subset) <= MILP <= LP always."""
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=n, m=4, load=load, seed=seed)
+        )
+        lp = interval_lp_upper_bound(specs, 4)
+        milp = interval_milp_upper_bound(specs, 4)
+        assert milp <= lp + 1e-6
+        if n <= 10:
+            bracket = small_instance_opt(specs, 4)
+            # the constructive lower bound is achievable, so MILP (a
+            # relaxation of scheduling) must dominate it
+            assert bracket.lower <= milp + 1e-6
+
+    def test_achieved_profit_below_milp(self):
+        from repro.baselines import GlobalEDF, GreedyDensity
+        from repro.core import SNSScheduler
+        from repro.sim import Simulator
+
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=25, m=4, load=3.0, seed=11)
+        )
+        milp = interval_milp_upper_bound(specs, 4)
+        for factory in (GlobalEDF, GreedyDensity,
+                        lambda: SNSScheduler(epsilon=1.0)):
+            profit = Simulator(m=4, scheduler=factory()).run(specs).total_profit
+            assert profit <= milp + 1e-6

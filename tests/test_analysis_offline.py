@@ -1,0 +1,85 @@
+"""Unit tests for the randomized offline (hindsight) schedule search."""
+
+import pytest
+
+from repro.analysis import (
+    best_effort_lower_bound,
+    interval_lp_upper_bound,
+    randomized_offline_search,
+)
+from repro.dag import block, chain
+from repro.profit import StepProfit
+from repro.sim import JobSpec
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class TestOfflineSearch:
+    def test_single_job(self):
+        specs = [JobSpec(0, chain(4), arrival=0, deadline=10, profit=3.0)]
+        result = randomized_offline_search(specs, 2, restarts=2, rng=0)
+        assert result.profit == 3.0
+        assert result.kept == (0,)
+
+    def test_empty(self):
+        result = randomized_offline_search([], 2, restarts=1, rng=0)
+        assert result.profit == 0.0
+
+    def test_hindsight_pruning_beats_plain_greedy(self):
+        # a dense-but-infeasible job poisons the greedy order; pruning
+        # recovers the payload
+        specs = [
+            JobSpec(0, block(32, node_work=1.0), arrival=0, deadline=7,
+                    profit=100.0),  # needs 8 steps on m=4: infeasible
+            JobSpec(1, block(28, node_work=1.0), arrival=0, deadline=14,
+                    profit=1.0),
+        ]
+        result = randomized_offline_search(specs, 4, restarts=1, rng=0)
+        assert result.profit == 1.0
+        assert result.kept == (1,)
+
+    def test_kept_jobs_all_on_time(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=20, m=4, load=3.0, seed=6)
+        )
+        result = randomized_offline_search(specs, 4, restarts=8, rng=1)
+        kept_profit = sum(
+            sp.profit for sp in specs if sp.job_id in result.kept
+        )
+        assert kept_profit == pytest.approx(result.profit)
+
+    def test_below_lp_bound(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=20, m=4, load=3.0, seed=7)
+        )
+        result = randomized_offline_search(specs, 4, restarts=8, rng=2)
+        assert result.profit <= interval_lp_upper_bound(specs, 4) + 1e-6
+
+    def test_at_least_portfolio_bound_often(self):
+        """The randomized search with pruning should usually match or
+        beat the simple portfolio lower bound."""
+        wins = 0
+        for seed in range(4):
+            specs = generate_workload(
+                WorkloadConfig(n_jobs=25, m=4, load=3.0, seed=seed)
+            )
+            search = randomized_offline_search(specs, 4, restarts=12, rng=seed)
+            portfolio = best_effort_lower_bound(specs, 4)
+            if search.profit >= portfolio - 1e-9:
+                wins += 1
+        assert wins >= 3
+
+    def test_deterministic_per_seed(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=15, m=4, load=3.0, seed=8))
+        a = randomized_offline_search(specs, 4, restarts=6, rng=9)
+        b = randomized_offline_search(specs, 4, restarts=6, rng=9)
+        assert a.profit == b.profit
+        assert a.kept == b.kept
+
+    def test_rejects_profit_fn_jobs(self):
+        specs = [JobSpec(0, chain(2), arrival=0, profit_fn=StepProfit(1, 9))]
+        with pytest.raises(ValueError, match="deadline"):
+            randomized_offline_search(specs, 2)
+
+    def test_rejects_bad_restarts(self):
+        with pytest.raises(ValueError):
+            randomized_offline_search([], 2, restarts=0)

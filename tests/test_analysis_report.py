@@ -1,0 +1,91 @@
+"""Unit tests for the run-report builder and MMPP arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import scheduler_report, workload_summary
+from repro.baselines import GlobalEDF, GreedyDensity
+from repro.core import SNSScheduler
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    mmpp_arrivals,
+)
+
+
+class TestWorkloadSummary:
+    def test_contains_key_stats(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=20, m=8, seed=0))
+        text = workload_summary(specs, 8)
+        assert "jobs" in text
+        assert "offered load" in text
+        assert "slack" in text
+
+    def test_empty(self):
+        assert "empty" in workload_summary([], 4)
+
+
+class TestSchedulerReport:
+    def test_full_report(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=20, m=8, load=2.0, seed=1)
+        )
+        text = scheduler_report(
+            specs,
+            8,
+            {"S": lambda: SNSScheduler(epsilon=1.0), "EDF": GlobalEDF},
+            bound_method="feasible",
+            gantt_for="S",
+        )
+        assert "Workload" in text
+        assert "Comparison" in text
+        assert "Schedule of S" in text
+        assert "util [" in text
+        assert "EDF" in text
+
+    def test_without_gantt(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=10, m=4, seed=2))
+        text = scheduler_report(
+            specs, 4, {"greedy": GreedyDensity}, bound_method="feasible"
+        )
+        assert "Schedule of" not in text
+
+    def test_unknown_gantt_target(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=5, m=4, seed=3))
+        with pytest.raises(KeyError):
+            scheduler_report(
+                specs, 4, {"edf": GlobalEDF}, bound_method="feasible",
+                gantt_for="nope",
+            )
+
+
+class TestMMPP:
+    def test_sorted_and_sized(self):
+        rng = np.random.default_rng(0)
+        times = mmpp_arrivals(200, 0.05, 1.0, 0.1, rng)
+        assert len(times) == 200
+        assert np.all(np.diff(times) >= 0)
+
+    def test_burstier_than_poisson(self):
+        """Gap variance of an MMPP with well-separated rates exceeds a
+        rate-matched Poisson's."""
+        rng = np.random.default_rng(1)
+        times = mmpp_arrivals(3000, 0.05, 2.0, 0.05, rng)
+        gaps = np.diff(times).astype(float)
+        cv2 = gaps.var() / (gaps.mean() ** 2)
+        assert cv2 > 1.2  # Poisson has cv^2 ~ 1
+
+    def test_determinism(self):
+        a = mmpp_arrivals(50, 0.1, 1.0, 0.2, np.random.default_rng(7))
+        b = mmpp_arrivals(50, 0.1, 1.0, 0.2, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            mmpp_arrivals(10, 0.0, 1.0, 0.1, rng)
+        with pytest.raises(WorkloadError):
+            mmpp_arrivals(10, 0.1, 1.0, 1.5, rng)
+        with pytest.raises(WorkloadError):
+            mmpp_arrivals(-1, 0.1, 1.0, 0.1, rng)

@@ -1,0 +1,79 @@
+"""Unit tests for exact small-instance OPT bracketing."""
+
+import pytest
+
+from repro.analysis import interval_lp_upper_bound, small_instance_opt
+from repro.dag import block, chain
+from repro.sim import JobSpec
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class TestSmallOpt:
+    def test_single_feasible_job_exact(self):
+        specs = [JobSpec(0, chain(4), arrival=0, deadline=10, profit=3.0)]
+        result = small_instance_opt(specs, 2)
+        assert result.exact
+        assert result.lower == result.upper == 3.0
+        assert result.lower_subset == (0,)
+
+    def test_single_infeasible_job(self):
+        specs = [JobSpec(0, chain(8), arrival=0, deadline=4, profit=3.0)]
+        result = small_instance_opt(specs, 2)
+        assert result.upper == 0.0
+        assert result.lower == 0.0
+
+    def test_capacity_forces_choice(self):
+        # two full-machine blocks in the same window; only one fits
+        specs = [
+            JobSpec(0, block(8), arrival=0, deadline=8, profit=5.0),
+            JobSpec(1, block(8), arrival=0, deadline=8, profit=3.0),
+        ]
+        result = small_instance_opt(specs, 1)
+        assert result.exact
+        assert result.upper == 5.0
+        assert result.lower_subset == (0,)
+
+    def test_disjoint_windows_take_both(self):
+        specs = [
+            JobSpec(0, block(8), arrival=0, deadline=8, profit=5.0),
+            JobSpec(1, block(8), arrival=8, deadline=16, profit=3.0),
+        ]
+        result = small_instance_opt(specs, 1)
+        assert result.exact
+        assert result.upper == 8.0
+
+    def test_bracket_is_ordered_and_below_lp(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=8, m=4, load=2.0, seed=5)
+        )
+        result = small_instance_opt(specs, 4)
+        assert result.lower <= result.upper + 1e-9
+        # LP relaxation upper bound dominates the subset upper bound's
+        # certified lower bound
+        lp = interval_lp_upper_bound(specs, 4)
+        assert result.lower <= lp + 1e-6
+
+    def test_achievable_profit_below_upper(self):
+        from repro.baselines import GlobalEDF
+        from repro.sim import Simulator
+
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=8, m=4, load=3.0, seed=9)
+        )
+        result = small_instance_opt(specs, 4)
+        achieved = Simulator(m=4, scheduler=GlobalEDF()).run(specs).total_profit
+        assert achieved <= result.upper + 1e-6
+
+    def test_too_many_jobs_rejected(self):
+        specs = [
+            JobSpec(i, chain(2), arrival=0, deadline=10) for i in range(20)
+        ]
+        with pytest.raises(ValueError, match="exponential"):
+            small_instance_opt(specs, 4)
+
+    def test_profit_fn_jobs_rejected(self):
+        from repro.profit import StepProfit
+
+        specs = [JobSpec(0, chain(2), arrival=0, profit_fn=StepProfit(1, 9))]
+        with pytest.raises(ValueError, match="deadline"):
+            small_instance_opt(specs, 4)

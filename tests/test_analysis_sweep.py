@@ -1,0 +1,71 @@
+"""Unit tests for the parameter-sweep driver."""
+
+import pytest
+
+from repro.analysis.sweep import SweepCell, grid_points, run_sweep, sweep_table
+
+
+def _point_fn(point: dict, seed: int) -> float:
+    """Module-level so the multiprocessing path can pickle it."""
+    return point["a"] * 10 + point.get("b", 0) + seed * 0.1
+
+
+class TestGrid:
+    def test_cross_product_order(self):
+        points = grid_points({"a": [1, 2], "b": ["x", "y"]})
+        assert points == [
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        ]
+
+    def test_empty_grid(self):
+        assert grid_points({}) == [{}]
+
+
+class TestRunSweep:
+    def test_serial(self):
+        cells = run_sweep(_point_fn, {"a": [1, 2]}, seeds=[0, 1])
+        assert len(cells) == 2
+        assert cells[0].aggregate.mean == pytest.approx(10.05)
+        assert cells[1].aggregate.mean == pytest.approx(20.05)
+        assert cells[0].aggregate.n == 2
+
+    def test_parallel_matches_serial(self):
+        grid = {"a": [1, 2, 3], "b": [0, 5]}
+        serial = run_sweep(_point_fn, grid, seeds=[0, 1, 2], workers=1)
+        parallel = run_sweep(_point_fn, grid, seeds=[0, 1, 2], workers=2)
+        assert [c.point for c in serial] == [c.point for c in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.aggregate.mean == pytest.approx(b.aggregate.mean)
+
+    def test_simulation_point_function(self):
+        cells = run_sweep(
+            _sim_point, {"load": [0.5, 2.0]}, seeds=[0], workers=1
+        )
+        # more load, (weakly) less on-time fraction
+        assert cells[0].aggregate.mean >= cells[1].aggregate.mean
+
+
+def _sim_point(point: dict, seed: int) -> float:
+    from repro.core import SNSScheduler
+    from repro.sim import Simulator
+    from repro.workloads import WorkloadConfig, generate_workload
+
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=15, m=4, load=point["load"], seed=seed)
+    )
+    result = Simulator(m=4, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+    return result.completed_on_time / result.num_jobs
+
+
+class TestTable:
+    def test_sweep_table(self):
+        cells = run_sweep(_point_fn, {"a": [1]}, seeds=[0])
+        headers, rows = sweep_table(cells)
+        assert headers == ["a", "mean", "std", "n"]
+        assert rows[0][0] == 1
+
+    def test_empty(self):
+        assert sweep_table([]) == ([], [])

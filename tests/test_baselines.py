@@ -1,0 +1,137 @@
+"""Unit tests for baseline schedulers and ablations."""
+
+import pytest
+
+from repro.baselines import (
+    FIFOScheduler,
+    GlobalEDF,
+    GreedyDensity,
+    LeastLaxityFirst,
+    RandomScheduler,
+    SNSNoAdmission,
+    SNSWorkDensity,
+    WorkConservingSNS,
+)
+from repro.core import SNSScheduler
+from repro.dag import block, chain
+from repro.sim import JobSpec, Simulator
+from repro.sim.jobs import ActiveJob
+
+
+def view_of(spec):
+    return ActiveJob(spec).view
+
+
+class TestPriorityOrders:
+    def test_edf_prefers_earlier_deadline(self):
+        edf = GlobalEDF()
+        edf.on_start(4, 1.0)
+        early = view_of(JobSpec(0, chain(2), arrival=0, deadline=5))
+        late = view_of(JobSpec(1, chain(2), arrival=0, deadline=9))
+        assert edf.priority(early, 0) < edf.priority(late, 0)
+
+    def test_edf_deadline_less_jobs_last(self):
+        from repro.profit import StepProfit
+
+        edf = GlobalEDF()
+        edf.on_start(4, 1.0)
+        with_d = view_of(JobSpec(0, chain(2), arrival=0, deadline=500))
+        without = view_of(JobSpec(1, chain(2), arrival=0,
+                                  profit_fn=StepProfit(1, 50)))
+        assert edf.priority(with_d, 0) < edf.priority(without, 0)
+
+    def test_llf_prefers_less_laxity(self):
+        llf = LeastLaxityFirst()
+        llf.on_start(2, 1.0)
+        tight = view_of(JobSpec(0, chain(8), arrival=0, deadline=10))
+        loose = view_of(JobSpec(1, chain(2), arrival=0, deadline=10))
+        assert llf.priority(tight, 0) < llf.priority(loose, 0)
+
+    def test_greedy_prefers_denser(self):
+        g = GreedyDensity()
+        g.on_start(2, 1.0)
+        dense = view_of(JobSpec(0, chain(2), arrival=0, deadline=10, profit=4.0))
+        sparse = view_of(JobSpec(1, chain(2), arrival=0, deadline=10, profit=1.0))
+        assert g.priority(dense, 0) < g.priority(sparse, 0)
+
+    def test_fifo_prefers_earlier_arrival(self):
+        f = FIFOScheduler()
+        a = view_of(JobSpec(0, chain(2), arrival=3, deadline=10))
+        b = view_of(JobSpec(1, chain(2), arrival=5, deadline=12))
+        assert f.priority(a, 0) < f.priority(b, 0)
+
+
+class TestWorkConservation:
+    def test_list_scheduler_uses_all_ready_nodes(self):
+        spec = JobSpec(0, block(8), arrival=0, deadline=100)
+        result = Simulator(m=4, scheduler=FIFOScheduler()).run([spec])
+        assert result.records[0].completion_time == 2
+
+    def test_splits_across_jobs(self):
+        specs = [
+            JobSpec(0, block(2), arrival=0, deadline=100),
+            JobSpec(1, block(2), arrival=0, deadline=100),
+        ]
+        result = Simulator(m=4, scheduler=FIFOScheduler()).run(specs)
+        assert result.end_time == 1  # all four nodes in one step
+
+
+class TestEDFSkipHopeless:
+    def test_hopeless_job_skipped(self):
+        # job 0 cannot finish (work 100, window 5); with skip_hopeless
+        # EDF gives the machine to job 1 immediately
+        specs = [
+            JobSpec(0, block(100, node_work=1.0), arrival=0, deadline=5),
+            JobSpec(1, chain(10), arrival=0, deadline=100),
+        ]
+        res = Simulator(m=1, scheduler=GlobalEDF(skip_hopeless=True)).run(specs)
+        assert res.records[1].completion_time == 10
+
+
+class TestRandomScheduler:
+    def test_seeded_determinism(self):
+        specs = [
+            JobSpec(i, chain(4), arrival=0, deadline=50) for i in range(6)
+        ]
+        r1 = Simulator(m=2, scheduler=RandomScheduler(9)).run(specs)
+        r2 = Simulator(m=2, scheduler=RandomScheduler(9)).run(specs)
+        assert {k: v.completion_time for k, v in r1.records.items()} == {
+            k: v.completion_time for k, v in r2.records.items()
+        }
+
+    def test_priority_stable_within_run(self):
+        sched = RandomScheduler(1)
+        sched.on_start(2, 1.0)
+        v = view_of(JobSpec(0, chain(2), arrival=0, deadline=10))
+        sched.on_arrival(v, 0)
+        assert sched.priority(v, 0) == sched.priority(v, 5)
+
+
+class TestAblations:
+    def test_no_admission_admits_everything(self):
+        sched = SNSNoAdmission(epsilon=1.0)
+        sched.on_start(m=2, speed=1.0)
+        # not delta-good, would be parked by S
+        v = view_of(JobSpec(0, chain(10), arrival=0, deadline=12))
+        sched.on_arrival(v, 0)
+        assert 0 in sched.queue_started
+
+    def test_work_conserving_tops_up(self):
+        sched = WorkConservingSNS(epsilon=1.0)
+        spec = JobSpec(0, block(64, node_work=1.0), arrival=0, deadline=40)
+        result = Simulator(m=8, scheduler=sched).run([spec])
+        plain = Simulator(
+            m=8, scheduler=SNSScheduler(epsilon=1.0)
+        ).run([spec])
+        # extra processors only help
+        assert (
+            result.records[0].completion_time
+            <= plain.records[0].completion_time
+        )
+
+    def test_work_density_orders_by_p_over_w(self):
+        sched = SNSWorkDensity(epsilon=1.0)
+        sched.on_start(m=8, speed=1.0)
+        v = view_of(JobSpec(0, chain(10), arrival=0, deadline=100, profit=5.0))
+        state = sched.compute_state(v)
+        assert state.density == pytest.approx(0.5)

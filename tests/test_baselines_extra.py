@@ -1,0 +1,111 @@
+"""Unit tests for the federated and non-clairvoyant schedulers."""
+
+import pytest
+
+from repro.baselines import DoublingNonClairvoyant, FederatedScheduler
+from repro.dag import block, chain, fork_join
+from repro.sim import JobSpec, Simulator
+from repro.sim.jobs import ActiveJob
+
+
+def view_of(spec):
+    return ActiveJob(spec).view
+
+
+class TestFederated:
+    def test_allotment_formula(self):
+        sched = FederatedScheduler()
+        sched.on_start(8, 1.0)
+        # W=34, L=4 (fork_join width 16 node 2): n = ceil(30/(D-4))
+        view = view_of(JobSpec(0, fork_join(16, node_work=2.0), arrival=0,
+                               deadline=14))
+        # W = 16*2 + 2 = 34, L = 4 -> ceil(30/10) = 3
+        assert sched.allotment(view) == 3
+
+    def test_sequential_gets_one(self):
+        sched = FederatedScheduler()
+        sched.on_start(8, 1.0)
+        view = view_of(JobSpec(0, chain(5), arrival=0, deadline=50))
+        assert sched.allotment(view) == 1
+
+    def test_infeasible_declined(self):
+        sched = FederatedScheduler()
+        sched.on_start(8, 1.0)
+        view = view_of(JobSpec(0, fork_join(16, node_work=2.0), arrival=0,
+                               deadline=4))
+        sched.on_arrival(view, 0)
+        assert view.job_id in sched.declined
+        assert sched.allocate(0) == {}
+
+    def test_reservation_exhaustion_declines(self):
+        sched = FederatedScheduler()
+        sched.on_start(4, 1.0)
+        views = [
+            view_of(JobSpec(i, block(16, node_work=2.0), arrival=0,
+                            deadline=18))
+            for i in range(4)
+        ]
+        for v in views:
+            sched.on_arrival(v, 0)
+        # each job needs ceil(30/16) = 2 cores: two admitted, two declined
+        assert sched.cores_in_use == 4
+        assert len(sched.declined) == 2
+
+    def test_completion_frees_cores(self):
+        sched = FederatedScheduler()
+        sched.on_start(4, 1.0)
+        v = view_of(JobSpec(0, block(16, node_work=2.0), arrival=0, deadline=18))
+        sched.on_arrival(v, 0)
+        used = sched.cores_in_use
+        assert used > 0
+        sched.on_completion(v, 5)
+        assert sched.cores_in_use == 0
+
+    def test_end_to_end_completes_feasible_job(self):
+        spec = JobSpec(0, fork_join(8, node_work=2.0), arrival=0, deadline=40)
+        result = Simulator(m=4, scheduler=FederatedScheduler()).run([spec])
+        assert result.records[0].on_time
+
+
+class TestDoublingNonClairvoyant:
+    def test_never_reads_true_work(self):
+        """The scheduler's state is built from estimates, not view.work."""
+        sched = DoublingNonClairvoyant(epsilon=1.0, initial_estimate=4.0)
+        sched.on_start(8, 1.0)
+        v = view_of(JobSpec(0, chain(64), arrival=0, deadline=10 ** 6))
+        sched.on_arrival(v, 0)
+        assert sched.states[0].w_hat == 4.0  # not 64
+
+    def test_doubles_as_progress_outgrows_estimate(self):
+        spec = JobSpec(0, chain(64), arrival=0, deadline=10 ** 6)
+        sched = DoublingNonClairvoyant(epsilon=1.0, initial_estimate=4.0)
+        result = Simulator(m=4, scheduler=sched).run([spec])
+        assert result.records[0].completed
+        assert sched.doublings >= 4  # 4 -> 8 -> 16 -> 32 -> 64+
+
+    def test_completes_workload(self):
+        from repro.workloads import WorkloadConfig, generate_workload
+
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=20, m=8, load=1.0, epsilon=1.0, seed=6)
+        )
+        sched = DoublingNonClairvoyant(epsilon=1.0)
+        result = Simulator(m=8, scheduler=sched).run(specs)
+        assert result.total_profit > 0
+
+    def test_invariants_hold(self):
+        from repro.analysis import verify_profits, verify_work_accounting
+        from repro.workloads import WorkloadConfig, generate_workload
+
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=25, m=8, load=2.0, epsilon=1.0, seed=8)
+        )
+        result = Simulator(
+            m=8, scheduler=DoublingNonClairvoyant(epsilon=1.0)
+        ).run(specs)
+        assert verify_profits(result, specs) == []
+        assert verify_work_accounting(result, specs) == []
+
+    def test_rejects_bad_estimate(self):
+        with pytest.raises(ValueError):
+            DoublingNonClairvoyant(initial_estimate=0.0)

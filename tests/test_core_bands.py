@@ -1,0 +1,160 @@
+"""Unit + property tests for repro.core.bands.DensityBands."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DensityBands
+
+
+class TestBasics:
+    def test_insert_and_query(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 3)
+        bands.insert(2, 2.0, 2)
+        assert len(bands) == 2
+        assert 1 in bands
+        assert bands.density_of(1) == 1.0
+        assert bands.allotment_of(2) == 2
+
+    def test_duplicate_insert_rejected(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 1)
+        with pytest.raises(ValueError):
+            bands.insert(1, 2.0, 1)
+
+    def test_invalid_values_rejected(self):
+        bands = DensityBands()
+        with pytest.raises(ValueError):
+            bands.insert(1, 0.0, 1)
+        with pytest.raises(ValueError):
+            bands.insert(1, float("inf"), 1)
+        with pytest.raises(ValueError):
+            bands.insert(1, 1.0, 0)
+
+    def test_remove(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 3)
+        bands.remove(1)
+        assert len(bands) == 0
+        assert bands.band_load(0.5, 2.0) == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DensityBands().remove(5)
+
+    def test_items_sorted_by_density(self):
+        bands = DensityBands()
+        bands.insert(1, 3.0, 1)
+        bands.insert(2, 1.0, 1)
+        bands.insert(3, 2.0, 1)
+        assert [jid for jid, _, _ in bands.items()] == [2, 3, 1]
+
+
+class TestBandLoad:
+    def test_half_open_interval(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 2)
+        bands.insert(2, 2.0, 3)
+        assert bands.band_load(1.0, 2.0) == 2  # 2.0 excluded
+        assert bands.band_load(1.0, 2.0001) == 5
+        assert bands.band_load(0.0, 10.0) == 5
+
+    def test_load_at_least(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 2)
+        bands.insert(2, 2.0, 3)
+        assert bands.load_at_least(1.5) == 3
+        assert bands.load_at_least(1.0) == 5
+        assert bands.load_at_least(5.0) == 0
+
+    def test_equal_densities_accumulate(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 2)
+        bands.insert(2, 1.0, 3)
+        assert bands.band_load(1.0, 1.5) == 5
+
+
+class TestCanInsert:
+    def test_empty_respects_capacity(self):
+        bands = DensityBands()
+        assert bands.can_insert(1.0, 5, c=2.0, capacity=5.0)
+        assert not bands.can_insert(1.0, 6, c=2.0, capacity=5.0)
+
+    def test_own_band_counts_existing(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 4)
+        # new job at density 1.5: own band [1.5, 3.0) is empty, but the
+        # existing job's band [1.0, 2.0) would contain it
+        assert not bands.can_insert(1.5, 3, c=2.0, capacity=6.0)
+        assert bands.can_insert(1.5, 2, c=2.0, capacity=6.0)
+
+    def test_far_densities_do_not_interact(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 5)
+        assert bands.can_insert(100.0, 5, c=2.0, capacity=5.0)
+        assert bands.can_insert(0.01, 5, c=2.0, capacity=5.0)
+
+    def test_insert_does_not_check(self):
+        bands = DensityBands()
+        bands.insert(1, 1.0, 100)  # no capacity enforcement here
+        assert bands.max_band_load(2.0) == 100
+
+
+def _brute_force_can_insert(jobs, density, allotment, c, capacity):
+    """Reference implementation: check every anchor including the new."""
+    candidate = jobs + [(density, allotment)]
+    for v_j, _ in candidate:
+        load = sum(n for v, n in candidate if v_j <= v < c * v_j)
+        if load > capacity + 1e-9:
+            return False
+    return True
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.integers(min_value=1, max_value=8),
+        ),
+        max_size=8,
+    ),
+    st.floats(min_value=0.01, max_value=100.0),
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=1.5, max_value=10.0),
+    st.floats(min_value=1.0, max_value=30.0),
+)
+def test_can_insert_matches_brute_force(jobs, density, allotment, c, capacity):
+    from hypothesis import assume
+
+    bands = DensityBands()
+    for i, (v, n) in enumerate(jobs):
+        bands.insert(i, v, n)
+    # can_insert's precondition (maintained by the scheduler): the
+    # tracked set already satisfies the band invariant.
+    assume(bands.max_band_load(c) <= capacity + 1e-9)
+    expected = _brute_force_can_insert(jobs, density, allotment, c, capacity)
+    assert bands.can_insert(density, allotment, c, capacity) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.01, max_value=100.0),
+            st.integers(min_value=1, max_value=8),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    st.floats(min_value=1.5, max_value=10.0),
+)
+def test_max_band_load_matches_brute_force(jobs, c):
+    bands = DensityBands()
+    for i, (v, n) in enumerate(jobs):
+        bands.insert(i, v, n)
+    expected = max(
+        sum(n for v, n in jobs if v_j <= v < c * v_j) for v_j, _ in jobs
+    )
+    assert bands.max_band_load(c) == expected

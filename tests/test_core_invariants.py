@@ -1,0 +1,77 @@
+"""Unit tests for the invariant monitor."""
+
+import pytest
+
+from repro.core import InvariantMonitor, InvariantReport, SNSScheduler
+from repro.core.sns import SNSJobState
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class TestReport:
+    def test_clean_report_ok(self):
+        report = InvariantReport()
+        assert report.ok
+        report.record("boom")
+        assert not report.ok
+        assert report.violations == ["boom"]
+
+
+class TestMonitorOnCompliantWorkloads:
+    def test_zero_violations(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=40, m=8, load=2.0, epsilon=1.0, seed=3,
+                deadline_policy="slack",
+            )
+        )
+        monitor = InvariantMonitor(SNSScheduler(epsilon=1.0))
+        Simulator(m=8, scheduler=monitor).run(specs)
+        assert monitor.report.ok, monitor.report.violations
+        assert monitor.report.checks > 0
+        assert monitor.assumption_violations == 0
+
+    def test_assumption_violations_counted_not_flagged(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=20, m=8, load=2.0, epsilon=1.0, seed=3,
+                deadline_policy="tight", tight_factor=1.0,
+            )
+        )
+        monitor = InvariantMonitor(SNSScheduler(epsilon=1.0))
+        Simulator(m=8, scheduler=monitor).run(specs)
+        # tight deadlines violate the assumption; that is counted, and
+        # the lemmas are not asserted for those jobs
+        assert monitor.assumption_violations > 0
+        assert monitor.report.ok, monitor.report.violations
+
+
+class TestMonitorCatchesViolations:
+    def test_broken_scheduler_detected(self):
+        class BrokenS(SNSScheduler):
+            """Admits everything and doubles allotments: breaks bands."""
+
+            def compute_state(self, job):
+                state = super().compute_state(job)
+                return SNSJobState(
+                    view=state.view,
+                    allotment=min(self.m, state.allotment * 4),
+                    x=state.x,
+                    density=state.density,
+                    delta_good=state.delta_good,
+                )
+
+            def on_arrival(self, job, t):
+                state = self.compute_state(job)
+                self.all_states[job.job_id] = state
+                self._start(state)
+
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=30, m=8, load=4.0, epsilon=1.0, seed=0,
+                deadline_policy="slack",
+            )
+        )
+        monitor = InvariantMonitor(BrokenS(epsilon=1.0))
+        Simulator(m=8, scheduler=monitor).run(specs)
+        assert not monitor.report.ok

@@ -1,0 +1,233 @@
+"""Unit and scenario tests for the paper's scheduler S."""
+
+import math
+
+import pytest
+
+from repro.core import Constants, SNSScheduler
+from repro.dag import block, chain, fork_join
+from repro.errors import SchedulingError
+from repro.sim import JobSpec, Simulator
+from repro.sim.jobs import ActiveJob
+from repro.profit import StepProfit
+
+
+def make_view(dag, arrival=0, deadline=100, profit=1.0, job_id=0):
+    return ActiveJob(
+        JobSpec(job_id, dag, arrival=arrival, deadline=deadline, profit=profit)
+    ).view
+
+
+@pytest.fixture
+def sched():
+    s = SNSScheduler(epsilon=1.0)  # delta=0.25, 1+2delta=1.5
+    s.on_start(m=16, speed=1.0)
+    return s
+
+
+class TestComputeState:
+    def test_hand_computed_allotment(self, sched):
+        # W=130, L=10 via fork_join? use explicit: block won't give L=10.
+        # chain of 10 plus block merged is complex; test formulas directly
+        # with a fork-join: width 64, node 2, fork/join 1 ->
+        # W = 64*2 + 2 = 130, L = 2 + 2 = ... use simpler numbers below.
+        view = make_view(block(120, node_work=1.0), deadline=12)
+        # W=120, L=1; n = 119/(12/1.5 - 1) = 17 -> clamped to 16 = m
+        state = sched.compute_state(view)
+        assert state.allotment == 16
+
+    def test_sequential_job_gets_one_processor(self, sched):
+        view = make_view(chain(10), deadline=100)
+        state = sched.compute_state(view)
+        assert state.allotment == 1
+        assert state.x == pytest.approx(10.0)
+        assert state.delta_good  # 100 >= 1.5 * 10
+
+    def test_infeasible_denominator_clamps_to_m(self, sched):
+        # D/1.5 <= L: block job with deadline barely above span
+        view = make_view(block(64, node_work=8.0), deadline=9)
+        state = sched.compute_state(view)
+        assert state.allotment == 16
+        assert not state.delta_good
+
+    def test_density_definition(self, sched):
+        view = make_view(chain(10), deadline=100, profit=5.0)
+        state = sched.compute_state(view)
+        # v = p / (x * n) = 5 / (10 * 1)
+        assert state.density == pytest.approx(0.5)
+
+    def test_requires_deadline(self, sched):
+        view = ActiveJob(
+            JobSpec(0, chain(4), arrival=0, profit_fn=StepProfit(1.0, 50.0))
+        ).view
+        with pytest.raises(SchedulingError):
+            sched.compute_state(view)
+
+    def test_speed_scaling_shrinks_effective_work(self):
+        s = SNSScheduler(epsilon=1.0)
+        s.on_start(m=16, speed=2.0)
+        view = make_view(block(64, node_work=8.0), deadline=9)
+        # at speed 2: W=256, L=4 -> denominator 9/1.5 - 4 = 2 -> n = 126
+        # clamped to 16; but delta-goodness now possible at higher D
+        state = s.compute_state(view)
+        assert state.allotment == 16
+
+    def test_delta_goodness_boundary(self, sched):
+        # chain: x = W; delta-good iff D >= 1.5 * W
+        view_good = make_view(chain(10), deadline=15)
+        view_bad = make_view(chain(10), deadline=14)
+        assert sched.compute_state(view_good).delta_good
+        assert not sched.compute_state(view_bad).delta_good
+
+
+class TestAdmission:
+    def test_delta_good_job_admitted(self, sched):
+        view = make_view(chain(10), deadline=100)
+        sched.on_arrival(view, 0)
+        assert view.job_id in sched.queue_started
+        assert view.job_id in sched.started_ids
+
+    def test_non_delta_good_parked(self, sched):
+        view = make_view(chain(10), deadline=14)
+        sched.on_arrival(view, 0)
+        assert view.job_id in sched.queue_parked
+        assert view.job_id not in sched.queue_started
+
+    def test_band_overflow_parks(self, sched):
+        # Jobs requiring ~8 processors each at the same density: capacity
+        # b*m ~ 13.9 admits one, parks the second.
+        for jid in (0, 1, 2):
+            dag = block(80, node_work=1.0)
+            view = make_view(dag, deadline=18, job_id=jid)
+            sched.on_arrival(view, 0)
+        # n = 79/(12-1) = 7.2 -> 8; two fit (16 <= 13.86? no: 8+8 > 13.86)
+        assert len(sched.queue_started) == 1
+        assert len(sched.queue_parked) == 2
+
+    def test_zero_profit_never_started(self, sched):
+        view = make_view(chain(10), deadline=100, profit=0.0)
+        sched.on_arrival(view, 0)
+        assert view.job_id in sched.queue_parked
+
+    def test_observation3_band_invariant_after_arrivals(self, sched):
+        for jid in range(12):
+            view = make_view(
+                block(40 + jid, node_work=1.0),
+                deadline=20 + jid,
+                profit=1.0 + 0.3 * jid,
+                job_id=jid,
+            )
+            sched.on_arrival(view, 0)
+        load = sched.bands.max_band_load(sched.constants.c)
+        assert load <= sched.constants.band_capacity(16) + 1e-9
+
+
+class TestPromotion:
+    def test_parked_promoted_on_completion(self, sched):
+        # fill the band, then complete the blocker; the parked job is
+        # delta-fresh and must be promoted
+        views = [
+            make_view(block(80, node_work=1.0), deadline=18, job_id=0),
+            make_view(block(80, node_work=1.0), deadline=18, job_id=1),
+        ]
+        sched.on_arrival(views[0], 0)
+        sched.on_arrival(views[1], 0)
+        assert 1 in sched.queue_parked
+        sched.on_completion(views[0], 1)
+        assert 1 in sched.queue_started
+
+    def test_stale_parked_not_promoted(self, sched):
+        views = [
+            make_view(block(80, node_work=1.0), deadline=18, job_id=0),
+            make_view(block(80, node_work=1.0), deadline=18, job_id=1),
+        ]
+        sched.on_arrival(views[0], 0)
+        sched.on_arrival(views[1], 0)
+        # at t=10 job 1 is no longer delta-fresh:
+        # d - t = 8 < (1+delta) * x = 1.25 * 11
+        sched.on_completion(views[0], 10)
+        assert 1 in sched.queue_parked
+
+    def test_expiry_cleans_both_queues(self, sched):
+        v0 = make_view(chain(10), deadline=100, job_id=0)
+        v1 = make_view(chain(10), deadline=14, job_id=1)  # parked
+        sched.on_arrival(v0, 0)
+        sched.on_arrival(v1, 0)
+        sched.on_expiry(v0, 100)
+        sched.on_expiry(v1, 14)
+        assert len(sched.queue_started) == 0
+        assert len(sched.queue_parked) == 0
+        assert len(sched.bands) == 0
+
+
+class TestAllocation:
+    def test_exactly_n_i_processors(self, sched):
+        view = make_view(chain(10), deadline=100)
+        sched.on_arrival(view, 0)
+        alloc = sched.allocate(0)
+        assert alloc == {0: 1}
+
+    def test_density_order_priority(self):
+        # Three unit-allotment jobs in three *separate* density bands
+        # (profit ratios exceed c ~ 52.7) so all are admitted; with
+        # m=2 only the two densest run.
+        sched = SNSScheduler(epsilon=1.0)
+        sched.on_start(m=2, speed=1.0)
+        for jid, profit in [(0, 1.0), (1, 100.0), (2, 10000.0)]:
+            sched.on_arrival(
+                make_view(chain(4), deadline=100, profit=profit, job_id=jid), 0
+            )
+        assert len(sched.queue_started) == 3
+        assert sched.allocate(0) == {2: 1, 1: 1}
+
+    def test_skips_jobs_that_do_not_fit(self):
+        # A (n=12, densest) and B (n=12) are in separate bands and both
+        # admitted; with m=16, A leaves only 4 free so B is skipped but
+        # C (n=1) still runs -- the paper's "continue to the next job".
+        sched = SNSScheduler(epsilon=1.0)
+        sched.on_start(m=16, speed=1.0)
+        a = make_view(block(121, node_work=1.0), deadline=17, profit=13200.0,
+                      job_id=0)
+        b = make_view(block(121, node_work=1.0), deadline=17, profit=132.0,
+                      job_id=1)
+        c = make_view(chain(4), deadline=100, profit=0.02, job_id=2)
+        for view in (a, b, c):
+            sched.on_arrival(view, 0)
+        assert sched.all_states[0].allotment == 12
+        assert sched.all_states[1].allotment == 12
+        assert len(sched.queue_started) == 3
+        assert sched.allocate(0) == {0: 12, 2: 1}
+
+    def test_no_job_admittable_when_m_too_small(self):
+        # with m=1, b*m < 1 < n_i: condition (2) can never pass
+        sched = SNSScheduler(epsilon=1.0)
+        sched.on_start(m=1, speed=1.0)
+        sched.on_arrival(make_view(chain(4), deadline=100, job_id=0), 0)
+        assert 0 in sched.queue_parked
+        assert sched.allocate(0) == {}
+
+
+class TestEndToEnd:
+    def test_single_job_completes_within_x(self):
+        m = 8
+        sched = SNSScheduler(epsilon=1.0)
+        spec = JobSpec(0, fork_join(16, node_work=2.0), arrival=0,
+                       deadline=60, profit=1.0)
+        result = Simulator(m=m, scheduler=sched).run([spec])
+        rec = result.records[0]
+        assert rec.on_time
+        state = sched.all_states[0]
+        assert rec.completion_time <= math.ceil(state.x)
+
+    def test_paper_constants_variant_runs(self):
+        consts = Constants.from_epsilon(1.0, c=5.0)
+        sched = SNSScheduler(constants=consts)
+        spec = JobSpec(0, chain(8), arrival=0, deadline=40, profit=1.0)
+        result = Simulator(m=4, scheduler=sched).run([spec])
+        assert result.total_profit == 1.0
+
+    def test_unstarted_scheduler_raises_on_use(self):
+        sched = SNSScheduler(epsilon=1.0)
+        view = make_view(chain(4), deadline=100)
+        with pytest.raises((SchedulingError, ZeroDivisionError)):
+            sched.on_arrival(view, 0)

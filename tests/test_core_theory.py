@@ -1,0 +1,160 @@
+"""Unit + property tests for repro.core.theory.Constants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Constants
+from tests.conftest import job_parameters
+
+
+class TestDerivation:
+    def test_defaults(self):
+        c = Constants.from_epsilon(1.0)
+        assert c.delta == 0.25
+        assert c.b == pytest.approx(math.sqrt(1.5 / 2.0))
+        assert c.c >= 1.0 + 1.0 / (c.delta * c.epsilon)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            Constants.from_epsilon(0.0)
+        with pytest.raises(ValueError):
+            Constants.from_epsilon(-1.0)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            Constants.from_epsilon(1.0, delta=0.5)  # = eps/2 not allowed
+        with pytest.raises(ValueError):
+            Constants.from_epsilon(1.0, delta=0.0)
+
+    def test_rejects_small_c(self):
+        with pytest.raises(ValueError):
+            Constants.from_epsilon(1.0, c=2.0)  # below paper minimum (5)
+
+    def test_explicit_paper_c_accepted(self):
+        c = Constants.from_epsilon(1.0, c=5.0)
+        assert c.c == 5.0
+
+    def test_b_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            Constants(epsilon=1.0, delta=0.25, c=60.0, b=0.5)
+
+
+class TestDerivedQuantities:
+    def test_a_formula(self):
+        c = Constants.from_epsilon(1.0)  # delta = 0.25
+        assert c.a == pytest.approx(1.0 + 1.5 / 0.5)  # = 4
+
+    def test_completion_coefficient_positive(self):
+        for eps in (0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
+            c = Constants.from_epsilon(eps)
+            assert c.completion_coefficient > 0, eps
+
+    def test_paper_minimal_c_coefficient_nonpositive_for_small_eps(self):
+        # documents the deviation: the paper's minimal c makes the
+        # Lemma 5 coefficient <= 0 for small epsilon
+        eps, delta = 0.25, 0.0625
+        c = Constants.from_epsilon(eps, c=1.0 + 1.0 / (delta * eps))
+        assert c.completion_coefficient <= 0
+
+    def test_competitive_ratios_finite_and_ordered(self):
+        c = Constants.from_epsilon(1.0)
+        assert 1.0 < c.competitive_ratio_throughput < float("inf")
+        assert c.competitive_ratio_profit > c.competitive_ratio_throughput
+
+    def test_ratio_grows_as_eps_shrinks(self):
+        r = [
+            Constants.from_epsilon(eps).competitive_ratio_throughput
+            for eps in (2.0, 1.0, 0.5, 0.25)
+        ]
+        assert r[0] < r[1] < r[2] < r[3]
+
+    def test_band_capacity(self):
+        c = Constants.from_epsilon(1.0)
+        assert c.band_capacity(100) == pytest.approx(c.b * 100)
+        assert c.allotment_cap(100) == pytest.approx(c.b * c.b * 100)
+
+
+class TestPerJobQuantities:
+    def test_allotment_sequential_job(self):
+        c = Constants.from_epsilon(1.0)
+        assert c.allotment_real(10.0, 10.0, 100.0) == 0.0
+        assert c.allotment(10.0, 10.0, 100.0, m=8) == 1
+
+    def test_allotment_infeasible_denominator(self):
+        c = Constants.from_epsilon(1.0)  # 1+2delta = 1.5
+        # D/1.5 <= L -> infinite real allotment, clamped to m
+        assert math.isinf(c.allotment_real(100.0, 10.0, 15.0))
+        assert c.allotment(100.0, 10.0, 15.0, m=8) == 8
+
+    def test_allotment_hand_computed(self):
+        c = Constants.from_epsilon(1.0)  # delta=.25 -> 1+2delta=1.5
+        # W=130, L=10, D=60: n = 120 / (40 - 10) = 4
+        assert c.allotment_real(130.0, 10.0, 60.0) == pytest.approx(4.0)
+        assert c.allotment(130.0, 10.0, 60.0, m=16) == 4
+
+    def test_execution_bound(self):
+        c = Constants.from_epsilon(1.0)
+        # x = (130-10)/4 + 10 = 40
+        assert c.execution_bound(130.0, 10.0, 4) == pytest.approx(40.0)
+
+    def test_density(self):
+        c = Constants.from_epsilon(1.0)
+        assert c.density(80.0, 40.0, 4) == pytest.approx(0.5)
+
+    def test_delta_good(self):
+        c = Constants.from_epsilon(1.0)
+        assert c.is_delta_good(60.0, 40.0)  # 60 >= 1.5*40
+        assert not c.is_delta_good(59.0, 40.0)
+
+    def test_delta_fresh(self):
+        c = Constants.from_epsilon(1.0)  # 1+delta = 1.25
+        assert c.is_delta_fresh(100.0, 50.0, 40.0)  # 50 >= 50
+        assert not c.is_delta_fresh(100.0, 51.0, 40.0)
+
+
+class TestLemmasNumerically:
+    """Lemmas 1-3 hold for every assumption-satisfying job (hypothesis)."""
+
+    @given(job_parameters())
+    def test_lemma1_allotment_cap(self, params):
+        work, span, m, epsilon = params
+        consts = Constants.from_epsilon(epsilon)
+        deadline = consts.slack_requirement(work, span, m) * 1.000001
+        real = consts.allotment_real(work, span, deadline)
+        assert real <= consts.allotment_cap(m) + 1e-6
+
+    @given(job_parameters())
+    def test_lemma2_delta_good(self, params):
+        work, span, m, epsilon = params
+        consts = Constants.from_epsilon(epsilon)
+        deadline = consts.slack_requirement(work, span, m) * 1.000001
+        n = consts.allotment(work, span, deadline, m)
+        x = consts.execution_bound(work, span, n)
+        assert consts.is_delta_good(deadline, x)
+
+    @given(job_parameters())
+    def test_lemma3_processor_step_inflation(self, params):
+        work, span, m, epsilon = params
+        consts = Constants.from_epsilon(epsilon)
+        deadline = consts.slack_requirement(work, span, m) * 1.000001
+        n = consts.allotment(work, span, deadline, m)
+        x = consts.execution_bound(work, span, n)
+        # +x allowance for ceil-rounding of n (adds at most L <= x)
+        assert x * n <= consts.a * work + x + 1e-6
+
+    @given(job_parameters())
+    def test_integral_allotment_only_shrinks_x(self, params):
+        """Rounding n up can only shorten the execution bound x."""
+        work, span, m, epsilon = params
+        consts = Constants.from_epsilon(epsilon)
+        deadline = consts.slack_requirement(work, span, m) * 1.000001
+        real = consts.allotment_real(work, span, deadline)
+        n = consts.allotment(work, span, deadline, m)
+        if 0 < real and not math.isinf(real) and n >= real:
+            x_real = consts.execution_bound(work, span, max(real, 1e-12))
+            x_int = consts.execution_bound(work, span, n)
+            if real >= 1:
+                assert x_int <= x_real + 1e-9

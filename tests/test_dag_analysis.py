@@ -1,0 +1,64 @@
+"""Unit tests for repro.dag.analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dag import block, chain, fork_join
+from repro.dag.analysis import (
+    node_depths,
+    profile,
+    width_profile,
+    work_parallelism_profile,
+)
+
+
+class TestDepthsAndWidths:
+    def test_chain_depths(self):
+        depths = node_depths(chain(4))
+        assert list(depths) == [0, 1, 2, 3]
+
+    def test_block_all_depth_zero(self):
+        assert list(node_depths(block(5))) == [0] * 5
+
+    def test_diamond_depths(self, diamond):
+        assert list(node_depths(diamond)) == [0, 1, 1, 2]
+
+    def test_width_profile_chain(self):
+        assert list(width_profile(chain(4))) == [1, 1, 1, 1]
+
+    def test_width_profile_fork_join(self):
+        assert list(width_profile(fork_join(5))) == [1, 5, 1]
+
+
+class TestWorkProfile:
+    def test_conserves_total_work(self, diamond):
+        prof = work_parallelism_profile(diamond, bins=8)
+        assert prof.sum() == pytest.approx(diamond.total_work)
+
+    def test_block_front_loaded(self):
+        prof = work_parallelism_profile(block(8), bins=4)
+        assert prof[0] == 8.0
+        assert prof[1:].sum() == 0.0
+
+    def test_chain_spread(self):
+        prof = work_parallelism_profile(chain(8), bins=8)
+        assert np.all(prof == 1.0)
+
+
+class TestProfile:
+    def test_fork_join_profile(self):
+        p = profile(fork_join(6, node_work=2.0, fork_work=1.0, join_work=1.0))
+        assert p.num_nodes == 8
+        assert p.depth == 3
+        assert p.max_width == 6
+        assert p.max_out_degree == 6
+        assert p.max_in_degree == 6
+        assert p.span == 4.0
+
+    def test_as_row_lengths(self, diamond):
+        row = profile(diamond).as_row()
+        assert len(row) == 8
+
+    def test_average_parallelism(self):
+        p = profile(block(16))
+        assert p.average_parallelism == 16.0

@@ -1,0 +1,221 @@
+"""Unit tests for repro.dag.builders."""
+
+import numpy as np
+import pytest
+
+from repro.dag import (
+    DAGBuilder,
+    block,
+    block_with_chain,
+    chain,
+    chain_then_block,
+    fork_join,
+    from_networkx,
+    layered_random,
+    random_dag_gnp,
+    recursive_fork_join,
+    series_parallel_random,
+    single_node,
+    validate_structure,
+)
+
+
+class TestBuilder:
+    def test_incremental(self):
+        b = DAGBuilder("t")
+        ids = b.add_nodes([1.0, 2.0])
+        b.add_edge(ids[0], ids[1])
+        dag = b.build()
+        assert dag.num_nodes == 2
+        assert dag.span == 3.0
+        assert dag.name == "t"
+
+    def test_add_chain(self):
+        b = DAGBuilder()
+        ids = b.add_chain([1.0, 1.0, 1.0])
+        dag = b.build()
+        assert dag.span == 3.0
+        assert list(dag.edges()) == [(ids[0], ids[1]), (ids[1], ids[2])]
+
+    def test_rejects_non_positive_work(self):
+        with pytest.raises(ValueError):
+            DAGBuilder().add_node(0.0)
+
+    def test_num_nodes(self):
+        b = DAGBuilder()
+        assert b.num_nodes == 0
+        b.add_node()
+        assert b.num_nodes == 1
+
+
+class TestElementaryShapes:
+    def test_single(self):
+        dag = single_node(4.0)
+        assert dag.num_nodes == 1
+        assert dag.span == 4.0
+
+    def test_chain(self):
+        dag = chain(4, node_work=3.0)
+        assert dag.num_nodes == 4
+        assert dag.total_work == 12.0
+        assert dag.span == 12.0
+        validate_structure(dag)
+
+    def test_chain_length_one(self):
+        assert chain(1).num_edges == 0
+
+    def test_chain_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            chain(0)
+
+    def test_block(self):
+        dag = block(6, node_work=2.0)
+        assert dag.total_work == 12.0
+        assert dag.span == 2.0
+        assert dag.num_edges == 0
+
+    def test_block_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            block(0)
+
+    def test_fork_join(self):
+        dag = fork_join(3, node_work=2.0, fork_work=1.0, join_work=1.0)
+        assert dag.num_nodes == 5
+        assert dag.total_work == 8.0
+        assert dag.span == 4.0  # fork + middle + join
+        assert dag.sources() == (0,)
+        assert dag.sinks() == (4,)
+        validate_structure(dag)
+
+
+class TestPaperExamples:
+    def test_fig1_parameters(self):
+        m = 4
+        dag = block_with_chain(64.0, m)
+        assert dag.total_work == 64.0
+        assert dag.span == 16.0  # W/m
+        # chain of 16 unit nodes, block of 48 unit nodes
+        assert dag.num_nodes == 64
+        assert dag.num_edges == 15
+        validate_structure(dag)
+
+    def test_fig1_chain_independent_of_block(self):
+        dag = block_with_chain(64.0, 4)
+        # the chain head and every block node are sources
+        assert len(dag.sources()) == 1 + 48
+
+    def test_fig1_coarse_nodes(self):
+        dag = block_with_chain(128.0, 4, node_work=2.0)
+        assert dag.span == 32.0
+        assert dag.total_work == 128.0
+
+    def test_fig1_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            block_with_chain(65.0, 4)
+
+    def test_fig1_rejects_single_processor(self):
+        with pytest.raises(ValueError):
+            block_with_chain(64.0, 1)
+
+    def test_fig2_parameters(self):
+        dag = chain_then_block(64.0, 16.0, 1.0)
+        assert dag.total_work == 64.0
+        assert dag.span == 16.0
+        # chain of 15, block of 49, all depending on chain end
+        assert dag.num_nodes == 64
+        validate_structure(dag)
+
+    def test_fig2_block_depends_on_chain(self):
+        dag = chain_then_block(64.0, 16.0, 1.0)
+        last_chain = 14
+        assert len(dag.successors(last_chain)) == 49
+
+    def test_fig2_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            chain_then_block(64.0, 16.5, 1.0)
+
+
+class TestRandomFamilies:
+    def test_layered(self, rng):
+        dag = layered_random(4, 5, rng)
+        assert dag.num_nodes == 20
+        validate_structure(dag)
+        # span spans all layers: at least 4 nodes deep
+        assert dag.span >= 4 * 0.5
+
+    def test_layered_every_node_connected(self, rng):
+        dag = layered_random(3, 4, rng, edge_prob=0.0)
+        # even with p=0 every layer-k node has >= 1 predecessor
+        for v in range(4, 12):
+            assert dag.indegree(v) >= 1
+
+    def test_layered_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            layered_random(0, 5, rng)
+
+    def test_series_parallel(self, rng):
+        dag = series_parallel_random(20, rng)
+        validate_structure(dag)
+        assert dag.num_nodes >= 20  # parallel composition adds joins
+
+    def test_series_parallel_single(self, rng):
+        dag = series_parallel_random(1, rng)
+        assert dag.num_nodes == 1
+
+    def test_recursive_fork_join(self):
+        dag = recursive_fork_join(2, branching=2)
+        validate_structure(dag)
+        # 4 leaves + 3 fork/join pairs
+        assert dag.num_nodes == 4 + 6
+        assert len(dag.sources()) == 1
+        assert len(dag.sinks()) == 1
+
+    def test_recursive_fork_join_depth_zero(self):
+        assert recursive_fork_join(0).num_nodes == 1
+
+    def test_recursive_fork_join_rejects_negative(self):
+        with pytest.raises(ValueError):
+            recursive_fork_join(-1)
+
+    def test_gnp(self, rng):
+        dag = random_dag_gnp(30, 0.2, rng)
+        assert dag.num_nodes == 30
+        validate_structure(dag)
+
+    def test_gnp_zero_prob(self, rng):
+        dag = random_dag_gnp(10, 0.0, rng)
+        assert dag.num_edges == 0
+
+    def test_gnp_full_prob(self, rng):
+        dag = random_dag_gnp(5, 1.0, rng)
+        assert dag.num_edges == 10
+
+    def test_gnp_rejects_bad_prob(self, rng):
+        with pytest.raises(ValueError):
+            random_dag_gnp(5, 1.5, rng)
+
+    def test_determinism(self):
+        a = layered_random(3, 4, np.random.default_rng(7))
+        b = layered_random(3, 4, np.random.default_rng(7))
+        assert a == b
+
+
+class TestFromNetworkx:
+    def test_arbitrary_labels(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_node("start", work=2.0)
+        g.add_node("end", work=3.0)
+        g.add_edge("start", "end")
+        dag = from_networkx(g)
+        assert dag.num_nodes == 2
+        assert dag.total_work == 5.0
+        assert dag.span == 5.0
+
+    def test_missing_work_defaults_to_one(self):
+        import networkx as nx
+
+        g = nx.path_graph(3, create_using=nx.DiGraph)
+        dag = from_networkx(g)
+        assert dag.total_work == 3.0

@@ -1,0 +1,153 @@
+"""Unit tests for repro.dag.graph.DAGStructure."""
+
+import numpy as np
+import pytest
+
+from repro.dag import DAGStructure, chain, validate_structure
+
+
+class TestConstruction:
+    def test_single_node(self):
+        dag = DAGStructure([3.0])
+        assert dag.num_nodes == 1
+        assert dag.num_edges == 0
+        assert dag.total_work == 3.0
+        assert dag.span == 3.0
+
+    def test_empty_work_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([])
+
+    def test_non_positive_work_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, 0.0])
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, -2.0])
+
+    def test_nan_work_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            DAGStructure([float("inf")])
+
+    def test_unknown_node_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, 1.0], [(0, 2)])
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, 1.0], [(-1, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([1.0], [(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DAGStructure([1.0, 1.0], [(0, 1), (0, 1)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            DAGStructure([1.0, 1.0, 1.0], [(0, 1), (1, 2), (2, 0)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            DAGStructure([1.0, 1.0], [(0, 1), (1, 0)])
+
+    def test_work_array_readonly(self):
+        dag = DAGStructure([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dag.work[0] = 5.0
+
+
+class TestDerived:
+    def test_diamond_span(self, diamond):
+        assert diamond.total_work == 7.0
+        assert diamond.span == 5.0  # 0 -> 2 -> 3
+
+    def test_chain_span_equals_work(self):
+        dag = chain(5, node_work=2.0)
+        assert dag.total_work == 10.0
+        assert dag.span == 10.0
+
+    def test_parallel_block_span(self):
+        dag = DAGStructure([4.0, 2.0, 1.0])
+        assert dag.span == 4.0
+        assert dag.total_work == 7.0
+
+    def test_sources_and_sinks(self, diamond):
+        assert diamond.sources() == (0,)
+        assert diamond.sinks() == (3,)
+
+    def test_adjacency(self, diamond):
+        assert set(diamond.successors(0)) == {1, 2}
+        assert set(diamond.predecessors(3)) == {1, 2}
+        assert diamond.indegree(0) == 0
+        assert diamond.indegree(3) == 2
+
+    def test_edges_iteration(self, diamond):
+        assert set(diamond.edges()) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+        assert diamond.num_edges == 4
+
+    def test_topological_order_respects_edges(self, diamond):
+        order = diamond.topological_order()
+        pos = {node: i for i, node in enumerate(order)}
+        for u, v in diamond.edges():
+            assert pos[u] < pos[v]
+
+    def test_tail_lengths(self, diamond):
+        tails = diamond.tail_lengths()
+        assert tails[3] == 1.0
+        assert tails[1] == 3.0  # 1 -> 3
+        assert tails[2] == 4.0  # 2 -> 3
+        assert tails[0] == 5.0  # full critical path
+
+    def test_tail_lengths_cached_and_readonly(self, diamond):
+        t1 = diamond.tail_lengths()
+        t2 = diamond.tail_lengths()
+        assert t1 is t2
+        with pytest.raises(ValueError):
+            t1[0] = 99.0
+
+    def test_average_parallelism(self, diamond):
+        assert diamond.average_parallelism() == pytest.approx(7.0 / 5.0)
+
+
+class TestInterop:
+    def test_networkx_round_trip(self, diamond):
+        import networkx as nx
+        from repro.dag import from_networkx
+
+        g = diamond.to_networkx()
+        assert isinstance(g, nx.DiGraph)
+        back = from_networkx(g)
+        assert back == diamond
+        validate_structure(back)
+
+    def test_networkx_work_attr(self, diamond):
+        g = diamond.to_networkx()
+        assert g.nodes[2]["work"] == 3.0
+
+
+class TestEquality:
+    def test_equal_structures(self):
+        a = DAGStructure([1.0, 2.0], [(0, 1)])
+        b = DAGStructure([1.0, 2.0], [(0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_different_edges(self):
+        a = DAGStructure([1.0, 2.0], [(0, 1)])
+        b = DAGStructure([1.0, 2.0], [])
+        assert a != b
+
+    def test_different_works(self):
+        a = DAGStructure([1.0, 2.0])
+        b = DAGStructure([1.0, 3.0])
+        assert a != b
+
+    def test_not_equal_other_type(self):
+        assert DAGStructure([1.0]) != "dag"
+
+    def test_repr_mentions_counts(self, diamond):
+        text = repr(diamond)
+        assert "nodes=4" in text
+        assert "W=7" in text

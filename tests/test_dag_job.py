@@ -1,0 +1,158 @@
+"""Unit tests for repro.dag.job.DAGJob runtime semantics."""
+
+import pytest
+
+from repro.dag import DAGJob, DAGStructure, chain
+from repro.dag.node import NodeState
+from repro.dag.validate import validate_job_state
+
+
+class TestInitialState:
+    def test_sources_ready(self, diamond):
+        job = DAGJob(diamond)
+        assert set(job.ready_nodes()) == {0}
+        assert job.num_ready() == 1
+        assert not job.is_complete()
+        assert job.completed_nodes == 0
+
+    def test_block_all_ready(self):
+        job = DAGJob(DAGStructure([1.0] * 5))
+        assert set(job.ready_nodes()) == {0, 1, 2, 3, 4}
+
+    def test_work_span_passthrough(self, diamond):
+        job = DAGJob(diamond)
+        assert job.total_work == 7.0
+        assert job.span == 5.0
+
+    def test_initial_remaining(self, diamond):
+        job = DAGJob(diamond)
+        assert job.remaining_work() == 7.0
+        assert job.remaining_span() == 5.0
+        validate_job_state(job)
+
+
+class TestProcessing:
+    def test_partial_then_complete(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        assert not job.process(0, 0.5)
+        assert job.node_remaining(0) == 0.5
+        assert job.process(0, 0.5)
+        assert job.node_state(0) == NodeState.DONE
+        assert set(job.ready_nodes()) == {1, 2}
+
+    def test_overshoot_is_lost(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        assert job.process(0, 10.0)  # completes; excess lost
+        assert job.node_remaining(0) == 0.0
+
+    def test_join_waits_for_all_predecessors(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        job.process(0, 1.0)
+        job.mark_running([1])
+        job.process(1, 2.0)
+        assert job.node_state(3) == NodeState.PENDING
+        assert 3 not in job.ready_nodes()
+        job.mark_running([2])
+        job.process(2, 3.0)
+        assert job.node_state(3) == NodeState.READY
+
+    def test_full_execution(self, diamond):
+        job = DAGJob(diamond)
+        for node, work in [(0, 1.0), (1, 2.0), (2, 3.0), (3, 1.0)]:
+            job.mark_running([node])
+            job.process(node, work)
+        assert job.is_complete()
+        assert job.completed_nodes == 4
+        assert job.remaining_work() == 0.0
+        assert job.remaining_span() == 0.0
+        validate_job_state(job)
+
+    def test_cannot_process_pending(self, diamond):
+        job = DAGJob(diamond)
+        with pytest.raises(ValueError):
+            job.process(3, 1.0)
+
+    def test_cannot_process_done(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        job.process(0, 1.0)
+        with pytest.raises(ValueError):
+            job.process(0, 1.0)
+
+    def test_negative_amount_rejected(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        with pytest.raises(ValueError):
+            job.process(0, -1.0)
+
+    def test_float_residue_snapped(self):
+        job = DAGJob(DAGStructure([1.0]))
+        job.mark_running([0])
+        # three thirds with float error still completes
+        job.process(0, 1.0 / 3.0)
+        job.process(0, 1.0 / 3.0)
+        done = job.process(0, 1.0 / 3.0 + 1e-13)
+        assert done
+        assert job.is_complete()
+
+
+class TestMarking:
+    def test_mark_running_requires_executable(self, diamond):
+        job = DAGJob(diamond)
+        with pytest.raises(ValueError):
+            job.mark_running([3])
+
+    def test_preemption_round_trip(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        assert job.node_state(0) == NodeState.RUNNING
+        job.mark_preempted([0])
+        assert job.node_state(0) == NodeState.READY
+        # preempting a non-running node is a no-op
+        job.mark_preempted([0])
+        assert job.node_state(0) == NodeState.READY
+
+    def test_running_node_still_in_ready_set(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        assert 0 in job.ready_nodes()
+
+
+class TestReset:
+    def test_reset_restores_initial(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        job.process(0, 1.0)
+        job.mark_running([1])
+        job.process(1, 0.5)
+        job.reset()
+        assert set(job.ready_nodes()) == {0}
+        assert job.completed_nodes == 0
+        assert job.remaining_work() == 7.0
+        assert job.node_remaining(1) == 2.0
+        validate_job_state(job)
+
+
+class TestRemainingSpan:
+    def test_decreases_with_critical_progress(self):
+        dag = chain(3, node_work=2.0)
+        job = DAGJob(dag)
+        assert job.remaining_span() == 6.0
+        job.mark_running([0])
+        job.process(0, 1.0)
+        assert job.remaining_span() == 5.0
+        job.process(0, 1.0)
+        assert job.remaining_span() == 4.0
+
+    def test_parallel_branches(self, diamond):
+        job = DAGJob(diamond)
+        job.mark_running([0])
+        job.process(0, 1.0)
+        # critical path now 2 -> 3 (3 + 1)
+        assert job.remaining_span() == 4.0
+        job.mark_running([1])
+        job.process(1, 2.0)  # off critical path
+        assert job.remaining_span() == 4.0

@@ -1,0 +1,95 @@
+"""Property-based tests of the DAG substrate (hypothesis).
+
+The key property is the paper's Observation 2 / Graham bound: executing
+a job greedily on ``n`` dedicated processors finishes within
+``(W - L)/n + L`` time *regardless* of which ready nodes are picked.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import DAGJob, validate_structure
+from repro.dag.validate import validate_job_state
+from tests.conftest import random_dags
+
+
+@given(random_dags())
+def test_structure_invariants(dag):
+    validate_structure(dag)
+    assert dag.span <= dag.total_work + 1e-9
+    assert dag.span >= float(dag.work.max()) - 1e-9
+    assert dag.num_nodes >= len(dag.sources()) >= 1
+    assert len(dag.sinks()) >= 1
+
+
+@given(random_dags())
+def test_tail_lengths_bound_span(dag):
+    tails = dag.tail_lengths()
+    assert float(tails.max()) == dag.span
+    for u in range(dag.num_nodes):
+        for v in dag.successors(u):
+            assert tails[u] >= tails[v] + dag.work[u] - 1e-9
+
+
+@given(random_dags(), st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_serialization_round_trip(dag, _seed):
+    from repro.dag import structure_from_json, structure_to_json
+
+    assert structure_from_json(structure_to_json(dag)) == dag
+
+
+def _greedy_run(dag, n: int, rng: np.random.Generator) -> int:
+    """Execute with n processors and random ready picks; unit steps."""
+    job = DAGJob(dag)
+    steps = 0
+    while not job.is_complete():
+        ready = list(job.ready_nodes())
+        if len(ready) > n:
+            idx = rng.choice(len(ready), size=n, replace=False)
+            picked = [ready[i] for i in idx]
+        else:
+            picked = ready
+        job.mark_running(picked)
+        for node in picked:
+            job.process(node, 1.0)
+        job.mark_preempted(job.ready_nodes())
+        steps += 1
+        assert steps <= dag.total_work + 1  # absolute sanity
+    validate_job_state(job)
+    return steps
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    random_dags(max_nodes=10, max_work=4),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=10 ** 6),
+)
+def test_observation2_graham_bound(dag, n, seed):
+    """Greedy n-processor execution finishes within ceil((W-L)/n + L)
+    steps for integer node works, no matter the pick order."""
+    rng = np.random.default_rng(seed)
+    steps = _greedy_run(dag, n, rng)
+    bound = math.ceil((dag.total_work - dag.span) / n + dag.span)
+    assert steps <= bound
+    # ... and never below the trivial per-step work lower bound
+    assert steps >= math.ceil(dag.total_work / n / dag.work.max())
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_dags(max_nodes=10, max_work=4))
+def test_observation1_span_decreases_when_all_ready_run(dag):
+    """Running *all* ready nodes reduces the remaining span by exactly
+    the step size (speed 1, unit steps, integer works)."""
+    job = DAGJob(dag)
+    while not job.is_complete():
+        before = job.remaining_span()
+        ready = list(job.ready_nodes())
+        job.mark_running(ready)
+        for node in ready:
+            job.process(node, 1.0)
+        after = job.remaining_span()
+        assert after <= before - 1.0 + 1e-9

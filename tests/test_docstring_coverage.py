@@ -1,0 +1,49 @@
+"""Quality gate: every public item in the library carries a docstring.
+
+"Public" = importable from a `repro.*` module without a leading
+underscore.  Keeps the documentation deliverable from rotting.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_items_documented(module):
+    missing: list[str] = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(obj):
+            missing.append(name)
+            continue
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not inspect.getdoc(meth):
+                    missing.append(f"{name}.{meth_name}")
+    assert not missing, f"{module.__name__}: undocumented public items {missing}"

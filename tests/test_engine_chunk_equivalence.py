@@ -1,0 +1,98 @@
+"""Fast-forward equivalence: the engine's event-driven chunking must be
+semantically identical to stepping one time unit at a time.
+
+A wrapper scheduler forces ``wakeup_after(t) = t + 1``, defeating the
+fast-forward, without changing any decision (the wrapped schedulers'
+``allocate`` is a pure function of event-driven state).  Completion
+times and profits must match exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
+from repro.core import SNSScheduler
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class ForceStepping:
+    """Delegating wrapper that forbids multi-step fast-forward."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    def on_start(self, m, speed):
+        self.inner.on_start(m, speed)
+
+    def on_arrival(self, job, t):
+        self.inner.on_arrival(job, t)
+
+    def on_completion(self, job, t):
+        self.inner.on_completion(job, t)
+
+    def on_expiry(self, job, t):
+        self.inner.on_expiry(job, t)
+
+    def assign_deadline(self, job, t):
+        return self.inner.assign_deadline(job, t)
+
+    def allocate(self, t):
+        return self.inner.allocate(t)
+
+    def wakeup_after(self, t):
+        return t + 1
+
+
+FACTORIES = {
+    "edf": GlobalEDF,
+    "fifo": FIFOScheduler,
+    "greedy": GreedyDensity,
+    "sns": lambda: SNSScheduler(epsilon=1.0),
+}
+
+
+def outcomes(result):
+    return {
+        jid: (rec.completion_time, rec.profit, rec.expired)
+        for jid, rec in result.records.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_chunked_equals_stepped(name):
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=30, m=8, load=2.0, epsilon=1.0, seed=13)
+    )
+    fast = Simulator(m=8, scheduler=FACTORIES[name]()).run(specs)
+    slow = Simulator(
+        m=8, scheduler=ForceStepping(FACTORIES[name]())
+    ).run(specs)
+    assert outcomes(fast) == outcomes(slow)
+    # the chunked run must use no more decision rounds than the stepper
+    assert fast.counters.decisions <= slow.counters.decisions
+    assert fast.counters.steps == slow.counters.steps
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10 ** 6),
+    st.sampled_from(sorted(FACTORIES)),
+    st.sampled_from([0.5, 2.0, 6.0]),
+    st.sampled_from([1.0, 2.0]),
+    st.sampled_from([0.0, 1.0]),
+)
+def test_chunked_equals_stepped_property(seed, name, load, speed, overhead):
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=15, m=4, load=load, epsilon=1.0, seed=seed)
+    )
+    fast = Simulator(
+        m=4, scheduler=FACTORIES[name](), speed=speed,
+        preemption_overhead=overhead,
+    ).run(specs)
+    slow = Simulator(
+        m=4, scheduler=ForceStepping(FACTORIES[name]()), speed=speed,
+        preemption_overhead=overhead,
+    ).run(specs)
+    assert outcomes(fast) == outcomes(slow)

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script runs to completion and produces
+its expected report sections."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "OPT upper bound" in out
+        assert "S(eps=1.0)" in out
+        assert "Global EDF" in out
+
+    def test_cluster_batch(self):
+        out = run_example("cluster_batch_scheduling.py")
+        assert "Demand sweep" in out
+        assert "Trap regime" in out
+        assert "fraction of feasible" in out
+
+    def test_video_rendering(self):
+        out = run_example("video_rendering_profit.py")
+        assert "Render farm" in out
+        for decay in ("linear", "exponential", "staircase"):
+            assert decay in out
+
+    def test_adversarial_lower_bound(self):
+        out = run_example("adversarial_lower_bound.py")
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "2 - 1/m" in out or "2-1/m" in out
+
+    def test_realtime_periodic(self):
+        out = run_example("realtime_periodic_tasks.py")
+        assert "Utilization sweep" in out
+        assert "util [" in out
+        assert "done" in out
+
+    def test_diurnal_report(self):
+        out = run_example("diurnal_cluster_report.py")
+        assert "Workload" in out
+        assert "Comparison" in out
+        assert "Speed needed" in out

@@ -1,0 +1,90 @@
+"""Unit tests for experiment-result persistence and regression compare."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.persist import (
+    compare_results,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+
+
+@pytest.fixture
+def sample():
+    return ExperimentResult(
+        key="EX",
+        title="sample",
+        headers=["a", "b", "c"],
+        rows=[[1, 0.5, "yes"], [2, 0.25, "no"]],
+        claim="something holds",
+        notes=["a note"],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample):
+        back = result_from_dict(result_to_dict(sample))
+        assert back == sample
+
+    def test_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(sample, str(path))
+        back = load_result(str(path))
+        assert back.key == "EX"
+        assert back.rows == sample.rows
+        assert back.notes == ["a note"]
+
+    def test_version_check(self):
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict({"version": 9, "key": "X", "title": "t",
+                              "headers": [], "rows": []})
+
+
+class TestCompare:
+    def test_identical_clean(self, sample):
+        assert compare_results(sample, sample) == []
+
+    def test_within_tolerance_clean(self, sample):
+        current = result_from_dict(result_to_dict(sample))
+        current.rows[0][1] = 0.55  # +10% < 25% tolerance
+        assert compare_results(sample, current) == []
+
+    def test_numeric_regression_detected(self, sample):
+        current = result_from_dict(result_to_dict(sample))
+        current.rows[0][1] = 0.1  # -80%
+        problems = compare_results(sample, current)
+        assert len(problems) == 1
+        assert "'b'" in problems[0]
+
+    def test_string_change_detected(self, sample):
+        current = result_from_dict(result_to_dict(sample))
+        current.rows[1][2] = "maybe"
+        assert compare_results(sample, current)
+
+    def test_structure_changes_reported(self, sample):
+        current = ExperimentResult(
+            key="EX", title="sample", headers=["a", "b"], rows=[[1, 2]]
+        )
+        assert "headers changed" in compare_results(sample, current)[0]
+        current2 = result_from_dict(result_to_dict(sample))
+        current2.rows.append([3, 0.1, "yes"])
+        assert "row count" in compare_results(sample, current2)[0]
+
+    def test_numeric_strings_compared_numerically(self, sample):
+        a = result_from_dict(result_to_dict(sample))
+        b = result_from_dict(result_to_dict(sample))
+        a.rows[0][1] = "0.5"
+        b.rows[0][1] = 0.52
+        assert compare_results(a, b) == []
+
+    def test_real_experiment_round_trip(self, tmp_path):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("E10", quick=True)
+        path = tmp_path / "e10.json"
+        save_result(result, str(path))
+        again = run_experiment("E10", quick=True)
+        assert compare_results(load_result(str(path)), again) == []

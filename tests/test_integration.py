@@ -1,0 +1,142 @@
+"""End-to-end integration tests reproducing the paper's headline shapes
+at small scale (the full-size versions live in benchmarks/)."""
+
+import pytest
+
+from repro.analysis import interval_lp_upper_bound
+from repro.baselines import FIFOScheduler, GlobalEDF, SNSNoAdmission
+from repro.core import SNSScheduler
+from repro.sim import (
+    AdversarialPicker,
+    CriticalPathPicker,
+    JobSpec,
+    Simulator,
+)
+from repro.workloads import (
+    WorkloadConfig,
+    admission_trap,
+    fig1_jobs,
+    fig2_jobs,
+    generate_workload,
+)
+
+
+class TestTheorem1Shape:
+    """Figure 1: the 2 - 1/m separation is exact in our engine."""
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_exact_separation(self, m):
+        specs = fig1_jobs(m, deadline_factor=10.0)
+        t = {}
+        for name, picker in [
+            ("clairvoyant", CriticalPathPicker()),
+            ("adversarial", AdversarialPicker()),
+        ]:
+            result = Simulator(
+                m=m, scheduler=FIFOScheduler(), picker=picker
+            ).run(specs)
+            t[name] = result.records[0].completion_time
+        assert t["clairvoyant"] == specs[0].work / m
+        assert t["adversarial"] / t["clairvoyant"] == pytest.approx(
+            2.0 - 1.0 / m
+        )
+
+    def test_deadline_at_wm_missed_by_adversary(self):
+        m = 4
+        specs = fig1_jobs(m, deadline_factor=1.0)
+        adv = Simulator(
+            m=m, scheduler=FIFOScheduler(), picker=AdversarialPicker()
+        ).run(specs)
+        clair = Simulator(
+            m=m, scheduler=FIFOScheduler(), picker=CriticalPathPicker()
+        ).run(specs)
+        assert adv.total_profit == 0.0
+        assert clair.total_profit == 1.0
+
+    def test_speed_two_recovers(self):
+        m = 4
+        specs = fig1_jobs(m, deadline_factor=1.0, node_work=64.0)
+        adv = Simulator(
+            m=m,
+            scheduler=FIFOScheduler(),
+            picker=AdversarialPicker(),
+            speed=2.0,
+        ).run(specs)
+        assert adv.total_profit == 1.0
+
+
+class TestFigure2Shape:
+    def test_below_bound_unmeetable_by_anyone(self):
+        m = 8
+        # node size 1: bound is nearly tight
+        specs = fig2_jobs(m, 512.0, 64.0, 1.0, deadline_factor=0.95)
+        for picker in (CriticalPathPicker(), AdversarialPicker()):
+            result = Simulator(
+                m=m, scheduler=FIFOScheduler(), picker=picker
+            ).run(specs)
+            assert result.total_profit == 0.0
+
+    def test_at_bound_meetable(self):
+        m = 8
+        specs = fig2_jobs(m, 512.0, 64.0, 1.0, deadline_factor=1.0)
+        result = Simulator(
+            m=m, scheduler=FIFOScheduler(), picker=CriticalPathPicker()
+        ).run(specs)
+        assert result.total_profit == 1.0
+
+
+class TestTheorem2Shape:
+    def test_s_earns_constant_fraction_under_assumption(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=50, m=8, load=2.0, epsilon=1.0, seed=11,
+                deadline_policy="slack",
+            )
+        )
+        bound = interval_lp_upper_bound(specs, 8)
+        result = Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+        assert result.total_profit >= 0.15 * bound
+
+    def test_trap_stream_separates_admission(self):
+        trap = admission_trap(8, 20)
+        s = Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(trap)
+        naive = Simulator(m=8, scheduler=SNSNoAdmission(epsilon=1.0)).run(trap)
+        assert s.total_profit >= 3 * naive.total_profit
+
+    def test_s_beats_edf_under_overload_with_profits(self):
+        import numpy as np
+
+        from repro.workloads import overload_stream
+
+        rng = np.random.default_rng(7)
+        specs = overload_stream(16, 1.0, 120, 4.0, rng)
+        s = Simulator(m=16, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+        edf = Simulator(m=16, scheduler=GlobalEDF()).run(specs)
+        assert s.total_profit > 2 * edf.total_profit
+
+
+class TestSpeedMonotonicity:
+    def test_more_speed_more_profit_for_s(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=40,
+                m=8,
+                load=2.0,
+                epsilon=0.5,
+                seed=4,
+                deadline_policy="tight",
+                tight_factor=1.1,
+                family="fork_join",
+                family_kwargs={
+                    "min_node_work": 8,
+                    "max_node_work": 16,
+                },
+            )
+        )
+        profits = []
+        for speed in (1.0, 2.0, 3.0):
+            result = Simulator(
+                m=8, scheduler=SNSScheduler(epsilon=0.5), speed=speed
+            ).run(specs)
+            profits.append(result.total_profit)
+        assert profits[0] <= profits[1] <= profits[2] + 1e-9

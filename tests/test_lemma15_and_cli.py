@@ -1,0 +1,77 @@
+"""Lemma 15 slot-band invariant (general-profit scheduler) and the
+experiment CLI."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneralProfitScheduler, check_lemma15_slot_bands
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+from repro.workloads.profits import make_profit_fn_sampler
+
+
+class TestLemma15:
+    def _run(self, n_jobs, m, load, seed, decay="linear"):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=n_jobs,
+                m=m,
+                load=load,
+                family="fork_join",
+                epsilon=1.0,
+                profit_fn_sampler=make_profit_fn_sampler(decay),
+                seed=seed,
+            )
+        )
+        sched = GeneralProfitScheduler(epsilon=1.0)
+
+        # check the invariant at every event, not just post-mortem
+        violations: list[str] = []
+        original_arrival = sched.on_arrival
+
+        def checked_arrival(job, t):
+            original_arrival(job, t)
+            violations.extend(check_lemma15_slot_bands(sched))
+
+        sched.on_arrival = checked_arrival
+        Simulator(m=m, scheduler=sched).run(specs)
+        return violations
+
+    @pytest.mark.parametrize("decay", ["linear", "exponential", "staircase"])
+    def test_invariant_holds_per_decay(self, decay):
+        assert self._run(25, 4, 2.0, seed=0, decay=decay) == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from([1.0, 3.0]),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_invariant_property(self, n_jobs, m, load, seed):
+        assert self._run(n_jobs, m, load, seed) == []
+
+
+class TestCLI:
+    def test_main_runs_selected(self, capsys):
+        from repro.experiments.registry import main
+
+        assert main(["E10", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "E10" in out
+        assert "delta" in out
+
+    def test_main_markdown(self, capsys):
+        from repro.experiments.registry import main
+
+        assert main(["E10", "--quick", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "### E10" in out
+        assert "|" in out
+
+    def test_main_unknown_key(self):
+        from repro.experiments.registry import main
+
+        with pytest.raises(KeyError):
+            main(["E99"])

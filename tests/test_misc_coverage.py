@@ -1,0 +1,132 @@
+"""Edge-case and protocol coverage across small modules."""
+
+import pytest
+
+from repro.dag import chain
+from repro.errors import (
+    AllocationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.sim import JobSpec, SchedulerBase, Simulator
+from repro.sim.jobs import ActiveJob
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [AllocationError, SchedulingError, SimulationError, WorkloadError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestSchedulerBase:
+    def test_defaults(self):
+        base = SchedulerBase()
+        base.on_start(4, 1.5)
+        assert base.m == 4
+        assert base.speed == 1.5
+        view = ActiveJob(JobSpec(0, chain(2), arrival=0, deadline=9)).view
+        base.on_arrival(view, 0)
+        base.on_completion(view, 1)
+        base.on_expiry(view, 2)
+        assert base.wakeup_after(3) is None
+        assert base.assign_deadline(view, 0) is None
+        with pytest.raises(NotImplementedError):
+            base.allocate(0)
+
+    def test_protocol_conformance(self):
+        from repro.baselines import (
+            AdmissionEDF,
+            DoublingNonClairvoyant,
+            FederatedScheduler,
+            FIFOScheduler,
+            GlobalEDF,
+            GreedyDensity,
+            LeastLaxityFirst,
+            RandomScheduler,
+        )
+        from repro.core import GeneralProfitScheduler, SNSScheduler
+        from repro.sim.scheduler import Scheduler
+
+        for factory in (
+            AdmissionEDF,
+            DoublingNonClairvoyant,
+            FederatedScheduler,
+            FIFOScheduler,
+            GlobalEDF,
+            GreedyDensity,
+            LeastLaxityFirst,
+            RandomScheduler,
+            GeneralProfitScheduler,
+            SNSScheduler,
+        ):
+            assert isinstance(factory(), Scheduler), factory
+
+
+class TestEngineProtocolErrors:
+    def test_bad_wakeup_rejected(self):
+        class BadWakeup(SchedulerBase):
+            def allocate(self, t):
+                return {}
+
+            def wakeup_after(self, t):
+                return t  # not strictly in the future
+
+        spec = JobSpec(0, chain(2), arrival=0, deadline=9)
+        with pytest.raises(SimulationError, match="wakeup"):
+            Simulator(m=1, scheduler=BadWakeup()).run([spec])
+
+    def test_bad_assigned_deadline_rejected(self):
+        from repro.profit import StepProfit
+
+        class BadAssign(SchedulerBase):
+            def allocate(self, t):
+                return {}
+
+            def assign_deadline(self, job, t):
+                return t  # not in the future
+
+        spec = JobSpec(0, chain(2), arrival=0, profit_fn=StepProfit(1, 20))
+        with pytest.raises(SimulationError, match="deadline"):
+            Simulator(m=1, scheduler=BadAssign()).run([spec])
+
+
+class TestReprSmoke:
+    def test_reprs_do_not_crash(self):
+        from repro.core import Constants, DensityBands, SNSScheduler
+        from repro.profit import FlatThenLinear, StepProfit
+
+        assert "eps" in repr(Constants.from_epsilon(1.0))
+        assert "DensityBands" in repr(DensityBands())
+        assert "SNSScheduler" in repr(SNSScheduler())
+        assert "StepProfit" in repr(StepProfit(1.0, 2.0))
+        assert "FlatThenLinear" in repr(FlatThenLinear(1.0, 2.0, 3.0))
+        job = ActiveJob(JobSpec(0, chain(2), arrival=0, deadline=9))
+        assert "JobView" in repr(job.view)
+        assert "DAGJob" in repr(job.dag)
+
+
+class TestDocstringExample:
+    def test_engine_docstring_example(self):
+        """The example in the engine module docstring must stay true."""
+        from repro.baselines import GlobalEDF
+        from repro.dag import chain as chain_builder
+
+        spec = JobSpec(0, chain_builder(4), arrival=0, deadline=10, profit=1.0)
+        result = Simulator(m=2, scheduler=GlobalEDF()).run([spec])
+        assert result.total_profit == 1.0
+
+    def test_builder_docstring_example(self):
+        from repro.dag import DAGBuilder
+
+        b = DAGBuilder("diamond")
+        top = b.add_node(1.0)
+        left, right = b.add_node(2.0), b.add_node(3.0)
+        bottom = b.add_node(1.0)
+        b.add_edges([(top, left), (top, right), (left, bottom), (right, bottom)])
+        assert b.build().span == 5.0

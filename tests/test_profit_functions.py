@@ -1,0 +1,173 @@
+"""Unit tests for repro.profit."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.profit import (
+    FlatThenExponential,
+    FlatThenLinear,
+    Staircase,
+    StepProfit,
+    check_flat_until,
+    check_non_increasing,
+    check_theorem3_assumption,
+    from_deadline,
+    validate_profit_function,
+)
+
+
+class TestStepProfit:
+    def test_values(self):
+        fn = StepProfit(3.0, 10.0)
+        assert fn(0) == 3.0
+        assert fn(10.0) == 3.0
+        assert fn(10.0001) == 0.0
+
+    def test_horizon(self):
+        fn = StepProfit(3.0, 10.0)
+        assert fn.horizon(0.0) == 11.0
+        assert fn.horizon(5.0) == 0.0  # already below threshold
+
+    def test_from_deadline(self):
+        fn = from_deadline(2.0, 8)
+        assert isinstance(fn, StepProfit)
+        assert fn(8) == 2.0
+        assert fn(9) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            StepProfit(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            StepProfit(1.0, -5.0)
+
+
+class TestFlatThenLinear:
+    def test_values(self):
+        fn = FlatThenLinear(2.0, 4.0, decay_span=8.0)
+        assert fn(4.0) == 2.0
+        assert fn(8.0) == pytest.approx(1.0)
+        assert fn(12.0) == 0.0
+        assert fn(100.0) == 0.0
+
+    def test_horizon(self):
+        fn = FlatThenLinear(2.0, 4.0, decay_span=8.0)
+        assert fn.horizon(0.0) == 12.0
+        assert fn.horizon(1.0) == pytest.approx(8.0)
+
+    def test_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            FlatThenLinear(1.0, 1.0, decay_span=0.0)
+
+
+class TestFlatThenExponential:
+    def test_values(self):
+        fn = FlatThenExponential(1.0, 2.0, tau=3.0)
+        assert fn(2.0) == 1.0
+        assert fn(5.0) == pytest.approx(math.exp(-1.0))
+
+    def test_never_zero(self):
+        fn = FlatThenExponential(1.0, 2.0, tau=3.0)
+        assert fn(1000.0) > 0
+        assert math.isinf(fn.horizon(0.0))
+
+    def test_horizon_threshold(self):
+        fn = FlatThenExponential(1.0, 2.0, tau=3.0)
+        t = fn.horizon(0.5)
+        assert fn(t) == pytest.approx(0.5)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            FlatThenExponential(1.0, 1.0, tau=-1.0)
+
+
+class TestStaircase:
+    def test_values(self):
+        fn = Staircase(3.0, [(4.0, 2.0), (8.0, 1.0), (12.0, 0.0)])
+        assert fn(4.0) == 3.0
+        assert fn(4.5) == 2.0
+        assert fn(8.0) == 2.0
+        assert fn(8.5) == 1.0
+        assert fn(12.5) == 0.0
+
+    def test_x_star_is_first_breakpoint(self):
+        fn = Staircase(3.0, [(4.0, 2.0)])
+        assert fn.x_star == 4.0
+
+    def test_horizon(self):
+        fn = Staircase(3.0, [(4.0, 2.0), (8.0, 0.0)])
+        assert fn.horizon(0.0) == 9.0
+        assert fn.horizon(2.5) == 5.0
+
+    def test_rejects_increasing_levels(self):
+        with pytest.raises(ValueError):
+            Staircase(1.0, [(4.0, 2.0)])
+        with pytest.raises(ValueError):
+            Staircase(3.0, [(4.0, 1.0), (8.0, 2.0)])
+
+    def test_rejects_unordered_times(self):
+        with pytest.raises(ValueError):
+            Staircase(3.0, [(8.0, 2.0), (4.0, 1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Staircase(3.0, [])
+
+
+ALL_FNS = [
+    StepProfit(2.0, 10.0),
+    FlatThenLinear(2.0, 10.0, decay_span=5.0),
+    FlatThenExponential(2.0, 10.0, tau=4.0),
+    Staircase(2.0, [(10.0, 1.0), (20.0, 0.0)]),
+]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("fn", ALL_FNS, ids=lambda f: type(f).__name__)
+    def test_all_functions_valid(self, fn):
+        assert validate_profit_function(fn) == []
+
+    @pytest.mark.parametrize("fn", ALL_FNS, ids=lambda f: type(f).__name__)
+    def test_non_increasing(self, fn):
+        assert check_non_increasing(fn, 60.0)
+
+    @pytest.mark.parametrize("fn", ALL_FNS, ids=lambda f: type(f).__name__)
+    def test_flat_until_knee(self, fn):
+        assert check_flat_until(fn, fn.x_star)
+
+    def test_increasing_function_caught(self):
+        class Bad:
+            peak = 1.0
+            x_star = 5.0
+
+            def __call__(self, t):
+                return t  # increasing!
+
+            def horizon(self, threshold=0.0):
+                return math.inf
+
+        assert not check_non_increasing(Bad(), 10.0)
+        assert "increases" in " ".join(validate_profit_function(Bad(), 10.0))
+
+    def test_theorem3_assumption(self):
+        # W=16, L=2, m=4 -> bound = 5.5; (1+1)*5.5 = 11
+        good = StepProfit(1.0, 11.0)
+        bad = StepProfit(1.0, 10.0)
+        assert check_theorem3_assumption(good, 16.0, 2.0, 4, 1.0)
+        assert not check_theorem3_assumption(bad, 16.0, 2.0, 4, 1.0)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=10.0),
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=0.1, max_value=50.0),
+    st.lists(st.floats(min_value=0.0, max_value=200.0), min_size=2, max_size=20),
+)
+def test_property_non_increasing_linear(peak, x_star, span, times):
+    fn = FlatThenLinear(peak, x_star, span)
+    ordered = sorted(times)
+    values = [fn(t) for t in ordered]
+    assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+    assert all(v >= 0 for v in values)

@@ -1,0 +1,127 @@
+"""White-box tests of the general-profit scheduler's deadline search."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneralProfitScheduler
+from repro.dag import chain, fork_join
+from repro.profit import FlatThenExponential, Staircase, StepProfit
+from repro.sim import JobSpec
+from repro.sim.jobs import ActiveJob
+
+
+def fresh(m=8, epsilon=1.0):
+    sched = GeneralProfitScheduler(epsilon=epsilon)
+    sched.on_start(m=m, speed=1.0)
+    return sched
+
+
+class TestCandidatePieces:
+    def test_step_profit_pieces(self):
+        sched = fresh()
+        fn = StepProfit(1.0, 30.0)
+        pieces = list(sched._candidate_pieces(fn, d_floor=10, d_cap=50))
+        # ascending, contiguous-ish, covering [10, 50]
+        assert pieces[0][0] == 10
+        assert pieces[-1][1] == 50
+        for (a1, b1), (a2, b2) in zip(pieces, pieces[1:]):
+            assert b1 < a2 or b1 + 1 == a2
+        # the knee boundary (31 = floor(30)+1) is a piece start
+        assert any(a == 31 for a, _ in pieces)
+
+    def test_staircase_breakpoints_are_piece_starts(self):
+        sched = fresh()
+        fn = Staircase(4.0, [(20.0, 2.0), (40.0, 0.0)])
+        pieces = list(sched._candidate_pieces(fn, d_floor=5, d_cap=60))
+        starts = {a for a, _ in pieces}
+        assert 21 in starts
+        assert 41 in starts
+
+    def test_continuous_grid_is_geometric(self):
+        sched = fresh()
+        fn = FlatThenExponential(1.0, 20.0, tau=10.0)
+        pieces = list(sched._candidate_pieces(fn, d_floor=5, d_cap=200))
+        starts = [a for a, _ in pieces if a > 21]
+        # geometric spacing: far sparser than unit steps, gaps widen
+        # overall (integer rounding may locally jitter)
+        assert len(starts) < (200 - 21) // 2
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert gaps[-1] >= gaps[0]
+        assert max(gaps) > 1
+
+    def test_pieces_stay_in_range(self):
+        sched = fresh()
+        fn = StepProfit(1.0, 1000.0)
+        for a, b in sched._candidate_pieces(fn, d_floor=7, d_cap=40):
+            assert 7 <= a <= b <= 40
+
+
+class TestMinimalDeadlineOnEmptyMachine:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    def test_single_job_gets_exact_minimum(self, length, node_work, peak):
+        """On an empty machine a chain job's assigned deadline is exactly
+        max(floor((1+eps)L) + 1, required_slots)."""
+        sched = fresh(m=4, epsilon=1.0)
+        work = float(length * node_work)
+        fn = StepProfit(peak, x_star=100.0 * work)  # knee far away
+        view = ActiveJob(
+            JobSpec(0, chain(length, node_work=float(node_work)),
+                    arrival=0, profit_fn=fn)
+        ).view
+        sched.on_arrival(view, 0)
+        state = sched.states[0]
+        assert not state.rejected
+        expected = max(
+            math.floor(2.0 * work) + 1,  # (1+eps) * L with eps=1, L=W
+            state.required_slots,
+        )
+        assert state.assigned_relative_deadline == expected
+
+    def test_second_identical_job_not_earlier(self):
+        sched = fresh(m=4, epsilon=1.0)
+        fn = StepProfit(1.0, 500.0)
+        d = []
+        for jid in range(2):
+            view = ActiveJob(
+                JobSpec(jid, fork_join(8, node_work=2.0), arrival=0,
+                        profit_fn=fn)
+            ).view
+            sched.on_arrival(view, 0)
+            state = sched.states[jid]
+            if not state.rejected:
+                d.append(state.assigned_relative_deadline)
+        assert d == sorted(d)
+
+
+class TestSlotAccounting:
+    def test_slots_within_window(self):
+        sched = fresh()
+        view = ActiveJob(
+            JobSpec(0, chain(8), arrival=5, profit_fn=StepProfit(1.0, 60.0))
+        ).view
+        sched.on_arrival(view, 5)
+        state = sched.states[0]
+        assert all(
+            5 <= t < 5 + state.assigned_relative_deadline
+            for t in state.slots
+        )
+        assert len(state.slots) == state.required_slots
+
+    def test_slot_count_matches_paper_formula(self):
+        """|I_i| = ceil((1+delta) x_i) with delta = eps/4."""
+        sched = fresh(epsilon=1.0)  # delta 0.25
+        view = ActiveJob(
+            JobSpec(0, fork_join(16, node_work=2.0), arrival=0,
+                    profit_fn=StepProfit(1.0, 200.0))
+        ).view
+        sched.on_arrival(view, 0)
+        state = sched.states[0]
+        assert state.required_slots == math.ceil(1.25 * state.x - 1e-9)

@@ -1,0 +1,47 @@
+"""Scale smoke test: the engine handles experiment-scale workloads
+within sane wall-clock budgets (guards performance regressions)."""
+
+import time
+
+from repro.core import SNSScheduler
+from repro.baselines import GlobalEDF
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def test_large_workload_completes_quickly():
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=600, m=64, load=2.0, epsilon=1.0, seed=99)
+    )
+    t0 = time.perf_counter()
+    result = Simulator(m=64, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+    elapsed = time.perf_counter() - t0
+    assert result.num_jobs == 600
+    assert elapsed < 30.0, f"large SNS run took {elapsed:.1f}s"
+
+
+def test_large_workload_edf():
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=600, m=64, load=2.0, epsilon=1.0, seed=98)
+    )
+    t0 = time.perf_counter()
+    result = Simulator(m=64, scheduler=GlobalEDF()).run(specs)
+    elapsed = time.perf_counter() - t0
+    assert result.total_profit > 0
+    assert elapsed < 30.0, f"large EDF run took {elapsed:.1f}s"
+
+
+def test_wide_parallel_job():
+    """A single 20k-node job unfolds without quadratic blowup."""
+    from repro.dag import block_with_chain
+    from repro.sim import JobSpec
+    from repro.baselines import FIFOScheduler
+
+    m = 16
+    dag = block_with_chain(float(16 * 16 * 80), m)  # 20480 unit nodes
+    spec = JobSpec(0, dag, arrival=0, deadline=10 ** 9, profit=1.0)
+    t0 = time.perf_counter()
+    result = Simulator(m=m, scheduler=FIFOScheduler()).run([spec])
+    elapsed = time.perf_counter() - t0
+    assert result.records[0].completed
+    assert elapsed < 20.0, f"wide job took {elapsed:.1f}s"

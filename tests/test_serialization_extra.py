@@ -1,0 +1,115 @@
+"""Unit tests for profit-function and workload serialization."""
+
+import pytest
+
+from repro.profit import (
+    FlatThenExponential,
+    FlatThenLinear,
+    Staircase,
+    StepProfit,
+    profit_fn_from_dict,
+    profit_fn_to_dict,
+)
+from repro.workloads import (
+    WorkloadConfig,
+    generate_workload,
+    load_workload,
+    save_workload,
+    workload_from_json,
+    workload_to_json,
+)
+from repro.workloads.profits import make_profit_fn_sampler
+
+
+FNS = [
+    StepProfit(2.0, 10.0),
+    FlatThenLinear(2.0, 10.0, decay_span=5.0),
+    FlatThenExponential(2.0, 10.0, tau=4.0),
+    Staircase(2.0, [(10.0, 1.0), (20.0, 0.0)]),
+]
+
+
+class TestProfitFnSerialization:
+    @pytest.mark.parametrize("fn", FNS, ids=lambda f: type(f).__name__)
+    def test_round_trip_preserves_values(self, fn):
+        back = profit_fn_from_dict(profit_fn_to_dict(fn))
+        assert type(back) is type(fn)
+        for t in (0.0, 5.0, 10.0, 12.5, 30.0, 100.0):
+            assert back(t) == pytest.approx(fn(t))
+        assert back.x_star == fn.x_star
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            profit_fn_from_dict({"kind": "nope"})
+
+    def test_unserializable_type(self):
+        class Custom:
+            peak = 1.0
+            x_star = 1.0
+
+            def __call__(self, t):
+                return 1.0
+
+            def horizon(self, threshold=0.0):
+                return 1.0
+
+        with pytest.raises(TypeError):
+            profit_fn_to_dict(Custom())
+
+
+class TestWorkloadSerialization:
+    def _equal(self, a, b):
+        assert a.job_id == b.job_id
+        assert a.arrival == b.arrival
+        assert a.deadline == b.deadline
+        assert a.profit == pytest.approx(b.profit)
+        assert a.structure == b.structure
+        if a.profit_fn is not None:
+            assert type(a.profit_fn) is type(b.profit_fn)
+
+    def test_deadline_workload_round_trip(self):
+        specs = generate_workload(WorkloadConfig(n_jobs=12, m=4, seed=1))
+        back = workload_from_json(workload_to_json(specs))
+        assert len(back) == len(specs)
+        for a, b in zip(specs, back):
+            self._equal(a, b)
+
+    def test_profit_fn_workload_round_trip(self):
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=8,
+                m=4,
+                seed=2,
+                profit_fn_sampler=make_profit_fn_sampler("staircase"),
+            )
+        )
+        back = workload_from_json(workload_to_json(specs))
+        for a, b in zip(specs, back):
+            self._equal(a, b)
+            for t in (0.0, 10.0, 50.0, 200.0):
+                assert a.profit_fn(t) == pytest.approx(b.profit_fn(t))
+
+    def test_file_round_trip(self, tmp_path):
+        specs = generate_workload(WorkloadConfig(n_jobs=5, m=4, seed=3))
+        path = tmp_path / "workload.json"
+        save_workload(specs, str(path))
+        back = load_workload(str(path))
+        assert len(back) == 5
+
+    def test_version_check(self):
+        import json
+
+        text = json.dumps({"version": 42, "jobs": []})
+        with pytest.raises(ValueError, match="version"):
+            workload_from_json(text)
+
+    def test_replay_identical_results(self):
+        """A serialized workload replays to identical profits."""
+        from repro.core import SNSScheduler
+        from repro.sim import Simulator
+
+        specs = generate_workload(WorkloadConfig(n_jobs=15, m=4, load=2.0, seed=4))
+        back = workload_from_json(workload_to_json(specs))
+        a = Simulator(m=4, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+        b = Simulator(m=4, scheduler=SNSScheduler(epsilon=1.0)).run(back)
+        assert a.total_profit == b.total_profit

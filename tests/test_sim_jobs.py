@@ -1,0 +1,152 @@
+"""Unit tests for repro.sim.jobs: specs, views, records."""
+
+import math
+
+import pytest
+
+from repro.dag import chain, block
+from repro.profit import StepProfit
+from repro.sim import JobSpec
+from repro.sim.jobs import ActiveJob, CompletionRecord
+
+
+class TestJobSpec:
+    def test_deadline_job(self):
+        spec = JobSpec(1, chain(4), arrival=2, deadline=10, profit=3.0)
+        assert spec.relative_deadline == 8
+        assert spec.work == 4.0
+        assert spec.span == 4.0
+
+    def test_profit_fn_job(self):
+        fn = StepProfit(2.0, 16.0)
+        spec = JobSpec(1, chain(4), arrival=0, profit_fn=fn)
+        assert spec.relative_deadline is None
+        assert spec.profit_fn is fn
+
+    def test_requires_deadline_or_fn(self):
+        with pytest.raises(ValueError):
+            JobSpec(1, chain(4), arrival=0)
+
+    def test_deadline_and_fn_exclusive(self):
+        with pytest.raises(ValueError):
+            JobSpec(1, chain(4), arrival=0, deadline=10, profit_fn=StepProfit(1, 5))
+
+    def test_deadline_after_arrival(self):
+        with pytest.raises(ValueError):
+            JobSpec(1, chain(4), arrival=5, deadline=5)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(1, chain(4), arrival=-1, deadline=4)
+
+    def test_negative_profit_rejected(self):
+        with pytest.raises(ValueError):
+            JobSpec(1, chain(4), arrival=0, deadline=4, profit=-1.0)
+
+    def test_min_execution_time(self):
+        spec = JobSpec(0, block(8, node_work=2.0), arrival=0, deadline=100)
+        # W=16, L=2, m=4 -> max(2, 4) = 4
+        assert spec.min_execution_time(4) == 4.0
+        assert spec.min_execution_time(16) == 2.0
+
+    def test_sequential_bound(self):
+        spec = JobSpec(0, block(8, node_work=2.0), arrival=0, deadline=100)
+        # (16-2)/4 + 2 = 5.5
+        assert spec.sequential_bound(4) == pytest.approx(5.5)
+
+    def test_profit_at_deadline_job(self):
+        spec = JobSpec(0, chain(2), arrival=0, deadline=10, profit=5.0)
+        assert spec.profit_at(10) == 5.0
+        assert spec.profit_at(11) == 0.0
+
+    def test_profit_at_fn_job(self):
+        spec = JobSpec(0, chain(2), arrival=0, profit_fn=StepProfit(5.0, 10.0))
+        assert spec.profit_at(10) == 5.0
+        assert spec.profit_at(10.5) == 0.0
+
+
+class TestJobView:
+    def test_exposes_only_permitted_data(self):
+        spec = JobSpec(3, chain(4), arrival=1, deadline=9, profit=2.0)
+        view = ActiveJob(spec).view
+        assert view.job_id == 3
+        assert view.arrival == 1
+        assert view.deadline == 9
+        assert view.relative_deadline == 8
+        assert view.profit == 2.0
+        assert view.work == 4.0
+        assert view.span == 4.0
+        assert view.num_ready == 1
+        assert not view.is_complete
+
+    def test_no_dag_topology_access(self):
+        view = ActiveJob(JobSpec(0, chain(4), arrival=0, deadline=9)).view
+        assert not hasattr(view, "dag")
+        assert not hasattr(view, "structure")
+        assert not hasattr(view, "ready_nodes")
+
+    def test_slack_factor(self):
+        spec = JobSpec(0, block(8, node_work=2.0), arrival=0, deadline=11)
+        view = ActiveJob(spec).view
+        assert view.slack_factor(4) == pytest.approx(11 / 5.5)
+
+    def test_slack_factor_no_deadline(self):
+        spec = JobSpec(0, chain(4), arrival=0, profit_fn=StepProfit(1, 20))
+        assert ActiveJob(spec).view.slack_factor(4) == math.inf
+
+    def test_work_completed_tracks_progress(self):
+        job = ActiveJob(JobSpec(0, chain(4), arrival=0, deadline=9))
+        assert job.view.work_completed == 0.0
+        job.dag.mark_running([0])
+        job.dag.process(0, 1.0)
+        assert job.view.work_completed == pytest.approx(1.0)
+
+
+class TestActiveJob:
+    def test_effective_deadline_prefers_spec(self):
+        job = ActiveJob(JobSpec(0, chain(2), arrival=0, deadline=7))
+        job.assigned_deadline = 5
+        assert job.effective_deadline() == 7
+
+    def test_effective_deadline_assigned(self):
+        job = ActiveJob(JobSpec(0, chain(2), arrival=0, profit_fn=StepProfit(1, 9)))
+        assert job.effective_deadline() is None
+        job.assigned_deadline = 5
+        assert job.effective_deadline() == 5
+
+    def test_liveness(self):
+        job = ActiveJob(JobSpec(0, chain(1), arrival=0, deadline=5))
+        assert job.is_live()
+        job.expired = True
+        assert not job.is_live()
+
+
+class TestCompletionRecord:
+    def test_on_time(self):
+        rec = CompletionRecord(0, 0, 10, 8, profit=1.0)
+        assert rec.completed
+        assert rec.on_time
+
+    def test_late_is_not_on_time(self):
+        rec = CompletionRecord(0, 0, 10, 12, profit=0.0)
+        assert rec.completed
+        assert not rec.on_time
+
+    def test_incomplete(self):
+        rec = CompletionRecord(0, 0, 10, None, profit=0.0)
+        assert not rec.completed
+        assert not rec.on_time
+
+    def test_assigned_deadline_counts(self):
+        rec = CompletionRecord(
+            0, 0, None, 8, profit=1.0, assigned_deadline=9
+        )
+        assert rec.on_time
+        rec2 = CompletionRecord(
+            0, 0, None, 10, profit=0.5, assigned_deadline=9
+        )
+        assert not rec2.on_time
+
+    def test_no_deadline_completion_on_time(self):
+        rec = CompletionRecord(0, 0, None, 50, profit=0.5)
+        assert rec.on_time

@@ -1,0 +1,88 @@
+"""Unit tests for repro.sim.picker."""
+
+import numpy as np
+import pytest
+
+from repro.dag import DAGJob, block_with_chain
+from repro.sim import (
+    AdversarialPicker,
+    CriticalPathPicker,
+    FIFOPicker,
+    LIFOPicker,
+    RandomPicker,
+    make_picker,
+)
+
+
+@pytest.fixture
+def fig1_job():
+    # m=4: chain of 16 unit nodes (ids 0..15), block of 48 (ids 16..63)
+    return DAGJob(block_with_chain(64.0, 4))
+
+
+class TestDeterministicPickers:
+    def test_fifo_takes_prefix(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        picked = FIFOPicker().pick(fig1_job, ready, 3)
+        assert picked == list(ready[:3])
+
+    def test_lifo_takes_suffix(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        picked = LIFOPicker().pick(fig1_job, ready, 3)
+        assert picked == list(ready[-3:])
+
+    def test_fewer_ready_than_k(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        assert FIFOPicker().pick(fig1_job, ready, 1000) == list(ready)
+
+
+class TestRandomPicker:
+    def test_seeded_determinism(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        a = RandomPicker(42).pick(fig1_job, ready, 5)
+        b = RandomPicker(42).pick(fig1_job, ready, 5)
+        assert a == b
+
+    def test_subset_of_ready(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        picked = RandomPicker(0).pick(fig1_job, ready, 5)
+        assert len(picked) == 5
+        assert len(set(picked)) == 5
+        assert set(picked) <= set(ready)
+
+    def test_accepts_generator(self, fig1_job):
+        picker = RandomPicker(np.random.default_rng(1))
+        assert len(picker.pick(fig1_job, fig1_job.ready_nodes(), 2)) == 2
+
+
+class TestStructureAwarePickers:
+    def test_adversarial_avoids_chain(self, fig1_job):
+        # chain head (node 0) has the longest tail; adversary must avoid it
+        ready = fig1_job.ready_nodes()
+        picked = AdversarialPicker().pick(fig1_job, ready, 4)
+        assert 0 not in picked
+        # all picks are block nodes (ids >= 16)
+        assert all(node >= 16 for node in picked)
+
+    def test_critical_path_takes_chain_first(self, fig1_job):
+        ready = fig1_job.ready_nodes()
+        picked = CriticalPathPicker().pick(fig1_job, ready, 4)
+        assert 0 in picked
+
+    def test_both_handle_small_ready(self, fig1_job):
+        ready = fig1_job.ready_nodes()[:2]
+        assert AdversarialPicker().pick(fig1_job, ready, 10) == list(ready)
+        assert CriticalPathPicker().pick(fig1_job, ready, 10) == list(ready)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["fifo", "lifo", "random", "adversarial", "critical_path"]
+    )
+    def test_make_picker(self, name):
+        picker = make_picker(name, rng=0)
+        assert hasattr(picker, "pick")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown picker"):
+            make_picker("nope")

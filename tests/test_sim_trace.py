@@ -1,0 +1,84 @@
+"""Unit tests for repro.sim.trace."""
+
+from repro.sim.trace import AllocationSlice, EventKind, Trace
+
+
+class TestSliceRecording:
+    def test_contiguous_identical_slices_merge(self):
+        trace = Trace(m=4, speed=1.0)
+        entries = ((0, 2, 2),)
+        trace.slice(0, 5, entries)
+        trace.slice(5, 9, entries)
+        assert len(trace.slices) == 1
+        assert trace.slices[0].t0 == 0
+        assert trace.slices[0].t1 == 9
+
+    def test_different_entries_do_not_merge(self):
+        trace = Trace(m=4, speed=1.0)
+        trace.slice(0, 5, ((0, 2, 2),))
+        trace.slice(5, 9, ((0, 2, 1),))
+        assert len(trace.slices) == 2
+
+    def test_gap_prevents_merge(self):
+        trace = Trace(m=4, speed=1.0)
+        entries = ((0, 2, 2),)
+        trace.slice(0, 5, entries)
+        trace.slice(7, 9, entries)
+        assert len(trace.slices) == 2
+
+    def test_empty_slice_dropped(self):
+        trace = Trace(m=4, speed=1.0)
+        trace.slice(5, 5, ((0, 1, 1),))
+        assert trace.slices == []
+
+
+class TestQueries:
+    def _trace(self) -> Trace:
+        trace = Trace(m=4, speed=1.0)
+        trace.event(0, EventKind.ARRIVAL, 0)
+        trace.event(0, EventKind.ARRIVAL, 1)
+        trace.slice(0, 4, ((0, 2, 2), (1, 1, 1)))
+        trace.slice(4, 6, ((1, 3, 2),))
+        trace.event(6, EventKind.COMPLETION, 1)
+        trace.event(9, EventKind.EXPIRY, 0)
+        return trace
+
+    def test_processor_steps_of(self):
+        trace = self._trace()
+        assert trace.processor_steps_of(0) == 8  # 2 procs * 4 steps
+        assert trace.processor_steps_of(1) == 4 + 6
+
+    def test_busy_steps_of(self):
+        trace = self._trace()
+        assert trace.busy_steps_of(1) == 4 + 4
+
+    def test_utilization(self):
+        trace = self._trace()
+        busy = (2 + 1) * 4 + 2 * 2
+        assert trace.utilization() == busy / (4 * 6)
+
+    def test_utilization_empty(self):
+        assert Trace(m=4, speed=1.0).utilization() == 0.0
+
+    def test_events_of_kind(self):
+        trace = self._trace()
+        arrivals = list(trace.events_of_kind(EventKind.ARRIVAL))
+        assert [e.job_id for e in arrivals] == [0, 1]
+
+    def test_job_events(self):
+        trace = self._trace()
+        assert [e.kind for e in trace.job_events(0)] == [
+            EventKind.ARRIVAL,
+            EventKind.EXPIRY,
+        ]
+
+    def test_max_concurrent_allocation(self):
+        assert self._trace().max_concurrent_allocation() == 3
+
+
+class TestAllocationSlice:
+    def test_aggregates(self):
+        sl = AllocationSlice(2, 6, ((0, 3, 2), (1, 1, 1)))
+        assert sl.duration == 4
+        assert sl.allocated == 4
+        assert sl.busy == 3

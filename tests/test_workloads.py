@@ -1,0 +1,252 @@
+"""Unit tests for the workloads package."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    WorkloadConfig,
+    admission_trap,
+    batch_arrivals,
+    bursty_arrivals,
+    edf_domino,
+    fig1_jobs,
+    fig2_jobs,
+    generate_workload,
+    make_family,
+    meets_assumption,
+    mixture,
+    overload_stream,
+    periodic_arrivals,
+    poisson_arrivals,
+    proportional_deadline,
+    sequential_bound,
+    slack_deadline,
+    spike_arrivals,
+    tight_deadline,
+    workload_capacity_ratio,
+)
+from repro.workloads.dag_families import FAMILIES
+from repro.workloads.profits import (
+    PROFIT_FN_SAMPLERS,
+    PROFIT_SAMPLERS,
+    make_profit_fn_sampler,
+    make_profit_sampler,
+)
+from repro.profit import check_theorem3_assumption
+
+
+class TestArrivals:
+    def test_poisson_sorted_and_sized(self, rng):
+        times = poisson_arrivals(100, 0.5, rng)
+        assert len(times) == 100
+        assert np.all(np.diff(times) >= 0)
+        assert times[0] >= 0
+
+    def test_poisson_rate_roughly_respected(self, rng):
+        times = poisson_arrivals(2000, 0.5, rng)
+        mean_gap = times[-1] / 2000
+        assert 1.5 < mean_gap < 2.5
+
+    def test_poisson_rejects_bad_args(self, rng):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(10, 0.0, rng)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(-1, 1.0, rng)
+
+    def test_periodic(self):
+        times = periodic_arrivals(4, 10, start=5)
+        assert list(times) == [5, 15, 25, 35]
+
+    def test_bursty(self, rng):
+        times = bursty_arrivals(6, burst_size=3, burst_gap=100, rng=rng)
+        assert list(times[:3]) == [0, 0, 0]
+        assert list(times[3:]) == [100, 100, 100]
+
+    def test_batch(self):
+        assert list(batch_arrivals(3, 7)) == [7, 7, 7]
+
+    def test_spike(self, rng):
+        times = spike_arrivals(20, 10, 0.2, spike_time=50, rng=rng)
+        assert np.count_nonzero(times == 50) >= 10
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("name", sorted(FAMILIES))
+    def test_each_family_samples_valid_dags(self, name, rng):
+        from repro.dag import validate_structure
+
+        family = make_family(name)
+        for _ in range(3):
+            dag = family(rng)
+            validate_structure(dag)
+
+    def test_mixed(self, rng):
+        family = make_family("mixed")
+        names = {family(rng).name for _ in range(30)}
+        assert len(names) >= 3
+
+    def test_unknown_family(self):
+        with pytest.raises(WorkloadError):
+            make_family("nope")
+
+    def test_mixture_weights(self, rng):
+        chain_fam = make_family("chain")
+        block_fam = make_family("block")
+        only_chain = mixture([chain_fam, block_fam], weights=[1.0, 0.0])
+        assert all(only_chain(rng).name == "chain" for _ in range(10))
+
+    def test_mixture_rejects_bad_weights(self, rng):
+        with pytest.raises(WorkloadError):
+            mixture([make_family("chain")], weights=[0.0])
+        with pytest.raises(WorkloadError):
+            mixture([])
+
+    def test_integer_works(self, rng):
+        dag = make_family("layered")(rng)
+        assert np.allclose(dag.work, np.round(dag.work))
+
+
+class TestDeadlines:
+    def test_slack_meets_assumption(self, rng):
+        dag = make_family("fork_join")(rng)
+        for eps in (0.25, 1.0, 4.0):
+            rel = slack_deadline(dag, 8, eps, rng, slack_low=1.0, slack_high=2.0)
+            assert meets_assumption(dag, 8, eps, rel)
+
+    def test_slack_rejects_below_one(self, rng):
+        dag = make_family("chain")(rng)
+        with pytest.raises(WorkloadError):
+            slack_deadline(dag, 8, 1.0, rng, slack_low=0.5)
+
+    def test_tight_is_at_feasibility_limit(self, rng):
+        dag = make_family("block")(rng)
+        rel = tight_deadline(dag, 8, factor=1.0)
+        assert rel >= max(dag.span, dag.total_work / 8)
+        assert rel <= max(dag.span, dag.total_work / 8) + 1
+
+    def test_proportional(self, rng):
+        dag = make_family("chain")(rng)
+        assert proportional_deadline(dag, 4, factor=2.0) >= dag.total_work / 2
+
+    def test_sequential_bound_formula(self, rng):
+        dag = make_family("fork_join")(rng)
+        expected = (dag.total_work - dag.span) / 8 + dag.span
+        assert sequential_bound(dag, 8) == pytest.approx(expected)
+
+
+class TestProfits:
+    @pytest.mark.parametrize("name", sorted(PROFIT_SAMPLERS))
+    def test_scalar_samplers_positive(self, name, rng):
+        sampler = make_profit_sampler(name)
+        dag = make_family("fork_join")(rng)
+        for _ in range(5):
+            assert sampler(dag, rng) > 0
+
+    def test_unknown_sampler(self):
+        with pytest.raises(WorkloadError):
+            make_profit_sampler("nope")
+
+    @pytest.mark.parametrize("name", sorted(PROFIT_FN_SAMPLERS))
+    def test_fn_samplers_honor_theorem3(self, name, rng):
+        sampler = make_profit_fn_sampler(name)
+        dag = make_family("fork_join")(rng)
+        fn = sampler(dag, 8, 1.0, rng)
+        assert check_theorem3_assumption(fn, dag.total_work, dag.span, 8, 1.0)
+
+    def test_work_proportional(self, rng):
+        sampler = make_profit_sampler("work_proportional", rate=2.0)
+        dag = make_family("chain")(rng)
+        assert sampler(dag, rng) == pytest.approx(2.0 * dag.total_work)
+
+
+class TestAdversarialInstances:
+    def test_fig1_shape(self):
+        (spec,) = fig1_jobs(4)
+        assert spec.span == pytest.approx(spec.work / 4)
+        assert spec.deadline == spec.work / 4
+
+    def test_fig2_shape(self):
+        (spec,) = fig2_jobs(4, 64.0, 16.0, 1.0)
+        assert spec.work == 64.0
+        assert spec.span == 16.0
+
+    def test_overload_meets_assumption(self, rng):
+        specs = overload_stream(8, 1.0, 30, 4.0, rng)
+        for spec in specs:
+            assert meets_assumption(
+                spec.structure, 8, 1.0, spec.relative_deadline
+            )
+
+    def test_overload_is_overloaded(self, rng):
+        specs = overload_stream(8, 1.0, 100, 4.0, rng)
+        assert workload_capacity_ratio(specs, 8) > 1.0
+
+    def test_trap_alternates(self):
+        specs = admission_trap(4, 5)
+        assert len(specs) == 10
+        names = [sp.structure.name for sp in specs]
+        assert names[::2] == ["trap"] * 5
+        assert names[1::2] == ["payload"] * 5
+        # traps are infeasible by construction
+        for trap in specs[::2]:
+            assert trap.relative_deadline < trap.work / 4
+
+    def test_domino_zero_laxity(self):
+        specs = edf_domino(4, 10)
+        for spec in specs:
+            # deadlines are below the paper's bound: assumption violated
+            assert not meets_assumption(
+                spec.structure, 4, 0.25, spec.relative_deadline
+            )
+
+
+class TestSuite:
+    def test_deterministic_per_seed(self):
+        cfg = WorkloadConfig(n_jobs=20, m=8, seed=5)
+        a = generate_workload(cfg)
+        b = generate_workload(cfg)
+        assert [(s.arrival, s.deadline, s.profit) for s in a] == [
+            (s.arrival, s.deadline, s.profit) for s in b
+        ]
+        assert all(x.structure == y.structure for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(WorkloadConfig(n_jobs=20, m=8, seed=1))
+        b = generate_workload(WorkloadConfig(n_jobs=20, m=8, seed=2))
+        assert [s.arrival for s in a] != [s.arrival for s in b]
+
+    def test_slack_policy_meets_assumption(self):
+        cfg = WorkloadConfig(
+            n_jobs=30, m=8, epsilon=0.5, seed=0, deadline_policy="slack"
+        )
+        for spec in generate_workload(cfg):
+            assert meets_assumption(
+                spec.structure, 8, 0.5, spec.relative_deadline
+            )
+
+    def test_profit_fn_mode(self):
+        cfg = WorkloadConfig(
+            n_jobs=10,
+            m=4,
+            seed=0,
+            profit_fn_sampler=make_profit_fn_sampler("linear"),
+        )
+        specs = generate_workload(cfg)
+        assert all(sp.deadline is None for sp in specs)
+        assert all(sp.profit_fn is not None for sp in specs)
+
+    def test_load_targeting(self):
+        low = generate_workload(WorkloadConfig(n_jobs=200, m=8, load=0.5, seed=0))
+        high = generate_workload(WorkloadConfig(n_jobs=200, m=8, load=4.0, seed=0))
+        assert max(s.arrival for s in low) > max(s.arrival for s in high)
+
+    def test_unknown_policy(self):
+        with pytest.raises(WorkloadError):
+            generate_workload(
+                WorkloadConfig(n_jobs=5, m=4, deadline_policy="nope", seed=0)
+            )
+
+    def test_bad_load(self):
+        with pytest.raises(WorkloadError):
+            generate_workload(WorkloadConfig(n_jobs=5, m=4, load=0.0, seed=0))

@@ -1,0 +1,105 @@
+"""Unit tests for periodic/sporadic DAG task sets."""
+
+import numpy as np
+import pytest
+
+from repro.dag import chain, fork_join
+from repro.errors import WorkloadError
+from repro.workloads import (
+    PeriodicTask,
+    harmonic_taskset,
+    taskset_utilization,
+    unroll_periodic,
+)
+
+
+class TestPeriodicTask:
+    def test_implicit_deadline(self):
+        task = PeriodicTask(structure=chain(4), period=10)
+        assert task.deadline == 10
+
+    def test_explicit_deadline(self):
+        task = PeriodicTask(structure=chain(4), period=10, relative_deadline=6)
+        assert task.deadline == 6
+
+    def test_utilization_and_density(self):
+        task = PeriodicTask(structure=chain(4), period=8, relative_deadline=4)
+        assert task.utilization == 0.5
+        assert task.density == 1.0
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(WorkloadError):
+            PeriodicTask(structure=chain(4), period=0)
+
+    def test_taskset_utilization(self):
+        tasks = [
+            PeriodicTask(structure=chain(4), period=8),
+            PeriodicTask(structure=chain(6), period=12),
+        ]
+        assert taskset_utilization(tasks) == pytest.approx(1.0)
+
+
+class TestUnroll:
+    def test_periodic_release_times(self):
+        task = PeriodicTask(structure=chain(2), period=10, offset=3)
+        specs = unroll_periodic([task], horizon=35)
+        assert [sp.arrival for sp in specs] == [3, 13, 23, 33]
+        for sp in specs:
+            assert sp.deadline == sp.arrival + 10
+
+    def test_multiple_tasks_sorted_unique_ids(self):
+        tasks = [
+            PeriodicTask(structure=chain(2), period=7),
+            PeriodicTask(structure=fork_join(3), period=5),
+        ]
+        specs = unroll_periodic(tasks, horizon=40)
+        ids = [sp.job_id for sp in specs]
+        assert len(set(ids)) == len(ids)
+        arrivals = [sp.arrival for sp in specs]
+        assert arrivals == sorted(arrivals)
+
+    def test_sporadic_jitter_stretches_gaps(self):
+        task = PeriodicTask(structure=chain(2), period=10)
+        rng = np.random.default_rng(0)
+        specs = unroll_periodic(
+            [task], horizon=200, sporadic_jitter=0.5, rng=rng
+        )
+        gaps = np.diff([sp.arrival for sp in specs])
+        assert np.all(gaps >= 10 - 1)  # integer truncation slack
+        assert np.any(gaps > 10)
+
+    def test_jitter_requires_rng(self):
+        task = PeriodicTask(structure=chain(2), period=10)
+        with pytest.raises(WorkloadError):
+            unroll_periodic([task], horizon=50, sporadic_jitter=0.5)
+
+    def test_end_to_end_schedulable_taskset(self):
+        """A low-utilization harmonic task set completes under S."""
+        from repro.core import SNSScheduler
+        from repro.sim import Simulator
+
+        structures = [fork_join(4, node_work=1.0) for _ in range(3)]
+        tasks = harmonic_taskset(structures, base_period=32, m=8,
+                                 target_utilization=0.3)
+        specs = unroll_periodic(tasks, horizon=256)
+        result = Simulator(m=8, scheduler=SNSScheduler(epsilon=0.25)).run(specs)
+        assert result.completed_on_time >= len(specs) // 2
+
+
+class TestHarmonic:
+    def test_respects_target_utilization(self):
+        structures = [chain(8) for _ in range(6)]
+        tasks = harmonic_taskset(structures, base_period=16, m=4,
+                                 target_utilization=0.5)
+        assert taskset_utilization(tasks) <= 0.5 * 4 + 1e-9
+
+    def test_periods_exceed_span(self):
+        structures = [chain(20)]
+        tasks = harmonic_taskset(structures, base_period=2, m=4,
+                                 target_utilization=8.0)
+        for task in tasks:
+            assert task.period > task.structure.span
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            harmonic_taskset([], base_period=10, m=4)

@@ -1,0 +1,57 @@
+"""Unit tests for the diurnal synthetic-trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import meets_assumption
+from repro.workloads.traces import DiurnalConfig, generate_diurnal_trace, phase_of
+
+
+class TestDiurnal:
+    def test_deterministic_per_seed(self):
+        cfg = DiurnalConfig(n_jobs=30, seed=5)
+        a = generate_diurnal_trace(cfg)
+        b = generate_diurnal_trace(cfg)
+        assert [s.arrival for s in a] == [s.arrival for s in b]
+
+    def test_meets_assumption(self):
+        cfg = DiurnalConfig(n_jobs=30, epsilon=0.5, seed=1)
+        for spec in generate_diurnal_trace(cfg):
+            assert meets_assumption(
+                spec.structure, cfg.m, 0.5, spec.relative_deadline
+            )
+
+    def test_rate_modulation_visible(self):
+        # with a strong swing, peak half-days should see more arrivals
+        cfg = DiurnalConfig(
+            n_jobs=400, base_load=1.0, swing=0.9, day_length=512, seed=2
+        )
+        specs = generate_diurnal_trace(cfg)
+        phases = [phase_of(sp, cfg.day_length) for sp in specs]
+        peak = phases.count("peak")
+        trough = phases.count("trough")
+        assert peak > 1.3 * trough
+
+    def test_zero_swing_is_flat(self):
+        cfg = DiurnalConfig(n_jobs=400, swing=0.0, day_length=256, seed=3)
+        specs = generate_diurnal_trace(cfg)
+        phases = [phase_of(sp, cfg.day_length) for sp in specs]
+        peak = phases.count("peak")
+        assert 0.35 < peak / len(specs) < 0.65
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(WorkloadError):
+            generate_diurnal_trace(DiurnalConfig(swing=1.0))
+        with pytest.raises(WorkloadError):
+            generate_diurnal_trace(DiurnalConfig(base_load=0.0))
+        with pytest.raises(WorkloadError):
+            generate_diurnal_trace(DiurnalConfig(day_length=1))
+
+    def test_runs_under_schedulers(self):
+        from repro.core import SNSScheduler
+        from repro.sim import Simulator
+
+        specs = generate_diurnal_trace(DiurnalConfig(n_jobs=40, m=8, seed=4))
+        result = Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+        assert result.total_profit > 0
