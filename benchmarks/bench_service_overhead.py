@@ -1,0 +1,97 @@
+"""Service-layer overhead: batch `Simulator.run` vs the streaming
+service in pass-through configuration, plus the cost of backpressure
+bookkeeping and a checkpoint cycle.
+
+The service adds a queue offer, admission decision and telemetry sync
+per job on top of the engine's work; pass-through mode must stay within
+a small constant factor of batch throughput for the serving layer to be
+usable as the default driver.
+"""
+
+import json
+
+import pytest
+
+from repro.core import SNSScheduler
+from repro.service import (
+    SchedulingService,
+    make_shed_policy,
+    service_from_dict,
+    service_to_dict,
+)
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def _specs(quick):
+    n = 150 if quick else 1500
+    return generate_workload(
+        WorkloadConfig(n_jobs=n, m=8, load=2.5, epsilon=1.0, seed=5)
+    )
+
+
+@pytest.mark.benchmark(group="service")
+def test_batch_baseline(benchmark, quick):
+    specs = _specs(quick)
+
+    def go():
+        return Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(
+            list(specs)
+        )
+
+    result = benchmark(go)
+    assert result.num_jobs == len(specs)
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_passthrough(benchmark, quick):
+    """Same workload through the service with no backpressure: measures
+    pure serving-layer overhead (queue + telemetry + per-job advance)."""
+    specs = _specs(quick)
+    batch = Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(list(specs))
+
+    def go():
+        service = SchedulingService(8, SNSScheduler(epsilon=1.0))
+        return service.run_stream(specs)
+
+    result = benchmark(go)
+    assert result.total_profit == batch.total_profit
+    assert result.num_shed == 0
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_backpressure(benchmark, quick):
+    """Bounded queue + in-flight cap + density shedding engaged."""
+    specs = _specs(quick)
+
+    def go():
+        service = SchedulingService(
+            8,
+            SNSScheduler(epsilon=1.0),
+            capacity=16,
+            shed_policy=make_shed_policy("reject-lowest-density"),
+            max_in_flight=24,
+            sample_every=100,
+        )
+        return service.run_stream(specs)
+
+    result = benchmark(go)
+    assert len(result.result.records) + result.num_shed == len(specs)
+
+
+@pytest.mark.benchmark(group="service")
+def test_checkpoint_cycle(benchmark, quick):
+    """JSON snapshot + restore of a mid-stream service."""
+    specs = sorted(_specs(quick), key=lambda s: (s.arrival, s.job_id))
+    service = SchedulingService(8, SNSScheduler(epsilon=1.0))
+    service.start()
+    for spec in specs[: len(specs) // 2]:
+        service.submit(spec, t=spec.arrival)
+
+    def cycle():
+        blob = json.dumps(service_to_dict(service))
+        return service_from_dict(json.loads(blob), SNSScheduler(epsilon=1.0))
+
+    restored = benchmark(cycle)
+    assert restored.now == service.now
+    assert restored.in_flight == service.in_flight

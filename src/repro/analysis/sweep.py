@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.analysis.stats import Aggregate
+from repro.errors import SweepError
 
 PointFn = Callable[[dict, int], float]
 
@@ -50,6 +51,12 @@ def run_sweep(
 
     Results are deterministic regardless of ``workers``: cells are
     emitted in grid order and each cell aggregates its seeds in order.
+
+    A worker exception does not surface as an opaque pool traceback:
+    it is wrapped in :class:`~repro.errors.SweepError` carrying the
+    failing ``(point, seed)`` cell (with the original exception as
+    ``__cause__``), so a 2000-cell sweep that dies names the one cell
+    that killed it.
     """
     points = grid_points(grid)
     tasks = [(i, point, seed) for i, point in enumerate(points) for seed in seeds]
@@ -57,13 +64,30 @@ def run_sweep(
 
     if workers <= 1:
         for i, point, seed in tasks:
-            values[i].append(fn(point, seed))
+            try:
+                value = fn(point, seed)
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep point {point!r} (seed {seed}) failed: {exc}",
+                    point=point,
+                    seed=seed,
+                ) from exc
+            values[i].append(value)
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = pool.map(
-                _invoke, [(fn, point, seed) for _, point, seed in tasks]
-            )
-            for (i, _, _), value in zip(tasks, results):
+            futures = [
+                (i, point, seed, pool.submit(_invoke, (fn, point, seed)))
+                for i, point, seed in tasks
+            ]
+            for i, point, seed, future in futures:
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    raise SweepError(
+                        f"sweep point {point!r} (seed {seed}) failed: {exc}",
+                        point=point,
+                        seed=seed,
+                    ) from exc
                 values[i].append(value)
 
     return [

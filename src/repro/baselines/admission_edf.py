@@ -77,3 +77,14 @@ class AdmissionEDF(ListScheduler):
     def eligible(self, job: JobView, t: int) -> bool:
         """Only admitted jobs receive processors."""
         return job.job_id in self.admitted
+
+    def snapshot_state(self) -> dict:
+        """Extend the base snapshot with the admitted set."""
+        data = super().snapshot_state()
+        data["admitted"] = sorted(self.admitted)
+        return data
+
+    def restore_state(self, data: dict, views) -> None:
+        """Rebuild the live-job and admitted sets."""
+        super().restore_state(data, views)
+        self.admitted = {int(i) for i in data["admitted"]}

@@ -46,6 +46,27 @@ class ListScheduler(SchedulerBase):
         any live job).  Overridden e.g. to skip hopeless jobs."""
         return True
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.service.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serialize the live-job set (tracking order preserved).
+
+        Sufficient for every stateless-priority subclass; subclasses
+        carrying extra mutable state must extend both this and
+        :meth:`restore_state`.
+        """
+        return {"jobs": list(self.jobs)}
+
+    def restore_state(self, data: dict, views) -> None:
+        """Rebuild the live-job set from restored engine views."""
+        self.jobs = {}
+        for job_id in data["jobs"]:
+            job_id = int(job_id)
+            if job_id not in views:
+                raise ValueError(f"no restored view for job {job_id}")
+            self.jobs[job_id] = views[job_id]
+
     def allocate(self, t: int) -> dict[int, int]:
         """Greedily give each job ``min(free, num_ready)`` processors in
         priority order."""

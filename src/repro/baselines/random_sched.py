@@ -38,3 +38,16 @@ class RandomScheduler(ListScheduler):
 
     def priority(self, job: JobView, t: int) -> tuple[float, int]:
         return (self._keys.get(job.job_id, 0.5), job.job_id)
+
+    def snapshot_state(self) -> dict:
+        """Extend the base snapshot with priorities and RNG state."""
+        data = super().snapshot_state()
+        data["keys"] = [[job_id, key] for job_id, key in self._keys.items()]
+        data["rng_state"] = self.rng.bit_generator.state
+        return data
+
+    def restore_state(self, data: dict, views) -> None:
+        """Rebuild priorities and the RNG from a snapshot."""
+        super().restore_state(data, views)
+        self._keys = {int(job_id): float(key) for job_id, key in data["keys"]}
+        self.rng.bit_generator.state = data["rng_state"]

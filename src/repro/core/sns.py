@@ -253,6 +253,87 @@ class SNSScheduler(SchedulerBase):
                 self._start(state)
 
     # ------------------------------------------------------------------
+    # Checkpointing (see repro.service.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serialize Q, P, the band structure's contents and the set R.
+
+        Per-job quantities (allotment, ``x``, density) are stored rather
+        than recomputed so a restored scheduler makes bit-identical
+        decisions even across floating-point-sensitive recomputation.
+        Diagnostics for already-finished jobs (``all_states`` entries)
+        are not carried across a restore.
+        """
+        def encode(state: SNSJobState) -> dict:
+            return {
+                "job_id": state.job_id,
+                "allotment": state.allotment,
+                "x": state.x,
+                "density": state.density,
+                "delta_good": state.delta_good,
+                "allotment_real": state.allotment_real,
+            }
+
+        return {
+            "constants": {
+                "epsilon": self.constants.epsilon,
+                "delta": self.constants.delta,
+                "c": self.constants.c,
+                "b": self.constants.b,
+            },
+            "started": [encode(s) for s in self.queue_started.by_density_desc()],
+            "parked": [encode(s) for s in self.queue_parked.by_density_desc()],
+            "started_ids": sorted(self.started_ids),
+        }
+
+    def restore_state(self, data: dict, views) -> None:
+        """Rebuild queues, bands and R from :meth:`snapshot_state` output.
+
+        ``views`` must contain a :class:`~repro.sim.jobs.JobView` for
+        every job in Q or P (the engine restore provides it).  The
+        scheduler must have been constructed with the same constants.
+        """
+        stored = data["constants"]
+        mine = self.constants
+        if (
+            stored["epsilon"] != mine.epsilon
+            or stored["delta"] != mine.delta
+            or stored["c"] != mine.c
+            or stored["b"] != mine.b
+        ):
+            raise SchedulingError(
+                f"snapshot constants {stored} do not match scheduler {mine!r}"
+            )
+
+        def decode(entry: dict) -> SNSJobState:
+            job_id = int(entry["job_id"])
+            if job_id not in views:
+                raise SchedulingError(f"no restored view for job {job_id}")
+            return SNSJobState(
+                view=views[job_id],
+                allotment=int(entry["allotment"]),
+                x=float(entry["x"]),
+                density=float(entry["density"]),
+                delta_good=bool(entry["delta_good"]),
+                allotment_real=float(entry["allotment_real"]),
+            )
+
+        self.queue_started = _DensityQueue()
+        self.queue_parked = _DensityQueue()
+        self.bands = DensityBands()
+        self.all_states = {}
+        for entry in data["started"]:
+            state = decode(entry)
+            self.queue_started.add(state)
+            self.bands.insert(state.job_id, state.density, state.allotment)
+            self.all_states[state.job_id] = state
+        for entry in data["parked"]:
+            state = decode(entry)
+            self.queue_parked.add(state)
+            self.all_states[state.job_id] = state
+        self.started_ids = {int(i) for i in data["started_ids"]}
+
+    # ------------------------------------------------------------------
     # Introspection for tests / invariant monitors
     # ------------------------------------------------------------------
     def started_states(self) -> list[SNSJobState]:

@@ -194,6 +194,60 @@ class DAGJob:
         original = float(self.structure.work[node])
         self._remaining[node] = min(original, self._remaining[node] + amount)
 
+    # ------------------------------------------------------------------
+    # Checkpointing (see repro.sim.engine / repro.service.snapshot)
+    # ------------------------------------------------------------------
+    def runtime_state_to_dict(self) -> dict:
+        """Snapshot the mutable execution state to a JSON-compatible dict.
+
+        Together with the immutable structure this fully determines the
+        job (:meth:`from_runtime_state` inverts it).  ``done_work`` is
+        stored rather than recomputed so the float accumulation order of
+        the original run is preserved exactly (bit-identical
+        ``remaining_work`` after a restore).
+        """
+        return {
+            "remaining": [float(w) for w in self._remaining],
+            "state": [int(s) for s in self._state],
+            "ready": [int(n) for n in self._ready],
+            "done_work": float(self._done_work),
+        }
+
+    @classmethod
+    def from_runtime_state(cls, structure: DAGStructure, data: dict) -> "DAGJob":
+        """Rebuild a job from a structure and a
+        :meth:`runtime_state_to_dict` snapshot.
+
+        The ready set's insertion order is restored verbatim -- order-
+        sensitive pickers (FIFO/LIFO) depend on it for deterministic
+        replay.
+        """
+        job = cls(structure)
+        n = structure.num_nodes
+        remaining = np.asarray(data["remaining"], dtype=np.float64)
+        states = np.asarray(data["state"], dtype=np.int8)
+        if len(remaining) != n or len(states) != n:
+            raise ValueError("runtime state does not match structure size")
+        job._remaining = remaining
+        job._state = states
+        job._ready = {int(node): None for node in data["ready"]}
+        unmet = np.fromiter(
+            (structure.indegree(i) for i in range(n)), dtype=np.int64, count=n
+        )
+        done_count = 0
+        for u in range(n):
+            if states[u] == NodeState.DONE:
+                done_count += 1
+                for v in structure.successors(u):
+                    unmet[v] -= 1
+        job._unmet = unmet
+        job._done_count = done_count
+        job._done_work = float(data["done_work"])
+        for node in job._ready:
+            if not NodeState(states[node]).is_executable():
+                raise ValueError(f"ready node {node} has non-executable state")
+        return job
+
     def reset(self) -> None:
         """Restore the job to its initial (unexecuted) state."""
         struct = self.structure

@@ -10,9 +10,12 @@ The dict format is versioned so saved workloads stay loadable:
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.dag.graph import DAGStructure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dag.job import DAGJob
 
 FORMAT_VERSION = 1
 
@@ -47,6 +50,27 @@ def structure_to_json(structure: DAGStructure, indent: int | None = None) -> str
 def structure_from_json(text: str) -> DAGStructure:
     """Rebuild a structure from :func:`structure_to_json` output."""
     return structure_from_dict(json.loads(text))
+
+
+def job_to_dict(job: "DAGJob") -> dict[str, Any]:
+    """Serialize a (possibly partially executed) :class:`DAGJob`:
+    structure plus runtime execution state, for checkpointing."""
+    return {
+        "version": FORMAT_VERSION,
+        "structure": structure_to_dict(job.structure),
+        "runtime": job.runtime_state_to_dict(),
+    }
+
+
+def job_from_dict(data: dict[str, Any]) -> "DAGJob":
+    """Rebuild a :class:`DAGJob` from :func:`job_to_dict` output."""
+    from repro.dag.job import DAGJob
+
+    version = data.get("version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported DAG job format version {version}")
+    structure = structure_from_dict(data["structure"])
+    return DAGJob.from_runtime_state(structure, data["runtime"])
 
 
 def structure_to_dot(structure: DAGStructure) -> str:

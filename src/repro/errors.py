@@ -21,3 +21,20 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid or infeasible to generate."""
+
+
+class SweepError(ReproError):
+    """A sweep worker failed; carries the failing cell for diagnosis.
+
+    Attributes
+    ----------
+    point:
+        The parameter-grid point whose evaluation raised.
+    seed:
+        The replication seed of the failing cell.
+    """
+
+    def __init__(self, message: str, point: dict, seed: int) -> None:
+        super().__init__(message)
+        self.point = point
+        self.seed = seed

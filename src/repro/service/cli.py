@@ -1,0 +1,235 @@
+"""``repro-serve``: drive the online scheduling service from the shell.
+
+Generates a random workload (same knobs as the experiment suite),
+streams it through a :class:`~repro.service.service.SchedulingService`
+with a bounded ingest queue and shed policy, prints live progress lines
+and a final summary, and optionally writes JSONL metrics and a mid-run
+checkpoint that is immediately restored (exercising the kill-and-
+restore path end to end).
+
+Example -- 10k jobs at 3x overload with density-aware shedding::
+
+    repro-serve --n-jobs 10000 --load 3.0 --capacity 64 \\
+        --max-in-flight 32 --policy reject-lowest-density \\
+        --metrics metrics.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
+from repro.core.sns import SNSScheduler
+from repro.service.queue import SHED_POLICIES, make_shed_policy
+from repro.service.replay import SubmissionLog
+from repro.service.service import SchedulingService
+from repro.service.snapshot import load_snapshot, save_snapshot
+from repro.service.telemetry import MetricsRegistry
+from repro.sim.scheduler import Scheduler
+from repro.workloads.suite import WorkloadConfig, generate_workload
+
+#: Scheduler factories selectable with ``--scheduler``.
+SCHEDULERS = {
+    "sns": lambda args: SNSScheduler(epsilon=args.epsilon),
+    "fifo": lambda args: FIFOScheduler(),
+    "edf": lambda args: GlobalEDF(),
+    "greedy": lambda args: GreedyDensity(),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Stream a generated workload through the online scheduling "
+            "service with admission backpressure and telemetry."
+        ),
+    )
+    wl = parser.add_argument_group("workload")
+    wl.add_argument("--n-jobs", type=int, default=1000, help="number of jobs")
+    wl.add_argument("--m", type=int, default=8, help="number of processors")
+    wl.add_argument(
+        "--load", type=float, default=2.0, help="offered load (1.0 = capacity)"
+    )
+    wl.add_argument(
+        "--family", default="mixed", help="DAG family (or 'mixed')"
+    )
+    wl.add_argument(
+        "--epsilon", type=float, default=1.0, help="slack parameter epsilon"
+    )
+    wl.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+
+    srv = parser.add_argument_group("service")
+    srv.add_argument(
+        "--scheduler",
+        choices=sorted(SCHEDULERS),
+        default="sns",
+        help="scheduling policy",
+    )
+    srv.add_argument(
+        "--capacity", type=int, default=128, help="ingest queue capacity"
+    )
+    srv.add_argument(
+        "--policy",
+        choices=sorted(SHED_POLICIES),
+        default="reject-lowest-density",
+        help="shed policy when the queue is full",
+    )
+    srv.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="cap on jobs inside the engine (default: unbounded)",
+    )
+    srv.add_argument(
+        "--speed", type=float, default=1.0, help="processor speed s"
+    )
+
+    out = parser.add_argument_group("output")
+    out.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write JSONL metrics samples to PATH",
+    )
+    out.add_argument(
+        "--sample-every", type=int, default=None, metavar="T",
+        help="minimum simulated time between metric samples",
+    )
+    out.add_argument(
+        "--report-every", type=int, default=2000, metavar="N",
+        help="print a progress line every N submissions (0 = quiet)",
+    )
+    out.add_argument(
+        "--checkpoint-at", type=int, default=None, metavar="T",
+        help="snapshot + restore the service at simulated time T",
+    )
+    out.add_argument(
+        "--checkpoint-path", default=None, metavar="PATH",
+        help="where to write the checkpoint (default: in-memory only)",
+    )
+    return parser
+
+
+def _make_scheduler(args: argparse.Namespace) -> Scheduler:
+    return SCHEDULERS[args.scheduler](args)
+
+
+def _progress(service: SchedulingService, submitted: int, total: int) -> str:
+    vals = service.metrics.values()
+    return (
+        f"t={service.now:>8d}  submitted={submitted}/{total}  "
+        f"depth={service.queue.depth}  in_flight={service.in_flight}  "
+        f"completed={int(vals.get('completed_total', 0))}  "
+        f"expired={int(vals.get('expired_total', 0))}  "
+        f"shed={len(service.shed_log)}  "
+        f"profit={vals.get('profit_total', 0.0):.2f}"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-serve`` console script."""
+    args = build_parser().parse_args(argv)
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=args.n_jobs,
+            m=args.m,
+            load=args.load,
+            family=args.family,
+            epsilon=args.epsilon,
+            seed=args.seed,
+        )
+    )
+    specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+    log = SubmissionLog()
+    sink = open(args.metrics, "w", encoding="utf-8") if args.metrics else None
+    try:
+        metrics = MetricsRegistry(sink=sink, keep_samples=False)
+        service = SchedulingService(
+            m=args.m,
+            scheduler=_make_scheduler(args),
+            capacity=args.capacity,
+            shed_policy=make_shed_policy(args.policy),
+            max_in_flight=args.max_in_flight,
+            speed=args.speed,
+            metrics=metrics,
+            sample_every=args.sample_every,
+            recorder=log,
+        )
+        service.start()
+        print(
+            f"repro-serve: {args.n_jobs} jobs, m={args.m}, "
+            f"load={args.load}, scheduler={args.scheduler}, "
+            f"capacity={args.capacity}, policy={args.policy}",
+            flush=True,
+        )
+        checkpointed = False
+        for i, spec in enumerate(specs, 1):
+            if (
+                args.checkpoint_at is not None
+                and not checkpointed
+                and spec.arrival >= args.checkpoint_at
+            ):
+                service = _checkpoint_restore(service, args, metrics, log)
+                checkpointed = True
+            service.submit(spec, t=spec.arrival)
+            if args.report_every and i % args.report_every == 0:
+                print(_progress(service, i, len(specs)), flush=True)
+        result = service.finish()
+    finally:
+        if sink is not None:
+            sink.close()
+
+    counters = result.result.counters
+    print("---")
+    print(f"end_time:        {result.result.end_time}")
+    print(f"completed:       {counters.completions}")
+    print(f"expired:         {counters.expiries}")
+    print(f"shed:            {result.num_shed}")
+    print(f"total_profit:    {result.total_profit:.4f}")
+    print(f"profit_shed:     {result.profit_shed:.4f}")
+    print(f"decisions:       {counters.decisions}")
+    if args.metrics:
+        print(f"metrics written: {args.metrics}")
+    return 0
+
+
+def _checkpoint_restore(
+    service: SchedulingService,
+    args: argparse.Namespace,
+    metrics: MetricsRegistry,
+    log: SubmissionLog,
+) -> SchedulingService:
+    """Snapshot the live service, discard it, restore, and continue."""
+    from repro.service.snapshot import service_from_dict, service_to_dict
+
+    if args.checkpoint_path:
+        save_snapshot(service, args.checkpoint_path)
+        restored = load_snapshot(
+            args.checkpoint_path,
+            _make_scheduler(args),
+            metrics=metrics,
+            recorder=log,
+        )
+        where = args.checkpoint_path
+    else:
+        blob = json.dumps(service_to_dict(service))
+        restored = service_from_dict(
+            json.loads(blob),
+            _make_scheduler(args),
+            metrics=metrics,
+            recorder=log,
+        )
+        where = "<memory>"
+    print(
+        f"checkpoint: t={restored.now} restored from {where} "
+        f"({restored.in_flight} in flight, depth={restored.queue.depth})",
+        flush=True,
+    )
+    return restored
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Submission logging and deterministic replay.
+
+A :class:`SubmissionLog` records every ``(time, spec)`` submission a
+service receives.  Because the whole stack is deterministic -- integer
+simulated time, deterministic shed policies, deterministic engine --
+re-driving a log through an identically configured service reproduces
+the run exactly.  Combined with :mod:`repro.service.snapshot` this
+gives the kill-and-restore harness: run to a checkpoint, snapshot,
+*throw the process away*, restore, re-drive the tail of the log, and
+verify profit is bit-identical to the uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator, Optional
+
+from repro.service.service import SchedulingService, ServiceResult
+from repro.service.snapshot import service_from_dict, service_to_dict
+from repro.sim.jobs import JobSpec
+from repro.sim.scheduler import Scheduler
+from repro.workloads.serialize import spec_from_dict, spec_to_dict
+
+
+class SubmissionLog:
+    """Append-only record of ``(time, spec)`` submissions."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, JobSpec]] = []
+
+    def record(self, t: int, spec: JobSpec) -> None:
+        """Append one submission (called by the service when attached
+        as its ``recorder``)."""
+        self.entries.append((int(t), spec))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[int, JobSpec]]:
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize the log to a JSON-compatible dict."""
+        return {
+            "entries": [
+                {"t": t, "spec": spec_to_dict(spec)} for t, spec in self.entries
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SubmissionLog":
+        """Rebuild a log from :meth:`to_dict` output."""
+        log = cls()
+        for entry in data["entries"]:
+            log.entries.append((int(entry["t"]), spec_from_dict(entry["spec"])))
+        return log
+
+    def save(self, path: str) -> None:
+        """Write the log to a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "SubmissionLog":
+        """Read a log from a JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def drive(
+    service: SchedulingService,
+    log: SubmissionLog,
+    *,
+    start_index: int = 0,
+    stop_time: Optional[int] = None,
+) -> int:
+    """Feed log entries ``[start_index:]`` into ``service``.
+
+    Stops before the first entry with ``t >= stop_time`` (when given)
+    and returns the index of the first entry *not* fed -- pass it back
+    as ``start_index`` to resume after a checkpoint.
+    """
+    entries = log.entries
+    for i in range(start_index, len(entries)):
+        t, spec = entries[i]
+        if stop_time is not None and t >= stop_time:
+            return i
+        service.submit(spec, t=t)
+    return len(entries)
+
+
+def replay(
+    log: SubmissionLog, make_service: Callable[[], SchedulingService]
+) -> ServiceResult:
+    """Re-drive a full log through a freshly built service."""
+    service = make_service()
+    service.start()
+    drive(service, log)
+    return service.finish()
+
+
+def checkpoint_roundtrip(
+    log: SubmissionLog,
+    make_service: Callable[[], SchedulingService],
+    make_scheduler: Callable[[], Scheduler],
+    checkpoint_time: int,
+) -> ServiceResult:
+    """Kill-and-restore harness: run to a checkpoint, serialize through
+    JSON text (simulating process death), restore into fresh objects,
+    re-drive the rest of the log and finish.
+
+    ``make_service`` must build the same configuration the log was
+    recorded against; ``make_scheduler`` must build a fresh scheduler of
+    the same type.  The returned result should be bit-identical to
+    :func:`replay` of the full log.
+    """
+    first = make_service()
+    first.start()
+    resume_index = drive(first, log, stop_time=checkpoint_time)
+    if first.now < checkpoint_time:
+        first.advance_to(checkpoint_time)
+    blob = json.dumps(service_to_dict(first))
+    del first  # the "killed" process
+
+    restored = service_from_dict(json.loads(blob), make_scheduler())
+    drive(restored, log, start_index=resume_index)
+    return restored.finish()

@@ -1,0 +1,165 @@
+"""Checkpoint/restore for the whole scheduling service.
+
+A service snapshot is one JSON document bundling the engine session
+(:meth:`repro.sim.engine.Simulator.snapshot_state`), the scheduler's
+state (:meth:`repro.sim.scheduler.SchedulerBase.snapshot_state`), the
+ingest queue, the shed log and the telemetry values.  Restoring into a
+fresh process and finishing the stream yields *bit-identical* profit
+and records to the uninterrupted run -- the property the
+kill-and-restore tests pin down with the replay harness
+(:mod:`repro.service.replay`).
+
+Scheduler instances are not pickled: the caller constructs a scheduler
+of the same type (same constructor arguments) and the snapshot restores
+its dynamic state.  The snapshot records the scheduler's class name and
+refuses to restore into a different type.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.service.queue import QueuedJob, make_shed_policy
+from repro.service.service import SchedulingService, ShedRecord
+from repro.service.telemetry import MetricsRegistry
+from repro.sim.picker import NodePicker
+from repro.sim.scheduler import Scheduler
+from repro.workloads.serialize import spec_from_dict, spec_to_dict
+
+#: Service snapshot format version (bump on incompatible change).
+SNAPSHOT_VERSION = 1
+
+
+def service_to_dict(service: SchedulingService) -> dict[str, Any]:
+    """Serialize a running service to a JSON-compatible dict."""
+    if not service.sim.started:
+        raise SimulationError("service has no open session to snapshot")
+    return {
+        "version": SNAPSHOT_VERSION,
+        "service": {
+            "capacity": service.queue.capacity,
+            "policy": service.queue.policy.name,
+            "max_in_flight": service.max_in_flight,
+            "sample_every": service.sample_every,
+            "queue_accepted": service.queue.accepted,
+            "queue_shed": service.queue.shed,
+            "last_sample_t": service._last_sample_t,
+        },
+        "engine": service.sim.snapshot_state(),
+        "scheduler": {
+            "type": type(service.sim.scheduler).__name__,
+            "state": service.sim.scheduler.snapshot_state(),
+        },
+        "queue": [
+            {
+                "spec": spec_to_dict(entry.spec),
+                "enqueued_at": entry.enqueued_at,
+                "density": entry.density,
+            }
+            for entry in service.queue.entries()
+        ],
+        "shed": [
+            {
+                "job_id": rec.job_id,
+                "time": rec.time,
+                "reason": rec.reason,
+                "density": rec.density,
+                "profit": rec.profit,
+            }
+            for rec in service.shed_log
+        ],
+        "metrics": service.metrics.state_to_dict(),
+    }
+
+
+def service_from_dict(
+    data: dict[str, Any],
+    scheduler: Scheduler,
+    *,
+    picker: Optional[NodePicker] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    recorder: Optional[Any] = None,
+) -> SchedulingService:
+    """Rebuild a service from a :func:`service_to_dict` snapshot.
+
+    ``scheduler`` must be a fresh instance of the snapshotted type
+    (constructed with the same arguments); its dynamic state is restored
+    from the snapshot.  ``metrics`` may be a fresh registry (e.g. with a
+    new JSONL sink); metric values are restored into it.
+    """
+    if data.get("version") != SNAPSHOT_VERSION:
+        raise SimulationError(
+            f"unsupported service snapshot version {data.get('version')}"
+        )
+    sched_type = data["scheduler"]["type"]
+    if type(scheduler).__name__ != sched_type:
+        raise SimulationError(
+            f"snapshot was taken with scheduler {sched_type!r}, "
+            f"got {type(scheduler).__name__!r}"
+        )
+    svc_cfg = data["service"]
+    engine_cfg = data["engine"]["config"]
+    service = SchedulingService(
+        m=engine_cfg["m"],
+        scheduler=scheduler,
+        capacity=svc_cfg["capacity"],
+        shed_policy=make_shed_policy(svc_cfg["policy"]),
+        max_in_flight=svc_cfg["max_in_flight"],
+        speed=engine_cfg["speed"],
+        picker=picker,
+        horizon=engine_cfg["horizon"],
+        preemption_overhead=engine_cfg["preemption_overhead"],
+        metrics=metrics,
+        sample_every=svc_cfg["sample_every"],
+        recorder=recorder,
+    )
+    views = service.sim.restore_state(data["engine"])
+    scheduler.restore_state(data["scheduler"]["state"], views)
+    for entry in data["queue"]:
+        service.queue._entries.append(
+            QueuedJob(
+                spec=spec_from_dict(entry["spec"]),
+                enqueued_at=int(entry["enqueued_at"]),
+                density=float(entry["density"]),
+            )
+        )
+    service.queue.accepted = int(svc_cfg["queue_accepted"])
+    service.queue.shed = int(svc_cfg["queue_shed"])
+    service.shed_log = [
+        ShedRecord(
+            job_id=int(rec["job_id"]),
+            time=int(rec["time"]),
+            reason=str(rec["reason"]),
+            density=float(rec["density"]),
+            profit=float(rec["profit"]),
+        )
+        for rec in data["shed"]
+    ]
+    service.metrics.restore_from_dict(data["metrics"])
+    last = svc_cfg["last_sample_t"]
+    service._last_sample_t = None if last is None else int(last)
+    return service
+
+
+def save_snapshot(service: SchedulingService, path: str) -> None:
+    """Write a service snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(service_to_dict(service), fh)
+
+
+def load_snapshot(
+    path: str,
+    scheduler: Scheduler,
+    *,
+    picker: Optional[NodePicker] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    recorder: Optional[Any] = None,
+) -> SchedulingService:
+    """Read a JSON snapshot file and rebuild the service."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return service_from_dict(
+        data, scheduler, picker=picker, metrics=metrics, recorder=recorder
+    )

@@ -1,0 +1,142 @@
+"""Lightweight metrics for the scheduling service.
+
+A :class:`MetricsRegistry` holds named counters (monotone totals:
+admissions, sheds, completions) and gauges (instantaneous values: queue
+depth, jobs in flight, utilization).  The service samples the registry
+at decision points; each sample is a flat dict stamped with simulated
+time, retained in memory and/or streamed to a JSONL sink, so a metrics
+log can be tailed live or post-processed with any JSON tooling.
+
+No external dependencies, no threads, no wall-clock: simulated time is
+the only clock, which keeps telemetry deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO, Optional
+
+
+class Counter:
+    """Monotone accumulator (floats allowed -- profit is a counter too)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Instantaneous value, overwritten at every observation."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class MetricsRegistry:
+    """Named counters and gauges with time-stamped sampling.
+
+    Parameters
+    ----------
+    sink:
+        Optional text file-like object; every sample is written to it as
+        one JSON line immediately (streaming export).
+    keep_samples:
+        Retain samples in :attr:`samples` (default).  Disable for long
+        runs that only stream to a sink.
+    """
+
+    def __init__(
+        self, sink: Optional[IO[str]] = None, keep_samples: bool = True
+    ) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self.sink = sink
+        self.keep_samples = bool(keep_samples)
+        #: retained samples, one flat dict per call to :meth:`sample`
+        self.samples: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter called ``name``."""
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (or lazily create) the gauge called ``name``."""
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def values(self) -> dict[str, float]:
+        """Current value of every metric, counters before gauges."""
+        out: dict[str, float] = {}
+        for name in sorted(self._counters):
+            out[name] = self._counters[name].value
+        for name in sorted(self._gauges):
+            out[name] = self._gauges[name].value
+        return out
+
+    # ------------------------------------------------------------------
+    def sample(self, t: int) -> dict[str, Any]:
+        """Snapshot every metric at simulated time ``t``.
+
+        The sample is appended to :attr:`samples` (when retained) and
+        written to the sink (when set); it is also returned.
+        """
+        record: dict[str, Any] = {"t": int(t)}
+        record.update(self.values())
+        if self.keep_samples:
+            self.samples.append(record)
+        if self.sink is not None:
+            self.sink.write(json.dumps(record) + "\n")
+        return record
+
+    def to_jsonl(self) -> str:
+        """Render all retained samples as a JSONL string."""
+        return "".join(json.dumps(s) + "\n" for s in self.samples)
+
+    def write_jsonl(self, path: str) -> None:
+        """Write all retained samples to a JSONL file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_to_dict(self) -> dict[str, Any]:
+        """Serialize metric values (samples are log output, not state)."""
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+        }
+
+    def restore_from_dict(self, data: dict[str, Any]) -> None:
+        """Restore metric values from :meth:`state_to_dict` output."""
+        for name, value in data["counters"].items():
+            self.counter(name).value = float(value)
+        for name, value in data["gauges"].items():
+            self.gauge(name).set(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, samples={len(self.samples)})"
+        )

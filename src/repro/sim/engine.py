@@ -20,6 +20,24 @@ Semantics
 * The engine -- never the scheduler -- picks which ready nodes run,
   via the configured :class:`~repro.sim.picker.NodePicker`.
 
+Batch and streaming modes
+-------------------------
+:meth:`Simulator.run` consumes a closed workload and simulates it to
+completion.  It is a thin wrapper over the *streaming* session API --
+:meth:`Simulator.start`, :meth:`Simulator.submit`,
+:meth:`Simulator.advance_to` and :meth:`Simulator.finish` -- which lets
+a long-running service interleave new submissions with simulated time
+(the online setting the paper is actually about).  A streaming session
+driven only at event times (advance to each arrival, then submit)
+produces a :class:`SimulationResult` bit-identical to the batch run of
+the same arrival sequence, counters included; advancing at additional
+intermediate times preserves all per-job records and profits but counts
+extra scheduler decisions.
+
+Sessions can also be checkpointed mid-run (:meth:`Simulator.snapshot_state`)
+and restored later (:meth:`Simulator.restore_state`) so a killed service
+resumes deterministically; see :mod:`repro.service.snapshot`.
+
 Example
 -------
 >>> from repro.dag import chain
@@ -37,15 +55,18 @@ import heapq
 import logging
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.errors import AllocationError, SimulationError
-from repro.sim.jobs import ActiveJob, CompletionRecord, JobSpec
+from repro.sim.jobs import ActiveJob, CompletionRecord, JobSpec, JobView
 from repro.sim.picker import FIFOPicker, NodePicker
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import EventKind, RunCounters, Trace
 
 logger = logging.getLogger(__name__)
+
+#: Version tag of the engine snapshot format (see :meth:`Simulator.snapshot_state`).
+ENGINE_SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -79,6 +100,43 @@ class SimulationResult:
     def profit_of(self, job_id: int) -> float:
         """Profit earned by one job."""
         return self.records[job_id].profit
+
+
+class _RunState:
+    """Mutable state of one simulation session (batch or streaming)."""
+
+    __slots__ = (
+        "t",
+        "end_time",
+        "arrival_seen",
+        "done",
+        "pending",
+        "ids",
+        "active",
+        "finished",
+        "deadline_heap",
+        "prev_running",
+        "counters",
+        "trace",
+    )
+
+    def __init__(self, trace: Optional[Trace]) -> None:
+        self.t = 0
+        self.end_time = 0
+        #: whether the clock has been anchored to the first arrival
+        self.arrival_seen = False
+        #: terminal: drained, deadlocked, or horizon reached
+        self.done = False
+        #: min-heap of (arrival, job_id, spec) not yet released
+        self.pending: list[tuple[int, int, JobSpec]] = []
+        #: every job id ever submitted (duplicate detection)
+        self.ids: set[int] = set()
+        self.active: dict[int, ActiveJob] = {}
+        self.finished: dict[int, CompletionRecord] = {}
+        self.deadline_heap: list[tuple[int, int]] = []  # (deadline, job_id)
+        self.prev_running: dict[int, set[int]] = {}  # job_id -> nodes last step
+        self.counters = RunCounters()
+        self.trace = trace
 
 
 class Simulator:
@@ -135,108 +193,346 @@ class Simulator:
         self.horizon = horizon
         self.validate = bool(validate)
         self.preemption_overhead = float(preemption_overhead)
+        self._state: Optional[_RunState] = None
 
+    # ------------------------------------------------------------------
+    # Batch mode (thin wrapper over the streaming session)
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> SimulationResult:
         """Simulate the workload to completion (or horizon) and report."""
-        specs = sorted(specs, key=lambda sp: (sp.arrival, sp.job_id))
         ids = [sp.job_id for sp in specs]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate job ids in workload")
+        self.start()
+        for spec in sorted(specs, key=lambda sp: (sp.arrival, sp.job_id)):
+            self.submit(spec)
+        return self.finish()
 
+    # ------------------------------------------------------------------
+    # Streaming session API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Open a streaming session at time 0.
+
+        After :meth:`start`, jobs are injected with :meth:`submit`,
+        simulated time moves with :meth:`advance_to`, and
+        :meth:`finish` drains everything and reports.
+        """
+        if self._state is not None:
+            raise SimulationError("a session is already active; call finish() first")
         trace = Trace(self.m, self.speed) if self.record_trace else None
-        counters = RunCounters()
-        active: dict[int, ActiveJob] = {}
-        finished: dict[int, CompletionRecord] = {}
-        deadline_heap: list[tuple[int, int]] = []  # (deadline, job_id)
-        prev_running: dict[int, set[int]] = {}  # job_id -> node ids last step
-
+        self._state = _RunState(trace)
         self.scheduler.on_start(self.m, self.speed)
 
-        idx = 0
-        n = len(specs)
-        t = specs[0].arrival if specs else 0
-        if self.horizon is not None:
-            t = min(t, self.horizon)
-        end_time = t
+    def submit(self, spec: JobSpec, t: Optional[int] = None) -> None:
+        """Queue a job for release at ``spec.arrival``.
 
-        def finish_record(job: ActiveJob) -> CompletionRecord:
-            return CompletionRecord(
-                job_id=job.job_id,
-                arrival=job.spec.arrival,
-                deadline=job.spec.deadline,
-                completion_time=job.completion_time,
-                profit=job.earned_profit,
-                processor_steps=job.processor_steps,
-                expired=job.expired,
-                abandoned=job.abandoned,
-                assigned_deadline=job.assigned_deadline,
+        ``t`` is the submission time: when given and ahead of the
+        current clock the session first advances to it (so a driver can
+        write ``submit(spec, t=arrival)`` and nothing else).  The
+        arrival must not lie in the simulated past -- a streaming driver
+        must not advance beyond times it still intends to submit at.
+        """
+        state = self._require_session()
+        if t is not None:
+            if t < state.t:
+                raise SimulationError(
+                    f"submission time {t} is in the past (now={state.t})"
+                )
+            if t > state.t:
+                self.advance_to(t)
+        if spec.job_id in state.ids:
+            raise SimulationError(f"duplicate job id {spec.job_id}")
+        if spec.arrival < state.t:
+            raise SimulationError(
+                f"job {spec.job_id} arrival {spec.arrival} is in the past "
+                f"(now={state.t})"
             )
+        state.ids.add(spec.job_id)
+        heapq.heappush(state.pending, (spec.arrival, spec.job_id, spec))
 
-        while True:
+    def advance_to(self, target: int) -> int:
+        """Advance simulated time to ``target`` and return the clock.
+
+        All events *strictly before* ``target`` are fully processed;
+        events at exactly ``target`` stay pending so that same-time
+        submissions made afterwards are sequenced exactly as a batch run
+        would (arrivals before expiries at equal times).  Advancing past
+        the horizon clamps to it.
+        """
+        state = self._require_session()
+        if target < state.t:
+            raise SimulationError(f"cannot advance to {target} (now={state.t})")
+        self._advance(target)
+        return state.t
+
+    def finish(self) -> SimulationResult:
+        """Drain the session (all pending arrivals and active jobs) and
+        return the final :class:`SimulationResult`; the session closes."""
+        state = self._require_session()
+        self._advance(None)
+        # jobs never released (horizon before arrival) get empty records
+        while state.pending:
+            _, job_id, spec = heapq.heappop(state.pending)
+            state.finished[job_id] = CompletionRecord(
+                job_id=job_id,
+                arrival=spec.arrival,
+                deadline=spec.deadline,
+                completion_time=None,
+                profit=0.0,
+                abandoned=True,
+            )
+            state.counters.abandons += 1
+        result = SimulationResult(
+            m=self.m,
+            speed=self.speed,
+            records=state.finished,
+            counters=state.counters,
+            end_time=state.end_time,
+            trace=state.trace,
+        )
+        self._state = None
+        return result
+
+    # ------------------------------------------------------------------
+    # Session introspection (used by the service layer and telemetry)
+    # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether a streaming session is currently open."""
+        return self._state is not None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time of the open session."""
+        return self._require_session().t
+
+    @property
+    def active_count(self) -> int:
+        """Number of released, unfinished jobs in the open session."""
+        return len(self._require_session().active)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of submitted jobs not yet released (future arrivals)."""
+        return len(self._require_session().pending)
+
+    @property
+    def finished_count(self) -> int:
+        """Number of jobs with a final record so far."""
+        return len(self._require_session().finished)
+
+    @property
+    def counters(self) -> RunCounters:
+        """Live run counters of the open session (read-only use)."""
+        return self._require_session().counters
+
+    def profit_so_far(self) -> float:
+        """Profit accumulated by finished jobs in the open session."""
+        state = self._require_session()
+        return sum(r.profit for r in state.finished.values())
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, Any]:
+        """Serialize the open session to a JSON-compatible dict.
+
+        The snapshot captures pending submissions, active jobs (DAG
+        execution state included), finished records, the expiry heap,
+        preemption bookkeeping and counters -- everything needed for
+        :meth:`restore_state` to resume bit-identically.  The trace (if
+        recorded) is *not* captured; a restored session records a fresh
+        trace from the restore point.  Scheduler state is snapshotted
+        separately (see
+        :meth:`repro.sim.scheduler.SchedulerBase.snapshot_state`).
+        """
+        from repro.workloads.serialize import spec_to_dict
+
+        state = self._require_session()
+        return {
+            "version": ENGINE_SNAPSHOT_VERSION,
+            "config": {
+                "m": self.m,
+                "speed": self.speed,
+                "horizon": self.horizon,
+                "preemption_overhead": self.preemption_overhead,
+            },
+            "t": state.t,
+            "end_time": state.end_time,
+            "arrival_seen": state.arrival_seen,
+            "done": state.done,
+            "ids": sorted(state.ids),
+            "pending": [spec_to_dict(spec) for _, _, spec in sorted(state.pending)],
+            "active": [self._active_to_dict(job) for job in state.active.values()],
+            "finished": [
+                _record_to_dict(rec) for rec in state.finished.values()
+            ],
+            "deadline_heap": [list(item) for item in sorted(state.deadline_heap)],
+            "prev_running": [
+                [job_id, sorted(nodes)]
+                for job_id, nodes in state.prev_running.items()
+            ],
+            "counters": _counters_to_dict(state.counters),
+        }
+
+    def restore_state(self, data: dict[str, Any]) -> dict[int, JobView]:
+        """Open a session from a :meth:`snapshot_state` dict.
+
+        The simulator must be configured identically to the one that
+        took the snapshot (``m``, ``speed``, ``horizon``,
+        ``preemption_overhead`` are verified).  Calls the scheduler's
+        ``on_start`` and returns the ``job_id -> JobView`` mapping of
+        live jobs so the caller can restore scheduler state next.
+        """
+        from repro.workloads.serialize import spec_from_dict
+
+        if self._state is not None:
+            raise SimulationError("a session is already active; cannot restore")
+        if data.get("version") != ENGINE_SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"unsupported engine snapshot version {data.get('version')}"
+            )
+        config = data["config"]
+        mine = {
+            "m": self.m,
+            "speed": self.speed,
+            "horizon": self.horizon,
+            "preemption_overhead": self.preemption_overhead,
+        }
+        if config != mine:
+            raise SimulationError(
+                f"snapshot config {config} does not match simulator {mine}"
+            )
+        trace = Trace(self.m, self.speed) if self.record_trace else None
+        state = _RunState(trace)
+        state.t = int(data["t"])
+        state.end_time = int(data["end_time"])
+        state.arrival_seen = bool(data["arrival_seen"])
+        state.done = bool(data["done"])
+        state.ids = {int(i) for i in data["ids"]}
+        state.pending = [
+            (spec.arrival, spec.job_id, spec)
+            for spec in (spec_from_dict(d) for d in data["pending"])
+        ]
+        heapq.heapify(state.pending)
+        for entry in data["active"]:
+            job = self._active_from_dict(entry)
+            state.active[job.job_id] = job
+        for entry in data["finished"]:
+            rec = _record_from_dict(entry)
+            state.finished[rec.job_id] = rec
+        state.deadline_heap = [(int(d), int(j)) for d, j in data["deadline_heap"]]
+        heapq.heapify(state.deadline_heap)
+        state.prev_running = {
+            int(job_id): {int(n) for n in nodes}
+            for job_id, nodes in data["prev_running"]
+        }
+        state.counters = _counters_from_dict(data["counters"])
+        self._state = state
+        self.scheduler.on_start(self.m, self.speed)
+        return {job_id: job.view for job_id, job in state.active.items()}
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def _require_session(self) -> _RunState:
+        if self._state is None:
+            raise SimulationError("no active session; call start() first")
+        return self._state
+
+    def _advance(self, target: Optional[int]) -> None:
+        """Process events up to ``target`` (``None`` = drain everything)."""
+        state = self._require_session()
+        horizon = self.horizon
+        if target is not None and horizon is not None:
+            target = min(target, horizon)
+
+        while not state.done:
+            if target is not None and state.t >= target:
+                return
+
+            # ---- anchor the clock at the first arrival -------------------
+            # Batch semantics: idle time before any job exists is skipped,
+            # not simulated, so pre-arrival gaps cost no decisions/steps.
+            if not state.arrival_seen:
+                if not state.pending:
+                    if target is None:
+                        break
+                    state.t = max(state.t, target)
+                    return
+                first = state.pending[0][0]
+                if horizon is not None:
+                    first = min(first, horizon)
+                if target is not None and first > target:
+                    state.t = max(state.t, target)
+                    return
+                state.t = max(state.t, first)
+                state.arrival_seen = True
+
             # ---- arrivals at (or before) t -------------------------------
-            while idx < n and specs[idx].arrival <= t:
-                spec = specs[idx]
-                idx += 1
+            while state.pending and state.pending[0][0] <= state.t:
+                _, _, spec = heapq.heappop(state.pending)
                 job = ActiveJob(spec)
-                active[spec.job_id] = job
-                if trace:
-                    trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
+                state.active[spec.job_id] = job
+                if state.trace:
+                    state.trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
                 logger.debug(
                     "t=%d arrival job=%d W=%.6g L=%.6g d=%s",
-                    t, spec.job_id, spec.work, spec.span, spec.deadline,
+                    state.t, spec.job_id, spec.work, spec.span, spec.deadline,
                 )
-                self.scheduler.on_arrival(job.view, t)
-                assigned = self.scheduler.assign_deadline(job.view, t)
+                self.scheduler.on_arrival(job.view, state.t)
+                assigned = self.scheduler.assign_deadline(job.view, state.t)
                 if assigned is not None:
-                    if assigned <= t:
+                    if assigned <= state.t:
                         raise SimulationError(
-                            f"scheduler assigned past deadline {assigned} <= {t}"
+                            f"scheduler assigned past deadline {assigned} <= {state.t}"
                         )
                     job.assigned_deadline = int(assigned)
-                    if trace:
-                        trace.event(
-                            t, EventKind.DEADLINE_ASSIGNED, spec.job_id, assigned
+                    if state.trace:
+                        state.trace.event(
+                            state.t, EventKind.DEADLINE_ASSIGNED, spec.job_id, assigned
                         )
                 eff = job.effective_deadline()
                 if eff is not None:
-                    heapq.heappush(deadline_heap, (eff, spec.job_id))
+                    heapq.heappush(state.deadline_heap, (eff, spec.job_id))
 
             # ---- expiries at t -------------------------------------------
-            while deadline_heap and deadline_heap[0][0] <= t:
-                _, job_id = heapq.heappop(deadline_heap)
-                job = active.get(job_id)
+            while state.deadline_heap and state.deadline_heap[0][0] <= state.t:
+                _, job_id = heapq.heappop(state.deadline_heap)
+                job = state.active.get(job_id)
                 if job is None or not job.is_live():
                     continue  # stale entry
                 eff = job.effective_deadline()
-                if eff is None or eff > t:
+                if eff is None or eff > state.t:
                     continue
                 job.expired = True
                 job.dag.mark_preempted(job.executing)
                 job.executing = ()
-                prev_running.pop(job_id, None)
-                del active[job_id]
-                finished[job_id] = finish_record(job)
-                counters.expiries += 1
-                if trace:
-                    trace.event(t, EventKind.EXPIRY, job_id)
-                logger.debug("t=%d expiry job=%d", t, job_id)
-                self.scheduler.on_expiry(job.view, t)
+                state.prev_running.pop(job_id, None)
+                del state.active[job_id]
+                state.finished[job_id] = _finish_record(job)
+                state.counters.expiries += 1
+                if state.trace:
+                    state.trace.event(state.t, EventKind.EXPIRY, job_id)
+                logger.debug("t=%d expiry job=%d", state.t, job_id)
+                self.scheduler.on_expiry(job.view, state.t)
 
-            end_time = t
+            state.end_time = state.t
 
             # ---- termination ---------------------------------------------
-            if not active and idx >= n:
+            if target is None and not state.active and not state.pending:
+                state.done = True
                 break
-            if self.horizon is not None and t >= self.horizon:
-                self._abandon_all(active, finished, prev_running, counters, trace, t,
-                                  finish_record)
+            if horizon is not None and state.t >= horizon:
+                self._abandon_all(state)
+                state.done = True
                 break
 
             # ---- allocation ----------------------------------------------
-            alloc = self.scheduler.allocate(t)
-            self._check_allocation(alloc, active)
-            counters.decisions += 1
+            alloc = self.scheduler.allocate(state.t)
+            self._check_allocation(alloc, state.active)
+            state.counters.decisions += 1
 
             assignment: list[tuple[ActiveJob, list[int]]] = []
             allocated_procs = 0
@@ -245,41 +541,41 @@ class Simulator:
             for job_id, k in alloc.items():
                 if k <= 0:
                     continue
-                job = active[job_id]
+                job = state.active[job_id]
                 ready = job.dag.ready_nodes()
                 nodes = self.picker.pick(job.dag, ready, k)
                 if len(nodes) > k or len(set(nodes)) != len(nodes):
                     raise SimulationError("picker returned invalid node set")
                 # preemption accounting: previously-running nodes that are
                 # neither rerun nor finished count as preempted
-                prev = prev_running.get(job_id, set())
+                prev = state.prev_running.get(job_id, set())
                 now = set(nodes)
                 stale = {
                     nd for nd in prev - now
                     if nd in job.dag.ready_nodes() or job.dag.node_remaining(nd) > 0
                 }
-                counters.preemptions += len(stale)
+                state.counters.preemptions += len(stale)
                 job.dag.mark_preempted(stale)
                 if self.preemption_overhead > 0:
                     for nd in stale:
                         job.dag.add_overhead(nd, self.preemption_overhead)
                 job.dag.mark_running(nodes)
-                prev_running[job_id] = now
+                state.prev_running[job_id] = now
                 job.executing = tuple(nodes)
                 assignment.append((job, nodes))
                 allocated_procs += k
                 executing_procs += len(nodes)
                 slice_entries.append((job_id, k, len(nodes)))
             # jobs allocated nothing this round lose their running marks
-            for job_id in list(prev_running):
+            for job_id in list(state.prev_running):
                 if job_id not in alloc or alloc.get(job_id, 0) <= 0:
-                    job = active.get(job_id)
-                    prev = prev_running.pop(job_id)
+                    job = state.active.get(job_id)
+                    prev = state.prev_running.pop(job_id)
                     if job is not None:
                         stale = {
                             nd for nd in prev if job.dag.node_remaining(nd) > 0
                         }
-                        counters.preemptions += len(stale)
+                        state.counters.preemptions += len(stale)
                         job.dag.mark_preempted(stale)
                         if self.preemption_overhead > 0:
                             for nd in stale:
@@ -287,17 +583,23 @@ class Simulator:
                         job.executing = ()
 
             # ---- choose chunk length dt ----------------------------------
-            dt = self._next_dt(t, idx, specs, deadline_heap, assignment)
+            dt = self._next_dt(state, assignment)
             if dt is None:
-                # Nothing executing and no future event can change that.
-                self._abandon_all(active, finished, prev_running, counters, trace, t,
-                                  finish_record)
-                break
-            if self.horizon is not None:
-                dt = min(dt, self.horizon - t)
+                if target is None:
+                    # Nothing executing and no future event can change that.
+                    self._abandon_all(state)
+                    state.done = True
+                    break
+                # streaming: the next submission (at or before target) is
+                # the event batch mode would have fast-forwarded to
+                dt = target - state.t
+            elif target is not None:
+                dt = min(dt, target - state.t)
+            if horizon is not None:
+                dt = min(dt, horizon - state.t)
                 if dt <= 0:
-                    self._abandon_all(active, finished, prev_running, counters,
-                                      trace, t, finish_record)
+                    self._abandon_all(state)
+                    state.done = True
                     break
 
             # ---- execute the chunk ---------------------------------------
@@ -306,59 +608,36 @@ class Simulator:
                 for node in nodes:
                     job.dag.process(node, self.speed * dt)
             for job_id, k, _execing in slice_entries:
-                active[job_id].processor_steps += k * dt
-            counters.steps += dt
-            counters.allocated_steps += allocated_procs * dt
-            counters.busy_steps += executing_procs * dt
-            if trace:
-                trace.slice(t, t + dt, tuple(slice_entries))
-            t += dt
+                state.active[job_id].processor_steps += k * dt
+            state.counters.steps += dt
+            state.counters.allocated_steps += allocated_procs * dt
+            state.counters.busy_steps += executing_procs * dt
+            if state.trace:
+                state.trace.slice(state.t, state.t + dt, tuple(slice_entries))
+            state.t += dt
 
             # ---- completions at t ----------------------------------------
             for job, nodes in assignment:
                 if job.dag.is_complete() and job.completion_time is None:
-                    job.completion_time = t
-                    job.earned_profit = self._profit_at_completion(job, t)
+                    job.completion_time = state.t
+                    job.earned_profit = self._profit_at_completion(job, state.t)
                     completions.append(job)
             for job in completions:
                 job.executing = ()
-                prev_running.pop(job.job_id, None)
-                del active[job.job_id]
-                finished[job.job_id] = finish_record(job)
-                counters.completions += 1
-                if trace:
-                    trace.event(t, EventKind.COMPLETION, job.job_id)
+                state.prev_running.pop(job.job_id, None)
+                del state.active[job.job_id]
+                state.finished[job.job_id] = _finish_record(job)
+                state.counters.completions += 1
+                if state.trace:
+                    state.trace.event(state.t, EventKind.COMPLETION, job.job_id)
                 logger.debug(
                     "t=%d completion job=%d profit=%.6g",
-                    t, job.job_id, job.earned_profit,
+                    state.t, job.job_id, job.earned_profit,
                 )
-                self.scheduler.on_completion(job.view, t)
+                self.scheduler.on_completion(job.view, state.t)
 
             if self.validate:
-                self._validate_state(active)
-
-        # jobs never released (horizon before arrival) get empty records
-        while idx < n:
-            spec = specs[idx]
-            idx += 1
-            finished[spec.job_id] = CompletionRecord(
-                job_id=spec.job_id,
-                arrival=spec.arrival,
-                deadline=spec.deadline,
-                completion_time=None,
-                profit=0.0,
-                abandoned=True,
-            )
-            counters.abandons += 1
-
-        return SimulationResult(
-            m=self.m,
-            speed=self.speed,
-            records=finished,
-            counters=counters,
-            end_time=end_time,
-            trace=trace,
-        )
+                self._validate_state(state.active)
 
     # ------------------------------------------------------------------
     def _profit_at_completion(self, job: ActiveJob, t: int) -> float:
@@ -386,17 +665,15 @@ class Simulator:
 
     def _next_dt(
         self,
-        t: int,
-        idx: int,
-        specs: Sequence[JobSpec],
-        deadline_heap: list[tuple[int, int]],
+        state: _RunState,
         assignment: list[tuple[ActiveJob, list[int]]],
     ) -> Optional[int]:
+        t = state.t
         candidates: list[int] = []
-        if idx < len(specs):
-            candidates.append(specs[idx].arrival - t)
-        if deadline_heap:
-            candidates.append(deadline_heap[0][0] - t)
+        if state.pending:
+            candidates.append(state.pending[0][0] - t)
+        if state.deadline_heap:
+            candidates.append(state.deadline_heap[0][0] - t)
         for job, nodes in assignment:
             for node in nodes:
                 rem = job.dag.node_remaining(node)
@@ -416,21 +693,119 @@ class Simulator:
             return max(1, min(candidates))
         return max(1, min(c for c in candidates if c > 0))
 
-    def _abandon_all(self, active, finished, prev_running, counters, trace, t,
-                     finish_record) -> None:
-        for job_id, job in list(active.items()):
+    def _abandon_all(self, state: _RunState) -> None:
+        for job_id, job in list(state.active.items()):
             job.abandoned = True
             job.dag.mark_preempted(job.executing)
             job.executing = ()
-            prev_running.pop(job_id, None)
-            finished[job_id] = finish_record(job)
-            counters.abandons += 1
-            if trace:
-                trace.event(t, EventKind.ABANDON, job_id)
-            del active[job_id]
+            state.prev_running.pop(job_id, None)
+            state.finished[job_id] = _finish_record(job)
+            state.counters.abandons += 1
+            if state.trace:
+                state.trace.event(state.t, EventKind.ABANDON, job_id)
+            del state.active[job_id]
 
     def _validate_state(self, active: dict[int, ActiveJob]) -> None:
         from repro.dag.validate import validate_job_state
 
         for job in active.values():
             validate_job_state(job.dag)
+
+    # ------------------------------------------------------------------
+    # Snapshot helpers
+    # ------------------------------------------------------------------
+    def _active_to_dict(self, job: ActiveJob) -> dict[str, Any]:
+        from repro.workloads.serialize import spec_to_dict
+
+        return {
+            "spec": spec_to_dict(job.spec),
+            "dag": job.dag.runtime_state_to_dict(),
+            "executing": [int(n) for n in job.executing],
+            "assigned_deadline": job.assigned_deadline,
+            "processor_steps": job.processor_steps,
+        }
+
+    def _active_from_dict(self, data: dict[str, Any]) -> ActiveJob:
+        from repro.dag.job import DAGJob
+        from repro.workloads.serialize import spec_from_dict
+
+        spec = spec_from_dict(data["spec"])
+        job = ActiveJob(spec)
+        job.dag = DAGJob.from_runtime_state(spec.structure, data["dag"])
+        job.executing = tuple(int(n) for n in data["executing"])
+        if data["assigned_deadline"] is not None:
+            job.assigned_deadline = int(data["assigned_deadline"])
+        job.processor_steps = float(data["processor_steps"])
+        return job
+
+
+def _finish_record(job: ActiveJob) -> CompletionRecord:
+    return CompletionRecord(
+        job_id=job.job_id,
+        arrival=job.spec.arrival,
+        deadline=job.spec.deadline,
+        completion_time=job.completion_time,
+        profit=job.earned_profit,
+        processor_steps=job.processor_steps,
+        expired=job.expired,
+        abandoned=job.abandoned,
+        assigned_deadline=job.assigned_deadline,
+    )
+
+
+def _record_to_dict(rec: CompletionRecord) -> dict[str, Any]:
+    return {
+        "job_id": rec.job_id,
+        "arrival": rec.arrival,
+        "deadline": rec.deadline,
+        "completion_time": rec.completion_time,
+        "profit": rec.profit,
+        "processor_steps": rec.processor_steps,
+        "expired": rec.expired,
+        "abandoned": rec.abandoned,
+        "assigned_deadline": rec.assigned_deadline,
+        "extra": rec.extra,
+    }
+
+
+def _record_from_dict(data: dict[str, Any]) -> CompletionRecord:
+    return CompletionRecord(
+        job_id=int(data["job_id"]),
+        arrival=int(data["arrival"]),
+        deadline=data["deadline"],
+        completion_time=data["completion_time"],
+        profit=float(data["profit"]),
+        processor_steps=float(data["processor_steps"]),
+        expired=bool(data["expired"]),
+        abandoned=bool(data["abandoned"]),
+        assigned_deadline=data["assigned_deadline"],
+        extra=dict(data.get("extra", {})),
+    )
+
+
+def _counters_to_dict(counters: RunCounters) -> dict[str, Any]:
+    return {
+        "decisions": counters.decisions,
+        "steps": counters.steps,
+        "allocated_steps": counters.allocated_steps,
+        "busy_steps": counters.busy_steps,
+        "preemptions": counters.preemptions,
+        "completions": counters.completions,
+        "expiries": counters.expiries,
+        "abandons": counters.abandons,
+        "extra": counters.extra,
+    }
+
+
+def _counters_from_dict(data: dict[str, Any]) -> RunCounters:
+    return RunCounters(
+        decisions=int(data["decisions"]),
+        steps=int(data["steps"]),
+        allocated_steps=float(data["allocated_steps"]),
+        busy_steps=float(data["busy_steps"]),
+        preemptions=int(data["preemptions"]),
+        completions=int(data["completions"]),
+        expiries=int(data["expiries"]),
+        abandons=int(data["abandons"]),
+        extra=dict(data.get("extra", {})),
+    )

@@ -13,8 +13,9 @@ Semi-non-clairvoyance is structural: schedulers receive
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Any, Mapping, Optional, Protocol, runtime_checkable
 
+from repro.errors import SchedulingError
 from repro.sim.jobs import JobView
 
 
@@ -85,3 +86,32 @@ class SchedulerBase:
         profit setting), or ``None``.  Called right after ``on_arrival``;
         the engine expires the job past the returned time."""
         return None
+
+    # ------------------------------------------------------------------
+    # Checkpointing (opt-in; see repro.service.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict[str, Any]:
+        """Serialize scheduler state to a JSON-compatible dict.
+
+        Schedulers that support service checkpointing override this
+        together with :meth:`restore_state`; the default refuses, so a
+        checkpoint of an unsupported scheduler fails loudly instead of
+        restoring silently-wrong state.
+        """
+        raise SchedulingError(
+            f"{type(self).__name__} does not support state snapshots"
+        )
+
+    def restore_state(
+        self, data: dict[str, Any], views: Mapping[int, JobView]
+    ) -> None:
+        """Rebuild scheduler state from :meth:`snapshot_state` output.
+
+        ``views`` maps live job ids to the engine's restored
+        :class:`~repro.sim.jobs.JobView` objects; called after
+        :meth:`on_start` on a freshly constructed scheduler of the same
+        type and configuration.
+        """
+        raise SchedulingError(
+            f"{type(self).__name__} does not support state snapshots"
+        )

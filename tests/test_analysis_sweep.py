@@ -3,11 +3,19 @@
 import pytest
 
 from repro.analysis.sweep import SweepCell, grid_points, run_sweep, sweep_table
+from repro.errors import SweepError
 
 
 def _point_fn(point: dict, seed: int) -> float:
     """Module-level so the multiprocessing path can pickle it."""
     return point["a"] * 10 + point.get("b", 0) + seed * 0.1
+
+
+def _failing_fn(point: dict, seed: int) -> float:
+    """Fails on exactly one (point, seed) cell."""
+    if point["a"] == 2 and seed == 1:
+        raise ValueError("boom")
+    return float(point["a"])
 
 
 class TestGrid:
@@ -39,6 +47,16 @@ class TestRunSweep:
         assert [c.point for c in serial] == [c.point for c in parallel]
         for a, b in zip(serial, parallel):
             assert a.aggregate.mean == pytest.approx(b.aggregate.mean)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_failure_names_cell(self, workers):
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(_failing_fn, {"a": [1, 2, 3]}, seeds=[0, 1], workers=workers)
+        err = excinfo.value
+        assert err.point == {"a": 2}
+        assert err.seed == 1
+        assert "boom" in str(err)
+        assert isinstance(err.__cause__, ValueError)
 
     def test_simulation_point_function(self):
         cells = run_sweep(

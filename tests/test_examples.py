@@ -52,6 +52,13 @@ class TestExamples:
         assert "util [" in out
         assert "done" in out
 
+    def test_streaming_service(self):
+        out = run_example("streaming_service.py")
+        assert "Serving a full diurnal cycle" in out
+        assert "bit-identical after restore: True" in out
+        assert "final telemetry sample" in out
+        assert "done" in out
+
     def test_diurnal_report(self):
         out = run_example("diurnal_cluster_report.py")
         assert "Workload" in out

@@ -1,0 +1,128 @@
+"""Tests for the metrics registry, JSONL export, and the repro-serve CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import SNSScheduler
+from repro.service import MetricsRegistry, SchedulingService, make_shed_policy
+from repro.service.cli import main as serve_main
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert reg.values()["x"] == pytest.approx(3.5)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(3)
+        reg.gauge("depth").set(1)
+        assert reg.values()["depth"] == 1.0
+
+    def test_same_name_same_object(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+
+    def test_sample_and_jsonl(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.sample(10)
+        reg.counter("n").inc()
+        reg.sample(20)
+        lines = reg.to_jsonl().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"t": 10, "n": 2.0}
+        assert json.loads(lines[1]) == {"t": 20, "n": 3.0}
+
+    def test_streaming_sink(self):
+        sink = io.StringIO()
+        reg = MetricsRegistry(sink=sink, keep_samples=False)
+        reg.gauge("g").set(7)
+        reg.sample(1)
+        assert reg.samples == []
+        assert json.loads(sink.getvalue()) == {"t": 1, "g": 7.0}
+
+    def test_write_jsonl(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.sample(5)
+        path = tmp_path / "m.jsonl"
+        reg.write_jsonl(str(path))
+        assert json.loads(path.read_text().strip()) == {"t": 5, "n": 1.0}
+
+    def test_state_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc(4)
+        reg.gauge("g").set(2)
+        fresh = MetricsRegistry()
+        fresh.restore_from_dict(reg.state_to_dict())
+        assert fresh.values() == reg.values()
+
+
+class TestServiceTelemetry:
+    def test_overload_run_populates_metrics(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=100, m=4, load=4.0, seed=8)
+        )
+        service = SchedulingService(
+            4,
+            SNSScheduler(epsilon=1.0),
+            capacity=6,
+            shed_policy=make_shed_policy("reject-lowest-density"),
+            max_in_flight=5,
+            sample_every=25,
+        )
+        result = service.run_stream(specs)
+        assert len(result.metrics.samples) >= 2
+        final = result.metrics.samples[-1]
+        assert final["submitted_total"] == len(specs)
+        assert final["released_total"] + final["shed_total"] == len(specs)
+        assert final["shed_total"] == result.num_shed
+        assert final["profit_total"] == pytest.approx(result.total_profit)
+        assert final["queue_depth"] == 0.0
+        assert final["in_flight"] == 0.0
+        assert 0.0 <= final["utilization"] <= 1.0
+        # monotone time stamps
+        stamps = [s["t"] for s in result.metrics.samples]
+        assert stamps == sorted(stamps)
+
+
+class TestCLI:
+    def test_smoke_with_metrics_and_checkpoint(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.jsonl"
+        rc = serve_main(
+            [
+                "--n-jobs", "120",
+                "--m", "4",
+                "--load", "3.0",
+                "--seed", "1",
+                "--capacity", "8",
+                "--max-in-flight", "6",
+                "--policy", "reject-lowest-density",
+                "--metrics", str(metrics_path),
+                "--report-every", "50",
+                "--checkpoint-at", "50",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro-serve:" in out
+        assert "checkpoint:" in out
+        assert "total_profit:" in out
+        lines = metrics_path.read_text().strip().splitlines()
+        assert lines
+        record = json.loads(lines[-1])
+        assert record["submitted_total"] == 120
+
+    def test_cli_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            serve_main(["--policy", "bogus"])
