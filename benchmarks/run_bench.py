@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""Benchmark-regression runner: emits a ``BENCH_engine.json`` snapshot.
+
+Measures the four quantities future PRs must defend (see
+docs/PERFORMANCE.md):
+
+* ``engine_scale`` -- event-driven engine vs the frozen legacy stepper
+  (``repro.sim._legacy_engine``) on growing workloads: wall-clock,
+  speedup, jobs/sec and decisions/sec, with a bit-identity check of
+  records/counters/profit on every config.
+* ``sweep`` -- serial vs 2-worker wall-clock of a small E3-style grid
+  through :func:`repro.analysis.sweep.run_sweep`, with cell-for-cell
+  equality.
+* ``service`` -- streaming pass-through overhead of
+  :class:`repro.service.SchedulingService` relative to batch
+  ``Simulator.run`` on the same workload.
+
+Timing methodology: each timed subject runs ``repeats`` times with the
+competing subjects interleaved round-robin (so machine-load drift hits
+all subjects equally) and garbage collection frozen around each run;
+the reported time is the best of the repeats.  Run from the repository
+root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--quick] [-o OUT.json]
+
+``--quick`` shrinks every section to smoke-test size (seconds, for CI);
+the default sizes take a few minutes.  ``--check`` additionally fails
+(exit 1) if any bit-identity or equality assertion is violated, which
+is how CI uses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.sweep import run_sweep  # noqa: E402
+from repro.core import SNSScheduler  # noqa: E402
+from repro.experiments.e03_thm2 import _thm2_value  # noqa: E402
+from repro.service import SchedulingService  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+from repro.sim._legacy_engine import LegacySimulator  # noqa: E402
+from repro.workloads import WorkloadConfig, generate_workload  # noqa: E402
+
+#: (n_jobs, m) engine-scale configs; the last is the acceptance config.
+SCALE_CONFIGS = [(50, 8), (100, 16), (200, 32), (400, 64), (800, 64)]
+QUICK_SCALE_CONFIGS = [(50, 8), (100, 16)]
+
+
+def _timed(fn, repeats: int) -> list[float]:
+    """Wall-clock each call with GC frozen; returns all samples."""
+    samples = []
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        finally:
+            gc.enable()
+    return samples
+
+
+def _interleaved(subjects: dict[str, object], repeats: int) -> dict[str, float]:
+    """Best-of-``repeats`` per subject, rounds interleaved so load
+    drift during the measurement hits every subject equally."""
+    samples: dict[str, list[float]] = {name: [] for name in subjects}
+    for _ in range(repeats):
+        for name, fn in subjects.items():
+            samples[name].extend(_timed(fn, 1))
+    return {name: min(vals) for name, vals in samples.items()}
+
+
+def _record_tuple(rec) -> tuple:
+    return (
+        rec.job_id,
+        rec.arrival,
+        rec.deadline,
+        rec.completion_time,
+        rec.profit,
+        rec.processor_steps,
+        rec.expired,
+        rec.abandoned,
+        rec.assigned_deadline,
+    )
+
+
+def _identical(res_a, res_b) -> bool:
+    """Bit-identity of the observable outputs of two runs."""
+    return (
+        [_record_tuple(r) for r in res_a.records.values()]
+        == [_record_tuple(r) for r in res_b.records.values()]
+        and asdict(res_a.counters) == asdict(res_b.counters)
+        and res_a.end_time == res_b.end_time
+        and res_a.total_profit == res_b.total_profit
+    )
+
+
+def bench_engine_scale(quick: bool, repeats: int) -> list[dict]:
+    """Legacy-vs-event-driven engine comparison across scales."""
+    rows = []
+    for n_jobs, m in QUICK_SCALE_CONFIGS if quick else SCALE_CONFIGS:
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=n_jobs,
+                m=m,
+                load=2.0,
+                family="mixed",
+                epsilon=1.0,
+                seed=n_jobs,
+            )
+        )
+
+        def run_new():
+            return Simulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+
+        def run_legacy():
+            return LegacySimulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(
+                specs
+            )
+
+        res_new, res_legacy = run_new(), run_legacy()
+        best = _interleaved({"new": run_new, "legacy": run_legacy}, repeats)
+        rows.append(
+            {
+                "n_jobs": n_jobs,
+                "m": m,
+                "identical": _identical(res_new, res_legacy),
+                "engine_seconds": best["new"],
+                "legacy_seconds": best["legacy"],
+                "speedup": best["legacy"] / best["new"],
+                "jobs_per_sec": n_jobs / best["new"],
+                "decisions_per_sec": res_new.counters.decisions / best["new"],
+                "steps_per_sec": res_new.counters.steps / best["new"],
+                "total_profit": res_new.total_profit,
+            }
+        )
+        print(
+            f"engine n={n_jobs:4d} m={m:3d} "
+            f"speedup={rows[-1]['speedup']:.2f}x "
+            f"identical={rows[-1]['identical']}"
+        )
+    return rows
+
+
+def bench_sweep(quick: bool, repeats: int) -> dict:
+    """Serial vs 2-worker wall-clock on a small Theorem-2 grid."""
+    # Full mode must be large enough that the worker-pool startup
+    # (a few hundred ms to import the scientific stack twice)
+    # amortizes; quick mode only checks cell-for-cell equality.
+    grid = {
+        "epsilon": [0.5, 1.0] if quick else [0.25, 0.5, 1.0, 2.0],
+        "n_jobs": [20 if quick else 400],
+        "m": [8],
+        "load": [2.0],
+    }
+    seeds = [0, 1] if quick else [0, 1, 2, 3, 4]
+
+    serial = run_sweep(_thm2_value, grid, seeds, workers=1)
+    parallel = run_sweep(_thm2_value, grid, seeds, workers=2)
+    best = _interleaved(
+        {
+            "serial": lambda: run_sweep(_thm2_value, grid, seeds, workers=1),
+            "parallel": lambda: run_sweep(_thm2_value, grid, seeds, workers=2),
+        },
+        repeats,
+    )
+    return {
+        "grid_cells": len(serial),
+        "seeds": len(seeds),
+        "workers": 2,
+        "identical": serial == parallel,
+        "serial_seconds": best["serial"],
+        "parallel_seconds": best["parallel"],
+        "parallel_speedup": best["serial"] / best["parallel"],
+    }
+
+
+def bench_service(quick: bool, repeats: int) -> dict:
+    """Streaming pass-through overhead relative to batch runs."""
+    n_jobs = 100 if quick else 400
+    specs = generate_workload(
+        WorkloadConfig(n_jobs=n_jobs, m=8, load=2.5, epsilon=1.0, seed=5)
+    )
+
+    def run_batch():
+        return Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(list(specs))
+
+    def run_stream():
+        return SchedulingService(8, SNSScheduler(epsilon=1.0)).run_stream(specs)
+
+    batch, stream = run_batch(), run_stream()
+    best = _interleaved({"batch": run_batch, "stream": run_stream}, repeats)
+    return {
+        "n_jobs": n_jobs,
+        "identical_profit": batch.total_profit == stream.total_profit,
+        "batch_seconds": best["batch"],
+        "stream_seconds": best["stream"],
+        "passthrough_overhead": best["stream"] / best["batch"],
+    }
+
+
+def main(argv=None) -> int:
+    """Run every section and write the JSON snapshot."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(Path(__file__).resolve().parent / "BENCH_engine.json"),
+        help="where to write the JSON snapshot",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-test sizes (seconds, for CI) instead of full scale",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="interleaved timing rounds per subject (best is reported)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every bit-identity/equality assertion holds",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except OSError:  # pragma: no cover - git missing
+        rev = ""
+
+    snapshot = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            # interpret sweep.parallel_speedup relative to this: with a
+            # single CPU the 2-worker pool cannot beat serial
+            "cpu_count": os.cpu_count(),
+            "git_rev": rev,
+            "quick": args.quick,
+            "repeats": args.repeats,
+        },
+        "engine_scale": bench_engine_scale(args.quick, args.repeats),
+        "sweep": bench_sweep(args.quick, args.repeats),
+        "service": bench_service(args.quick, args.repeats),
+    }
+
+    out = Path(args.output)
+    out.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    ok = (
+        all(row["identical"] for row in snapshot["engine_scale"])
+        and snapshot["sweep"]["identical"]
+        and snapshot["service"]["identical_profit"]
+    )
+    largest = snapshot["engine_scale"][-1]
+    print(
+        f"largest config n={largest['n_jobs']} m={largest['m']}: "
+        f"{largest['speedup']:.2f}x vs legacy, "
+        f"{largest['jobs_per_sec']:.0f} jobs/sec, "
+        f"{largest['decisions_per_sec']:.0f} decisions/sec"
+    )
+    if args.check and not ok:
+        print("FAILED: output mismatch between timed subjects", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

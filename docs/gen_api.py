@@ -3,13 +3,16 @@
 
 Run from the repository root::
 
-    python docs/gen_api.py
+    python docs/gen_api.py          # rewrite API.md
+    python docs/gen_api.py --check  # exit 1 if API.md is stale (CI)
 """
 
+import argparse
 import importlib
 import inspect
 import pathlib
 import pkgutil
+import sys
 
 import repro
 
@@ -22,8 +25,8 @@ def first_line(obj) -> str:
     return doc.split("\n")[0].strip()
 
 
-def main() -> None:
-    """Walk every repro module and emit the index."""
+def render() -> str:
+    """Walk every repro module and render the index document."""
     lines = [
         "# API index",
         "",
@@ -52,9 +55,33 @@ def main() -> None:
         lines += [f"## `{module.__name__}`", "", first_line(module), ""]
         lines += public
         lines.append("")
-    OUT.write_text("\n".join(lines))
-    print(f"wrote {OUT} ({len(lines)} lines)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Rewrite API.md, or with ``--check`` verify it is current."""
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="don't write; exit 1 if docs/API.md differs from a fresh render",
+    )
+    args = parser.parse_args(argv)
+    text = render()
+    if args.check:
+        current = OUT.read_text() if OUT.exists() else ""
+        if current != text:
+            print(
+                f"{OUT} is stale: regenerate with `python docs/gen_api.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUT} is up to date")
+        return 0
+    OUT.write_text(text)
+    print(f"wrote {OUT} ({text.count(chr(10)) + 1} lines)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

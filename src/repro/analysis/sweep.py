@@ -13,9 +13,10 @@ The point function must be a *module-level picklable callable*
 from __future__ import annotations
 
 import itertools
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from repro.analysis.stats import Aggregate
 from repro.errors import SweepError
@@ -41,26 +42,64 @@ def grid_points(grid: Mapping[str, Sequence]) -> list[dict]:
     ]
 
 
-def run_sweep(
-    fn: PointFn,
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Decide the sweep worker count.
+
+    An explicit ``workers`` argument wins; otherwise the
+    ``REPRO_SWEEP_WORKERS`` environment variable; otherwise 1 (serial).
+    ``0`` or ``"auto"`` (from either source) means one worker per CPU,
+    so CI and shell one-liners can opt whole experiment grids into
+    parallelism without touching call sites.
+    """
+    source: Any = workers
+    if source is None:
+        source = os.environ.get("REPRO_SWEEP_WORKERS", 1)
+    if isinstance(source, str):
+        text = source.strip().lower()
+        if text == "auto":
+            return os.cpu_count() or 1
+        try:
+            source = int(text)
+        except ValueError as exc:
+            raise SweepError(
+                f"invalid sweep worker count {source!r} "
+                "(expected an integer or 'auto')"
+            ) from exc
+    if source == 0:
+        return os.cpu_count() or 1
+    if source < 0:
+        raise SweepError(f"sweep worker count must be >= 0, got {source}")
+    return int(source)
+
+
+def sweep_values(
+    fn: Callable[[dict, int], Any],
     grid: Mapping[str, Sequence],
     seeds: Sequence[int],
-    workers: int = 1,
-) -> list[SweepCell]:
-    """Evaluate ``fn(point, seed)`` over the full grid x seeds.
+    workers: Optional[int] = None,
+) -> list[tuple[dict, list]]:
+    """Evaluate ``fn(point, seed)`` over the full grid x seeds and return
+    the raw per-point value lists, one ``(point, values)`` pair per grid
+    point with values in seed order.
 
-    Results are deterministic regardless of ``workers``: cells are
-    emitted in grid order and each cell aggregates its seeds in order.
+    This is the sharding core under :func:`run_sweep` for experiments
+    whose cell values are not plain floats (tuples, ``nan`` markers for
+    skipped seeds, ...): results are deterministic regardless of
+    ``workers`` because cells are keyed by task order, and each cell's
+    seeding is untouched -- ``fn`` receives exactly the same ``(point,
+    seed)`` pairs it would serially.
 
-    A worker exception does not surface as an opaque pool traceback:
-    it is wrapped in :class:`~repro.errors.SweepError` carrying the
+    ``workers`` defaults to :func:`resolve_workers` (the
+    ``REPRO_SWEEP_WORKERS`` environment variable, else serial).  A
+    worker exception does not surface as an opaque pool traceback: it
+    is wrapped in :class:`~repro.errors.SweepError` carrying the
     failing ``(point, seed)`` cell (with the original exception as
-    ``__cause__``), so a 2000-cell sweep that dies names the one cell
-    that killed it.
+    ``__cause__``).
     """
     points = grid_points(grid)
     tasks = [(i, point, seed) for i, point in enumerate(points) for seed in seeds]
-    values: dict[int, list[float]] = {i: [] for i in range(len(points))}
+    values: dict[int, list] = {i: [] for i in range(len(points))}
+    workers = resolve_workers(workers)
 
     if workers <= 1:
         for i, point, seed in tasks:
@@ -90,9 +129,30 @@ def run_sweep(
                     ) from exc
                 values[i].append(value)
 
+    return [(point, values[i]) for i, point in enumerate(points)]
+
+
+def run_sweep(
+    fn: PointFn,
+    grid: Mapping[str, Sequence],
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+) -> list[SweepCell]:
+    """Evaluate ``fn(point, seed)`` over the full grid x seeds.
+
+    Results are deterministic regardless of ``workers``: cells are
+    emitted in grid order and each cell aggregates its seeds in order.
+    ``workers=None`` defers to :func:`resolve_workers` (explicit call
+    sites keep working; the ``REPRO_SWEEP_WORKERS`` environment
+    variable parallelizes everything routed through here).
+
+    The point function must be a *module-level picklable callable*
+    when the resolved worker count exceeds 1; see :func:`sweep_values`
+    for the failure semantics.
+    """
     return [
-        SweepCell(point=point, aggregate=Aggregate.of(values[i]))
-        for i, point in enumerate(points)
+        SweepCell(point=point, aggregate=Aggregate.of(vals))
+        for point, vals in sweep_values(fn, grid, seeds, workers=workers)
     ]
 
 

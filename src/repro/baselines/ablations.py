@@ -45,7 +45,8 @@ class WorkConservingSNS(SNSScheduler):
     """
 
     def allocate(self, t: int) -> dict[int, int]:
-        alloc = super().allocate(t)
+        # copy: the base result may be the scheduler's allocation memo
+        alloc = dict(super().allocate(t))
         free = self.m - sum(alloc.values())
         if free <= 0:
             return alloc

@@ -35,6 +35,11 @@ class DensityBands:
         self._allotments: list[int] = []  # parallel to _densities
         self._keys: list[tuple[float, int]] = []  # (density, job_id), sorted
         self._jobs: dict[int, tuple[float, int]] = {}  # job_id -> (v, n)
+        # Lazily rebuilt prefix sums over _allotments: band queries are
+        # far more frequent than inserts/removes (every admission check
+        # scans a band range), and allotments are ints, so prefix
+        # differences are exact -- no float-order concerns.
+        self._prefix: list[int] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -71,6 +76,7 @@ class DensityBands:
         self._densities.insert(pos, density)
         self._allotments.insert(pos, allotment)
         self._jobs[job_id] = (density, allotment)
+        self._prefix = None
 
     def remove(self, job_id: int) -> None:
         """Stop tracking a job."""
@@ -80,19 +86,33 @@ class DensityBands:
         del self._keys[pos]
         del self._densities[pos]
         del self._allotments[pos]
+        self._prefix = None
 
     # ------------------------------------------------------------------
+    def _prefix_sums(self) -> list[int]:
+        prefix = self._prefix
+        if prefix is None:
+            prefix = [0] * (len(self._allotments) + 1)
+            acc = 0
+            for i, a in enumerate(self._allotments):
+                acc += a
+                prefix[i + 1] = acc
+            self._prefix = prefix
+        return prefix
+
     def band_load(self, v_lo: float, v_hi: float) -> int:
         """Total allotment of jobs with density in ``[v_lo, v_hi)`` --
         the paper's :math:`N(T, v_1, v_2)`."""
         lo = bisect.bisect_left(self._densities, v_lo)
         hi = bisect.bisect_left(self._densities, v_hi)
-        return sum(self._allotments[lo:hi])
+        prefix = self._prefix_sums()
+        return prefix[hi] - prefix[lo]
 
     def load_at_least(self, v: float) -> int:
         """Total allotment of ``v``-dense jobs (density >= v)."""
         lo = bisect.bisect_left(self._densities, v)
-        return sum(self._allotments[lo:])
+        prefix = self._prefix_sums()
+        return prefix[-1] - prefix[lo]
 
     def can_insert(
         self, density: float, allotment: int, c: float, capacity: float
@@ -107,17 +127,76 @@ class DensityBands:
         which the scheduler maintains by only inserting after this
         check succeeds.
         """
+        densities = self._densities
+        prefix = self._prefix
+        if prefix is None:
+            prefix = self._prefix_sums()
+        bl = bisect.bisect_left
+        limit = capacity + 1e-9
         # The new job's own band [v, c v).
-        if self.band_load(density, c * density) + allotment > capacity + 1e-9:
+        lo = bl(densities, density)
+        hi = bl(densities, c * density)
+        if prefix[hi] - prefix[lo] + allotment > limit:
             return False
         # Existing anchors whose band [v_j, c v_j) contains the new density.
-        lo = bisect.bisect_right(self._densities, density / c)
-        hi = bisect.bisect_right(self._densities, density)
+        lo = bisect.bisect_right(densities, density / c)
+        hi = bisect.bisect_right(densities, density)
+        prev_v = None
         for pos in range(lo, hi):
-            v_j = self._densities[pos]
-            if self.band_load(v_j, c * v_j) + allotment > capacity + 1e-9:
+            v_j = densities[pos]
+            if v_j == prev_v:
+                continue  # duplicate anchor: identical band, already checked
+            prev_v = v_j
+            # every anchor in this range exceeds density/c >= densities[lo-1],
+            # so the first occurrence of v_j in the sorted list is `pos`
+            # itself -- no bisect needed for the band's lower edge
+            b_hi = bl(densities, c * v_j)
+            if prefix[b_hi] - prefix[pos] + allotment > limit:
                 return False
         return True
+
+    def blocking_band(
+        self, density: float, allotment: int, c: float, capacity: float
+    ) -> tuple[float, float, int] | None:
+        """Condition (2) check that reports the violated band.
+
+        Returns ``None`` exactly when :meth:`can_insert` would return
+        ``True``; otherwise ``(v, c*v, load)`` for the first over-full
+        band found (anchored at ``v``).  The promote scan uses the
+        reported band to reject later candidates without re-scanning:
+        band loads only grow during one promote pass, so any candidate
+        whose density lies in ``[v, c*v)`` -- which makes the band one
+        of the bands :meth:`can_insert` would check for it -- and whose
+        allotment still overfills the *cached* load is provably
+        rejected.
+        """
+        densities = self._densities
+        prefix = self._prefix
+        if prefix is None:
+            prefix = self._prefix_sums()
+        bl = bisect.bisect_left
+        limit = capacity + 1e-9
+        # The new job's own band [v, c v).
+        lo = bl(densities, density)
+        hi = bl(densities, c * density)
+        load = prefix[hi] - prefix[lo]
+        if load + allotment > limit:
+            return (density, c * density, load)
+        # Existing anchors whose band [v_j, c v_j) contains the new density.
+        lo = bisect.bisect_right(densities, density / c)
+        hi = bisect.bisect_right(densities, density)
+        prev_v = None
+        for pos in range(lo, hi):
+            v_j = densities[pos]
+            if v_j == prev_v:
+                continue  # duplicate anchor: identical band, already checked
+            prev_v = v_j
+            # first occurrence of v_j is `pos` itself (see can_insert)
+            b_hi = bl(densities, c * v_j)
+            load = prefix[b_hi] - prefix[pos]
+            if load + allotment > limit:
+                return (v_j, c * v_j, load)
+        return None
 
     def max_band_load(self, c: float) -> int:
         """Maximum load of any band ``[v_j, c v_j)`` anchored at a

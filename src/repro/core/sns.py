@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.bands import DensityBands
@@ -38,9 +38,13 @@ from repro.sim.jobs import JobView
 from repro.sim.scheduler import SchedulerBase
 
 
-@dataclass
+@dataclass(slots=True)
 class SNSJobState:
-    """Per-job quantities S computes at arrival and never changes."""
+    """Per-job quantities S computes at arrival and never changes.
+
+    Slotted: the promote scan touches several fields of every parked
+    job at every completion, and slot reads skip the instance dict.
+    """
 
     view: JobView
     #: integral allotment n_i
@@ -53,11 +57,16 @@ class SNSJobState:
     delta_good: bool
     #: the paper's real-valued allotment before rounding (diagnostics)
     allotment_real: float = 0.0
+    #: the job's id, cached off the view (``allocate`` reads it on every
+    #: engine decision; the two-hop property chain showed up in profiles)
+    job_id: int = field(init=False)
+    #: absolute deadline, cached off the view (the promote scan reads it
+    #: for every parked job at every completion)
+    deadline: Optional[int] = field(init=False)
 
-    @property
-    def job_id(self) -> int:
-        """The job's id."""
-        return self.view.job_id
+    def __post_init__(self) -> None:
+        self.job_id = self.view.job_id
+        self.deadline = self.view.deadline
 
 
 class _DensityQueue:
@@ -131,6 +140,10 @@ class SNSScheduler(SchedulerBase):
         self.started_ids: set[int] = set()
         #: diagnostics: per-job state for every arrival (kept post-mortem)
         self.all_states: dict[int, SNSJobState] = {}
+        # Memo of the last allocation: the density scan's result only
+        # depends on Q's content, so it stays valid until Q changes.
+        # Invalidated by _start, the removes, and restore_state.
+        self._alloc_cache: Optional[dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # State computation (arrival-time, per the paper)
@@ -152,11 +165,24 @@ class SNSScheduler(SchedulerBase):
         consts = self.constants
         work = job.work / self.speed
         span = job.span / self.speed
-        real = consts.allotment_real(work, span, rel_deadline)
-        n = consts.allotment(work, span, rel_deadline, self.m)
-        x = consts.execution_bound(work, span, n)
-        density = consts.density(job.profit, x, n)
-        good = consts.is_delta_good(rel_deadline, x)
+        # Inlined Constants.allotment_real / allotment / execution_bound
+        # / density / is_delta_good -- identical expressions, evaluated
+        # once instead of across five method calls (this runs for every
+        # arrival and showed up in profiles at 800-job scale).
+        one_plus_2delta = 1.0 + 2.0 * consts.delta
+        if work <= span + 1e-12:
+            real = 0.0
+        else:
+            denom = rel_deadline / one_plus_2delta - span
+            real = (work - span) / denom if denom > 0 else math.inf
+        m = self.m
+        if math.isinf(real):
+            n = m
+        else:
+            n = max(1, min(m, math.ceil(real - 1e-12)))
+        x = (work - span) / n + span
+        density = job.profit / (x * n)
+        good = rel_deadline >= one_plus_2delta * x - 1e-9
         return SNSJobState(
             view=job,
             allotment=n,
@@ -189,6 +215,7 @@ class SNSScheduler(SchedulerBase):
         if job.job_id in self.queue_started:
             self.queue_started.remove(job.job_id)
             self.bands.remove(job.job_id)
+            self._alloc_cache = None
         elif job.job_id in self.queue_parked:
             # A parked job can only complete if some other scheduler ran
             # it -- impossible under this engine; defensive cleanup.
@@ -200,6 +227,7 @@ class SNSScheduler(SchedulerBase):
         if job.job_id in self.queue_started:
             self.queue_started.remove(job.job_id)
             self.bands.remove(job.job_id)
+            self._alloc_cache = None
         elif job.job_id in self.queue_parked:
             self.queue_parked.remove(job.job_id)
 
@@ -209,14 +237,24 @@ class SNSScheduler(SchedulerBase):
     def allocate(self, t: int) -> dict[int, int]:
         """Scan Q by density (desc); give each job exactly ``n_i``
         processors while they last."""
+        alloc = self._alloc_cache
+        if alloc is not None:
+            # Q unchanged since the last scan, so the scan's outcome is
+            # too.  Callers must treat the result as read-only (see
+            # WorkConservingSNS, which copies before topping up).
+            return alloc
         free = self.m
-        alloc: dict[int, int] = {}
-        for state in self.queue_started.by_density_desc():
+        alloc = {}
+        queue = self.queue_started
+        states = queue._states  # same-module access: this scan runs every decision
+        for _, job_id in queue._keys:
             if free <= 0:
                 break
-            if state.allotment <= free:
-                alloc[state.job_id] = state.allotment
-                free -= state.allotment
+            n = states[job_id].allotment
+            if n <= free:
+                alloc[job_id] = n
+                free -= n
+        self._alloc_cache = alloc
         return alloc
 
     # ------------------------------------------------------------------
@@ -231,26 +269,53 @@ class SNSScheduler(SchedulerBase):
         self.queue_started.add(state)
         self.bands.insert(state.job_id, state.density, state.allotment)
         self.started_ids.add(state.job_id)
+        self._alloc_cache = None
 
     def _promote(self, t: int) -> None:
         """Move delta-fresh parked jobs into Q (paper: at completions)."""
+        if not self.queue_parked._states:
+            return
         capacity = self._capacity()
+        consts = self.constants
+        c = consts.c
+        one_plus_delta = 1.0 + consts.delta
+        blocking_band = self.bands.blocking_band
+        # Cache of the last band that rejected a candidate.  Band loads
+        # only grow within one promote pass (the pass only inserts), so
+        # a later candidate whose density falls inside the cached band
+        # -- making it one of the bands condition (2) checks for that
+        # candidate -- and whose allotment still overfills the cached
+        # (hence current) load is rejected without touching the bands.
+        block_lo = block_hi = 0.0
+        block_load = -1
+        limit = capacity + 1e-9  # the comparison slack can_insert uses
         for state in self.queue_parked.by_density_desc():
-            deadline = state.view.deadline
+            deadline = state.deadline
             assert deadline is not None
             if deadline <= t:
                 # expired but engine notification pending; skip (engine
                 # will call on_expiry at this same time step)
                 continue
-            if state.density <= 0:
+            density = state.density
+            if density <= 0:
+                # density-descending scan: every later job is also <= 0
+                break
+            # inlined Constants.is_delta_fresh (same expression)
+            if deadline - t < one_plus_delta * state.x - 1e-9:
                 continue
-            if not self.constants.is_delta_fresh(deadline, t, state.x):
-                continue
-            if self.bands.can_insert(
-                state.density, state.allotment, self.constants.c, capacity
+            allotment = state.allotment
+            if (
+                block_load >= 0
+                and block_lo <= density < block_hi
+                and block_load + allotment > limit
             ):
+                continue
+            block = blocking_band(density, allotment, c, capacity)
+            if block is None:
                 self.queue_parked.remove(state.job_id)
                 self._start(state)
+            else:
+                block_lo, block_hi, block_load = block
 
     # ------------------------------------------------------------------
     # Checkpointing (see repro.service.snapshot)
@@ -322,6 +387,7 @@ class SNSScheduler(SchedulerBase):
         self.queue_parked = _DensityQueue()
         self.bands = DensityBands()
         self.all_states = {}
+        self._alloc_cache = None
         for entry in data["started"]:
             state = decode(entry)
             self.queue_started.add(state)

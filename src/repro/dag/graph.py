@@ -51,6 +51,10 @@ class DAGStructure:
         "_topo",
         "_tail",
         "_edge_count",
+        "_work_list",
+        "_indegree_list",
+        "_initial_ready",
+        "_n",
     )
 
     def __init__(
@@ -85,14 +89,18 @@ class DAGStructure:
 
         self._work = work_arr
         self._work.setflags(write=False)
+        self._n = n
         self._succ = tuple(tuple(s) for s in succ)
         self._pred = tuple(tuple(p) for p in pred)
         self._name = str(name)
         self._edge_count = edge_count
-        self._topo = self._toposort()  # raises on cycles
+        self._indegree_list: tuple[int, ...] = ()
+        self._initial_ready: tuple[int, ...] = ()
+        self._topo = self._toposort()  # raises on cycles; fills the two above
         self._total_work = float(work_arr.sum())
         self._span = self._compute_span()
         self._tail: np.ndarray | None = None
+        self._work_list: tuple[float, ...] | None = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -105,7 +113,7 @@ class DAGStructure:
     @property
     def num_nodes(self) -> int:
         """Number of nodes in the DAG."""
-        return int(self._work.size)
+        return self._n
 
     @property
     def num_edges(self) -> int:
@@ -116,6 +124,20 @@ class DAGStructure:
     def work(self) -> np.ndarray:
         """Read-only per-node work array."""
         return self._work
+
+    @property
+    def work_list(self) -> tuple[float, ...]:
+        """Per-node work as plain Python floats (cached).
+
+        The simulation runtime (:class:`repro.dag.job.DAGJob`) keeps its
+        mutable per-node state in Python lists -- scalar indexing of
+        numpy arrays dominates the engine's event loop otherwise -- and
+        seeds it from this tuple.  Values are bit-identical to
+        :attr:`work`.
+        """
+        if self._work_list is None:
+            self._work_list = tuple(self._work.tolist())
+        return self._work_list
 
     @property
     def total_work(self) -> float:
@@ -138,6 +160,19 @@ class DAGStructure:
     def indegree(self, node: int) -> int:
         """Number of predecessors of ``node``."""
         return len(self._pred[node])
+
+    @property
+    def indegree_list(self) -> tuple[int, ...]:
+        """Per-node indegrees (precomputed; seeds the runtime's
+        remaining-predecessor counters)."""
+        return self._indegree_list
+
+    @property
+    def initial_ready(self) -> tuple[int, ...]:
+        """Zero-indegree nodes in topological order (precomputed) -- the
+        ready set of a freshly started job, in its canonical insertion
+        order."""
+        return self._initial_ready
 
     def sources(self) -> tuple[int, ...]:
         """Nodes with no predecessors (ready at job start)."""
@@ -164,6 +199,13 @@ class DAGStructure:
         n = self.num_nodes
         indeg = [len(p) for p in self._pred]
         queue: deque[int] = deque(i for i in range(n) if indeg[i] == 0)
+        # Kahn's algorithm computes both cached quantities as a side
+        # effect: the indegree list before mutation, and the initial
+        # ready set (the seed nodes, which are also the first entries of
+        # the resulting order -- identical to filtering the topological
+        # order by zero indegree).
+        self._indegree_list = tuple(indeg)
+        self._initial_ready = tuple(queue)
         order: list[int] = []
         while queue:
             u = queue.popleft()

@@ -6,16 +6,40 @@ simulation engine is the only component that mutates it; schedulers see
 jobs through :class:`repro.sim.jobs.JobView`, which enforces the paper's
 semi-non-clairvoyance (only ``W``, ``L`` and the *number* of ready nodes
 are visible -- never the topology).
+
+Hot-path layout
+---------------
+The engine touches per-node state once per executing node per decision,
+so this class is deliberately *not* numpy-backed: scalar indexing of
+numpy arrays and :class:`~repro.dag.node.NodeState` enum round-trips
+cost roughly an order of magnitude more than plain ``list`` reads, and
+the arrays never get large enough for vectorization to win back the
+difference.  State lives in Python lists of floats/ints; readiness is
+maintained *incrementally* via per-node remaining-predecessor counters
+(``_unmet``) updated on node completion, and the ready set is an
+insertion-ordered dict so pickers see nodes in became-ready order.
+Aggregate queries that predate the rewrite (:meth:`remaining_work`)
+reproduce the original numpy summation order bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from itertools import islice
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.dag.graph import DAGStructure
 from repro.dag.node import NodeState
+
+# Int values of NodeState, inlined for hot-path comparisons.
+_PENDING = int(NodeState.PENDING)
+_READY = int(NodeState.READY)
+_RUNNING = int(NodeState.RUNNING)
+_DONE = int(NodeState.DONE)
+
+#: Residual work at or below this is snapped to zero (float-drift guard).
+_RESIDUE = 1e-12
 
 
 class DAGJob:
@@ -24,8 +48,9 @@ class DAGJob:
     The engine drives a job through three operations:
 
     * :meth:`ready_nodes` -- which nodes may execute right now;
-    * :meth:`process` -- deplete work from a set of executing nodes and
-      unlock their successors on completion;
+    * :meth:`process_many` -- deplete work from the executing node set
+      and unlock successors of completed nodes (the batched form of
+      :meth:`process`);
     * :meth:`is_complete` -- all nodes done.
 
     Work depletion is fractional (preemption at any step boundary), but
@@ -36,29 +61,38 @@ class DAGJob:
 
     __slots__ = (
         "structure",
+        "_n",
+        "_succ",
+        "_works",
         "_remaining",
         "_unmet",
         "_state",
         "_ready",
         "_done_count",
         "_done_work",
+        "ready_version",
     )
 
     def __init__(self, structure: DAGStructure) -> None:
         self.structure = structure
-        n = structure.num_nodes
-        self._remaining = structure.work.copy()
-        self._unmet = np.fromiter(
-            (structure.indegree(i) for i in range(n)), dtype=np.int64, count=n
-        )
-        self._state = np.full(n, NodeState.PENDING, dtype=np.int8)
-        self._ready: dict[int, None] = {}
-        for i in structure.topological_order():
-            if self._unmet[i] == 0:
-                self._state[i] = NodeState.READY
-                self._ready[i] = None
+        self._n = structure.num_nodes
+        # read-only alias of the structure's successor table; completion
+        # unlocking walks it once per finished node
+        self._succ = structure._succ
+        works = structure.work_list
+        self._works = works
+        self._remaining: list[float] = list(works)
+        self._unmet: list[int] = list(structure.indegree_list)
+        state = [_PENDING] * structure.num_nodes
+        self._ready: dict[int, None] = dict.fromkeys(structure.initial_ready)
+        for i in self._ready:
+            state[i] = _READY
+        self._state: list[int] = state
         self._done_count = 0
         self._done_work = 0.0
+        #: Bumped whenever the ready set's membership changes.  The engine
+        #: uses it to reuse a previous FIFO pick when nothing changed.
+        self.ready_version = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -81,22 +115,46 @@ class DAGJob:
         """How many nodes may execute right now."""
         return len(self._ready)
 
+    def is_ready(self, node: int) -> bool:
+        """O(1) membership test against the current ready set."""
+        return node in self._ready
+
     def node_state(self, node: int) -> NodeState:
         """Current state of ``node``."""
         return NodeState(self._state[node])
 
     def node_remaining(self, node: int) -> float:
         """Remaining work of ``node``."""
-        return float(self._remaining[node])
+        return self._remaining[node]
+
+    def first_ready(self, k: int) -> list[int]:
+        """The first ``min(k, num_ready)`` ready nodes in became-ready
+        order -- the FIFO pick, without materializing the full ready
+        tuple (the engine's fast path for the default picker)."""
+        ready = self._ready
+        if len(ready) <= k:
+            return list(ready)
+        return list(islice(ready, k))
+
+    def min_remaining(self, nodes: Sequence[int]) -> float:
+        """Smallest remaining work among ``nodes`` (next completion)."""
+        return min(map(self._remaining.__getitem__, nodes))
 
     def remaining_work(self) -> float:
         """Total unprocessed work across all nodes."""
         return float(self.structure.total_work - self._done_work - self._processed_partial())
 
     def _processed_partial(self) -> float:
-        # Work already removed from not-yet-done nodes.
-        mask = self._state != NodeState.DONE
-        return float((self.structure.work[mask] - self._remaining[mask]).sum())
+        # Work already removed from not-yet-done nodes.  Reproduces the
+        # original masked-numpy computation (pairwise summation order
+        # included) so laxity-based schedulers observe identical floats.
+        state = self._state
+        idx = [i for i, s in enumerate(state) if s != _DONE]
+        if not idx:
+            return 0.0
+        remaining = self._remaining
+        rem_arr = np.fromiter((remaining[i] for i in idx), dtype=np.float64, count=len(idx))
+        return float((self.structure.work[idx] - rem_arr).sum())
 
     def remaining_span(self) -> float:
         """Longest remaining path weight over unfinished nodes.
@@ -107,20 +165,22 @@ class DAGJob:
         the engine's hot path.
         """
         struct = self.structure
+        state = self._state
+        remaining = self._remaining
         dist = np.zeros(struct.num_nodes, dtype=np.float64)
         for u in reversed(struct.topological_order()):
-            if self._state[u] == NodeState.DONE:
+            if state[u] == _DONE:
                 continue
             best = 0.0
             for v in struct.successors(u):
-                if self._state[v] != NodeState.DONE and dist[v] > best:
+                if state[v] != _DONE and dist[v] > best:
                     best = dist[v]
-            dist[u] = best + self._remaining[u]
+            dist[u] = best + remaining[u]
         return float(dist.max()) if struct.num_nodes else 0.0
 
     def is_complete(self) -> bool:
         """Whether every node of the DAG has been processed."""
-        return self._done_count == self.structure.num_nodes
+        return self._done_count == self._n
 
     @property
     def completed_nodes(self) -> int:
@@ -132,19 +192,21 @@ class DAGJob:
     # ------------------------------------------------------------------
     def mark_running(self, nodes: Iterable[int]) -> None:
         """Flag ``nodes`` as RUNNING (must currently be executable)."""
+        state = self._state
         for node in nodes:
-            if not NodeState(self._state[node]).is_executable():
+            s = state[node]
+            if s != _READY and s != _RUNNING:
                 raise ValueError(
-                    f"node {node} in state {NodeState(self._state[node]).name} "
-                    "cannot run"
+                    f"node {node} in state {NodeState(s).name} cannot run"
                 )
-            self._state[node] = NodeState.RUNNING
+            state[node] = _RUNNING
 
     def mark_preempted(self, nodes: Iterable[int]) -> None:
         """Return RUNNING ``nodes`` to READY (preemption)."""
+        state = self._state
         for node in nodes:
-            if self._state[node] == NodeState.RUNNING:
-                self._state[node] = NodeState.READY
+            if state[node] == _RUNNING:
+                state[node] = _READY
 
     def process(self, node: int, amount: float) -> bool:
         """Deplete ``amount`` work from ``node``; return True on completion.
@@ -156,12 +218,14 @@ class DAGJob:
         """
         if amount < 0:
             raise ValueError("amount must be non-negative")
-        state = NodeState(self._state[node])
-        if not state.is_executable():
-            raise ValueError(f"cannot process node {node} in state {state.name}")
+        s = self._state[node]
+        if s != _READY and s != _RUNNING:
+            raise ValueError(
+                f"cannot process node {node} in state {NodeState(s).name}"
+            )
         rem = self._remaining[node] - amount
         # Guard against float drift: snap tiny residues to done.
-        if rem <= 1e-12:
+        if rem <= _RESIDUE:
             rem = 0.0
         self._remaining[node] = rem
         if rem > 0.0:
@@ -169,15 +233,66 @@ class DAGJob:
         self._complete_node(node)
         return True
 
+    def process_many(self, nodes: Sequence[int], amount: float) -> int:
+        """Deplete ``amount`` from each of ``nodes`` in order; return the
+        number of nodes completed.
+
+        Semantically identical to calling :meth:`process` per node (the
+        nodes of one allocation are distinct, so depletions are
+        independent and successors unlock in the same order), but one
+        call per executing job instead of one per node -- the engine's
+        chunk execution runs through here, with :meth:`_complete_node`
+        inlined.
+
+        Precondition: every node is executable (READY or RUNNING).  The
+        engine guarantees this -- :meth:`mark_running` validates the node
+        set at allocation time, so re-checking here would only re-verify
+        the engine's own invariant once per node per chunk.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        state = self._state
+        remaining = self._remaining
+        ready = self._ready
+        works = self._works
+        unmet = self._unmet
+        succ = self._succ
+        completed = 0
+        for node in nodes:
+            rem = remaining[node] - amount
+            if rem > _RESIDUE:
+                remaining[node] = rem
+                continue
+            remaining[node] = 0.0
+            state[node] = _DONE
+            # done_work accumulates per node, in completion order, so
+            # laxity observers see the exact historical float sum
+            self._done_work += works[node]
+            completed += 1
+            del ready[node]
+            for v in succ[node]:
+                u = unmet[v] - 1
+                unmet[v] = u
+                if u == 0:
+                    state[v] = _READY
+                    ready[v] = None
+        if completed:
+            self._done_count += completed
+            self.ready_version += 1
+        return completed
+
     def _complete_node(self, node: int) -> None:
-        self._state[node] = NodeState.DONE
+        state = self._state
+        unmet = self._unmet
+        state[node] = _DONE
         self._done_count += 1
-        self._done_work += float(self.structure.work[node])
+        self._done_work += self._works[node]
+        self.ready_version += 1
         del self._ready[node]
-        for v in self.structure.successors(node):
-            self._unmet[v] -= 1
-            if self._unmet[v] == 0:
-                self._state[v] = NodeState.READY
+        for v in self._succ[node]:
+            unmet[v] -= 1
+            if unmet[v] == 0:
+                state[v] = _READY
                 self._ready[v] = None
 
     def add_overhead(self, node: int, amount: float) -> None:
@@ -189,9 +304,9 @@ class DAGJob:
         """
         if amount < 0:
             raise ValueError("overhead must be non-negative")
-        if self._state[node] == NodeState.DONE:
+        if self._state[node] == _DONE:
             return
-        original = float(self.structure.work[node])
+        original = self._works[node]
         self._remaining[node] = min(original, self._remaining[node] + amount)
 
     # ------------------------------------------------------------------
@@ -224,19 +339,18 @@ class DAGJob:
         """
         job = cls(structure)
         n = structure.num_nodes
-        remaining = np.asarray(data["remaining"], dtype=np.float64)
-        states = np.asarray(data["state"], dtype=np.int8)
+        remaining = [float(w) for w in data["remaining"]]
+        states = [int(s) for s in data["state"]]
         if len(remaining) != n or len(states) != n:
             raise ValueError("runtime state does not match structure size")
         job._remaining = remaining
         job._state = states
         job._ready = {int(node): None for node in data["ready"]}
-        unmet = np.fromiter(
-            (structure.indegree(i) for i in range(n)), dtype=np.int64, count=n
-        )
+        job.ready_version += 1
+        unmet = list(structure.indegree_list)
         done_count = 0
         for u in range(n):
-            if states[u] == NodeState.DONE:
+            if states[u] == _DONE:
                 done_count += 1
                 for v in structure.successors(u):
                     unmet[v] -= 1
@@ -251,18 +365,16 @@ class DAGJob:
     def reset(self) -> None:
         """Restore the job to its initial (unexecuted) state."""
         struct = self.structure
-        n = struct.num_nodes
-        self._remaining[:] = struct.work
-        for i in range(n):
-            self._unmet[i] = struct.indegree(i)
-        self._state[:] = NodeState.PENDING
-        self._ready.clear()
-        for i in struct.topological_order():
-            if self._unmet[i] == 0:
-                self._state[i] = NodeState.READY
-                self._ready[i] = None
+        self._remaining[:] = self._works
+        self._unmet = list(struct.indegree_list)
+        state = [_PENDING] * struct.num_nodes
+        self._ready = dict.fromkeys(struct.initial_ready)
+        for i in self._ready:
+            state[i] = _READY
+        self._state = state
         self._done_count = 0
         self._done_work = 0.0
+        self.ready_version += 1
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

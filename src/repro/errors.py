@@ -24,17 +24,19 @@ class WorkloadError(ReproError):
 
 
 class SweepError(ReproError):
-    """A sweep worker failed; carries the failing cell for diagnosis.
+    """A sweep failed; carries the failing cell for diagnosis.
 
     Attributes
     ----------
     point:
-        The parameter-grid point whose evaluation raised.
+        The parameter-grid point whose evaluation raised, or ``None``
+        for sweep-level failures (e.g. an invalid worker count) that
+        have no associated cell.
     seed:
-        The replication seed of the failing cell.
+        The replication seed of the failing cell, or ``None``.
     """
 
-    def __init__(self, message: str, point: dict, seed: int) -> None:
+    def __init__(self, message: str, point: dict = None, seed: int = None) -> None:
         super().__init__(message)
         self.point = point
         self.seed = seed

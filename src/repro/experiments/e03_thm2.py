@@ -11,8 +11,11 @@ the job count (no dependence on n).
 
 from __future__ import annotations
 
+import math
+
 from repro.analysis import interval_lp_upper_bound
 from repro.analysis.stats import Aggregate
+from repro.analysis.sweep import sweep_values
 from repro.core import Constants, SNSScheduler
 from repro.experiments.common import ExperimentResult
 from repro.sim import Simulator
@@ -39,21 +42,32 @@ def _fraction(epsilon: float, n_jobs: int, m: int, load: float, seed: int) -> tu
     return result.total_profit, bound
 
 
+def _thm2_value(point: dict, seed: int) -> float:
+    """Sweep cell: profit/bound, or NaN when the bound is degenerate."""
+    profit, bound = _fraction(
+        point["epsilon"], point["n_jobs"], point["m"], point["load"], seed
+    )
+    return profit / bound if bound > 0 else math.nan
+
+
 def run(quick: bool = False) -> ExperimentResult:
-    """Regenerate the Theorem 2 competitiveness table."""
+    """Regenerate the Theorem 2 table (sweeps shard across
+    ``REPRO_SWEEP_WORKERS`` processes when set)."""
     m = 8
     n_jobs = 40 if quick else 80
     seeds = [0, 1] if quick else [0, 1, 2, 3, 4]
     load = 2.0  # mild overload: someone must lose, so ratios are informative
     epsilons = [0.25, 0.5, 1.0, 2.0] if quick else [0.25, 0.5, 1.0, 2.0, 4.0]
+    eps_grid = {
+        "epsilon": epsilons,
+        "n_jobs": [n_jobs],
+        "m": [m],
+        "load": [load],
+    }
     rows = []
-    for eps in epsilons:
-        fractions = []
-        for seed in seeds:
-            profit, bound = _fraction(eps, n_jobs, m, load, seed)
-            if bound > 0:
-                fractions.append(profit / bound)
-        agg = Aggregate.of(fractions)
+    for point, values in sweep_values(_thm2_value, eps_grid, seeds):
+        eps = point["epsilon"]
+        agg = Aggregate.of([v for v in values if not math.isnan(v)])
         proven = Constants.from_epsilon(eps).competitive_ratio_throughput
         rows.append(
             [
@@ -65,15 +79,18 @@ def run(quick: bool = False) -> ExperimentResult:
             ]
         )
     # n-scaling at eps = 1: the ratio should be flat in n.
+    n_grid = {
+        "n_jobs": [20, 40] if quick else [20, 40, 80, 160],
+        "epsilon": [1.0],
+        "m": [m],
+        "load": [load],
+    }
     n_rows = []
-    for n in ([20, 40] if quick else [20, 40, 80, 160]):
-        fractions = []
-        for seed in seeds:
-            profit, bound = _fraction(1.0, n, m, load, seed)
-            if bound > 0:
-                fractions.append(profit / bound)
-        agg = Aggregate.of(fractions)
-        n_rows.append([f"n={n}", round(agg.mean, 4), round(agg.std, 4), "", ""])
+    for point, values in sweep_values(_thm2_value, n_grid, seeds):
+        agg = Aggregate.of([v for v in values if not math.isnan(v)])
+        n_rows.append(
+            [f"n={point['n_jobs']}", round(agg.mean, 4), round(agg.std, 4), "", ""]
+        )
     result = ExperimentResult(
         key="E3",
         title="Theorem 2: S vs OPT bound under the slack assumption",

@@ -14,6 +14,7 @@ import math
 
 from repro.analysis import interval_lp_upper_bound
 from repro.analysis.stats import Aggregate
+from repro.analysis.sweep import sweep_values
 from repro.core import SNSScheduler
 from repro.experiments.common import ExperimentResult
 from repro.sim import JobSpec, Simulator
@@ -49,29 +50,41 @@ def _reasonable_workload(n_jobs: int, m: int, seed: int) -> list[JobSpec]:
     return specs
 
 
+def _cor2_value(point: dict, seed: int) -> float:
+    """Sweep cell: profit/bound at the point's speed, NaN if the bound
+    is degenerate (matching the serial loop's skip)."""
+    eps = point["epsilon"]
+    m = point["m"]
+    specs = _reasonable_workload(point["n_jobs"], m, seed)
+    bound = interval_lp_upper_bound(specs, m)
+    if bound <= 0:
+        return math.nan
+    speed = 1.0 + eps if point["augmented"] else 1.0
+    result = Simulator(
+        m=m, scheduler=SNSScheduler(epsilon=eps), speed=speed
+    ).run(specs)
+    return result.total_profit / bound
+
+
 def run(quick: bool = False) -> ExperimentResult:
-    """Regenerate the Corollary 2 table."""
+    """Regenerate the Corollary 2 table (sweeps shard across
+    ``REPRO_SWEEP_WORKERS`` processes when set)."""
     m = 8
     n_jobs = 40 if quick else 80
     seeds = [0, 1] if quick else [0, 1, 2, 3]
     epsilons = [0.25, 0.5, 1.0]
+    grid = {
+        "epsilon": epsilons,
+        "augmented": [False, True],
+        "n_jobs": [n_jobs],
+        "m": [m],
+    }
     rows = []
-    for eps in epsilons:
-        for speed in (1.0, 1.0 + eps):
-            fractions = []
-            for seed in seeds:
-                specs = _reasonable_workload(n_jobs, m, seed)
-                bound = interval_lp_upper_bound(specs, m)
-                if bound <= 0:
-                    continue
-                result = Simulator(
-                    m=m, scheduler=SNSScheduler(epsilon=eps), speed=speed
-                ).run(specs)
-                fractions.append(result.total_profit / bound)
-            agg = Aggregate.of(fractions)
-            rows.append(
-                [eps, speed, round(agg.mean, 4), round(agg.std, 4), agg.n]
-            )
+    for point, values in sweep_values(_cor2_value, grid, seeds):
+        eps = point["epsilon"]
+        speed = 1.0 + eps if point["augmented"] else 1.0
+        agg = Aggregate.of([v for v in values if not math.isnan(v)])
+        rows.append([eps, speed, round(agg.mean, 4), round(agg.std, 4), agg.n])
     result = ExperimentResult(
         key="E5",
         title="Corollary 2: (1+eps) speed with deadlines >= (W-L)/m + L",

@@ -9,8 +9,11 @@ greedy baseline shows the assignment machinery is not vacuous.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis import interval_lp_upper_bound
 from repro.analysis.stats import Aggregate
+from repro.analysis.sweep import sweep_values
 from repro.baselines import GreedyDensity
 from repro.core import GeneralProfitScheduler
 from repro.experiments.common import ExperimentResult
@@ -19,54 +22,65 @@ from repro.workloads import WorkloadConfig, generate_workload
 from repro.workloads.profits import make_profit_fn_sampler
 
 
+def _thm3_value(point: dict, seed: int) -> Optional[tuple[float, float]]:
+    """Sweep cell: (S fraction, greedy fraction), or ``None`` when the
+    bound is degenerate (matching the serial loop's skip)."""
+    m = point["m"]
+    epsilon = point["epsilon"]
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=point["n_jobs"],
+            m=m,
+            load=point["load"],
+            family="fork_join",
+            epsilon=epsilon,
+            profit_fn_sampler=make_profit_fn_sampler(point["decay"]),
+            seed=seed,
+        )
+    )
+    bound = interval_lp_upper_bound(specs, m)
+    if bound <= 0:
+        return None
+    res_s = Simulator(
+        m=m, scheduler=GeneralProfitScheduler(epsilon=epsilon)
+    ).run(specs)
+    # Greedy runs jobs forever (no deadline); horizon keeps the
+    # comparison finite.
+    horizon = max(sp.arrival for sp in specs) * 2 + 4000
+    res_g = Simulator(m=m, scheduler=GreedyDensity(), horizon=horizon).run(specs)
+    return res_s.total_profit / bound, res_g.total_profit / bound
+
+
 def run(quick: bool = False) -> ExperimentResult:
-    """Regenerate the general-profit table."""
+    """Regenerate the general-profit table (sweeps shard across
+    ``REPRO_SWEEP_WORKERS`` processes when set)."""
     m = 4
     epsilon = 1.0
     n_jobs = 20 if quick else 50
     seeds = [0, 1] if quick else [0, 1, 2]
     decays = ["linear", "exponential", "staircase"]
     loads = [1.0, 2.0] if quick else [1.0, 2.0, 4.0]
+    grid = {
+        "decay": decays,
+        "load": loads,
+        "n_jobs": [n_jobs],
+        "m": [m],
+        "epsilon": [epsilon],
+    }
     rows = []
-    for decay in decays:
-        for load in loads:
-            s_fracs, g_fracs = [], []
-            for seed in seeds:
-                specs = generate_workload(
-                    WorkloadConfig(
-                        n_jobs=n_jobs,
-                        m=m,
-                        load=load,
-                        family="fork_join",
-                        epsilon=epsilon,
-                        profit_fn_sampler=make_profit_fn_sampler(decay),
-                        seed=seed,
-                    )
-                )
-                bound = interval_lp_upper_bound(specs, m)
-                if bound <= 0:
-                    continue
-                res_s = Simulator(
-                    m=m, scheduler=GeneralProfitScheduler(epsilon=epsilon)
-                ).run(specs)
-                # Greedy runs jobs forever (no deadline); horizon keeps the
-                # comparison finite.
-                horizon = max(sp.arrival for sp in specs) * 2 + 4000
-                res_g = Simulator(
-                    m=m, scheduler=GreedyDensity(), horizon=horizon
-                ).run(specs)
-                s_fracs.append(res_s.total_profit / bound)
-                g_fracs.append(res_g.total_profit / bound)
-            s_agg, g_agg = Aggregate.of(s_fracs), Aggregate.of(g_fracs)
-            rows.append(
-                [
-                    decay,
-                    load,
-                    round(s_agg.mean, 4),
-                    round(g_agg.mean, 4),
-                    s_agg.n,
-                ]
-            )
+    for point, values in sweep_values(_thm3_value, grid, seeds):
+        pairs = [v for v in values if v is not None]
+        s_agg = Aggregate.of([s for s, _g in pairs])
+        g_agg = Aggregate.of([g for _s, g in pairs])
+        rows.append(
+            [
+                point["decay"],
+                point["load"],
+                round(s_agg.mean, 4),
+                round(g_agg.mean, 4),
+                s_agg.n,
+            ]
+        )
     result = ExperimentResult(
         key="E6",
         title="Theorem 3: general-profit scheduler vs OPT bound",

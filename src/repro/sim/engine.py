@@ -55,6 +55,7 @@ import heapq
 import logging
 import math
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Optional, Sequence
 
 from repro.errors import AllocationError, SimulationError
@@ -64,6 +65,15 @@ from repro.sim.scheduler import Scheduler
 from repro.sim.trace import EventKind, RunCounters, Trace
 
 logger = logging.getLogger(__name__)
+
+# Int values of NodeState, inlined for the hot stale-node test, the
+# engine-built pick's RUNNING marks and the inlined chunk execution.
+from repro.dag.job import DAGJob, _RESIDUE  # noqa: E402
+from repro.dag.node import NodeState as _NodeState  # noqa: E402
+
+_DONE = int(_NodeState.DONE)
+_READY = int(_NodeState.READY)
+_RUNNING = int(_NodeState.RUNNING)
 
 #: Version tag of the engine snapshot format (see :meth:`Simulator.snapshot_state`).
 ENGINE_SNAPSHOT_VERSION = 1
@@ -134,7 +144,11 @@ class _RunState:
         self.active: dict[int, ActiveJob] = {}
         self.finished: dict[int, CompletionRecord] = {}
         self.deadline_heap: list[tuple[int, int]] = []  # (deadline, job_id)
-        self.prev_running: dict[int, set[int]] = {}  # job_id -> nodes last step
+        # job_id -> node list of the last pick (pick order preserved; the
+        # stale check compares picks element-wise, which for order-stable
+        # pickers equals set equality and otherwise only costs a spurious
+        # empty stale scan)
+        self.prev_running: dict[int, list[int]] = {}
         self.counters = RunCounters()
         self.trace = trace
 
@@ -425,7 +439,7 @@ class Simulator:
         state.deadline_heap = [(int(d), int(j)) for d, j in data["deadline_heap"]]
         heapq.heapify(state.deadline_heap)
         state.prev_running = {
-            int(job_id): {int(n) for n in nodes}
+            int(job_id): [int(n) for n in nodes]
             for job_id, nodes in data["prev_running"]
         }
         state.counters = _counters_from_dict(data["counters"])
@@ -447,6 +461,32 @@ class Simulator:
         horizon = self.horizon
         if target is not None and horizon is not None:
             target = min(target, horizon)
+        scheduler = self.scheduler
+        picker = self.picker
+        # the default FIFO pick is served straight from the ready dict
+        fifo_pick = type(picker) is FIFOPicker
+        wakeup = getattr(scheduler, "wakeup_after", None)
+
+        # Hoisted per-call invariants: these containers and callables are
+        # stable for the lifetime of one session, and the decision loop
+        # below touches them several times per event.
+        pending = state.pending
+        active = state.active
+        deadline_heap = state.deadline_heap
+        prev_running = state.prev_running
+        finished = state.finished
+        counters = state.counters
+        trace = state.trace
+        speed = self.speed
+        overhead = self.preemption_overhead
+        validate = self.validate
+        on_arrival = scheduler.on_arrival
+        assign_deadline = scheduler.assign_deadline
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        inf = math.inf
+        ceil = math.ceil
+        debug_log = logger.isEnabledFor(logging.DEBUG)
 
         while not state.done:
             if target is not None and state.t >= target:
@@ -456,12 +496,12 @@ class Simulator:
             # Batch semantics: idle time before any job exists is skipped,
             # not simulated, so pre-arrival gaps cost no decisions/steps.
             if not state.arrival_seen:
-                if not state.pending:
+                if not pending:
                     if target is None:
                         break
                     state.t = max(state.t, target)
                     return
-                first = state.pending[0][0]
+                first = pending[0][0]
                 if horizon is not None:
                     first = min(first, horizon)
                 if target is not None and first > target:
@@ -471,36 +511,37 @@ class Simulator:
                 state.arrival_seen = True
 
             # ---- arrivals at (or before) t -------------------------------
-            while state.pending and state.pending[0][0] <= state.t:
-                _, _, spec = heapq.heappop(state.pending)
+            while pending and pending[0][0] <= state.t:
+                _, _, spec = heappop(pending)
                 job = ActiveJob(spec)
-                state.active[spec.job_id] = job
-                if state.trace:
-                    state.trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
-                logger.debug(
-                    "t=%d arrival job=%d W=%.6g L=%.6g d=%s",
-                    state.t, spec.job_id, spec.work, spec.span, spec.deadline,
-                )
-                self.scheduler.on_arrival(job.view, state.t)
-                assigned = self.scheduler.assign_deadline(job.view, state.t)
+                active[spec.job_id] = job
+                if trace:
+                    trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
+                if debug_log:
+                    logger.debug(
+                        "t=%d arrival job=%d W=%.6g L=%.6g d=%s",
+                        state.t, spec.job_id, spec.work, spec.span, spec.deadline,
+                    )
+                on_arrival(job.view, state.t)
+                assigned = assign_deadline(job.view, state.t)
                 if assigned is not None:
                     if assigned <= state.t:
                         raise SimulationError(
                             f"scheduler assigned past deadline {assigned} <= {state.t}"
                         )
                     job.assigned_deadline = int(assigned)
-                    if state.trace:
-                        state.trace.event(
+                    if trace:
+                        trace.event(
                             state.t, EventKind.DEADLINE_ASSIGNED, spec.job_id, assigned
                         )
                 eff = job.effective_deadline()
                 if eff is not None:
-                    heapq.heappush(state.deadline_heap, (eff, spec.job_id))
+                    heappush(deadline_heap, (eff, spec.job_id))
 
             # ---- expiries at t -------------------------------------------
-            while state.deadline_heap and state.deadline_heap[0][0] <= state.t:
-                _, job_id = heapq.heappop(state.deadline_heap)
-                job = state.active.get(job_id)
+            while deadline_heap and deadline_heap[0][0] <= state.t:
+                _, job_id = heappop(deadline_heap)
+                job = active.get(job_id)
                 if job is None or not job.is_live():
                     continue  # stale entry
                 eff = job.effective_deadline()
@@ -509,19 +550,20 @@ class Simulator:
                 job.expired = True
                 job.dag.mark_preempted(job.executing)
                 job.executing = ()
-                state.prev_running.pop(job_id, None)
-                del state.active[job_id]
-                state.finished[job_id] = _finish_record(job)
-                state.counters.expiries += 1
-                if state.trace:
-                    state.trace.event(state.t, EventKind.EXPIRY, job_id)
-                logger.debug("t=%d expiry job=%d", state.t, job_id)
-                self.scheduler.on_expiry(job.view, state.t)
+                prev_running.pop(job_id, None)
+                del active[job_id]
+                finished[job_id] = _finish_record(job)
+                counters.expiries += 1
+                if trace:
+                    trace.event(state.t, EventKind.EXPIRY, job_id)
+                if debug_log:
+                    logger.debug("t=%d expiry job=%d", state.t, job_id)
+                scheduler.on_expiry(job.view, state.t)
 
             state.end_time = state.t
 
             # ---- termination ---------------------------------------------
-            if target is None and not state.active and not state.pending:
+            if target is None and not active and not pending:
                 state.done = True
                 break
             if horizon is not None and state.t >= horizon:
@@ -529,61 +571,158 @@ class Simulator:
                 state.done = True
                 break
 
-            # ---- allocation ----------------------------------------------
-            alloc = self.scheduler.allocate(state.t)
-            self._check_allocation(alloc, state.active)
-            state.counters.decisions += 1
+            # t is stable from here until the chunk executes
+            t = state.t
 
-            assignment: list[tuple[ActiveJob, list[int]]] = []
+            # ---- allocation ----------------------------------------------
+            alloc = scheduler.allocate(t)
+            self._check_allocation(alloc, active)
+            counters.decisions += 1
+
+            assignment: list[tuple[ActiveJob, list[int], int, DAGJob]] = []
             allocated_procs = 0
             executing_procs = 0
-            slice_entries: list[tuple[int, int, int]] = []
+            # smallest remaining work over all executing nodes: the time
+            # to the next node completion (fused into this loop so no
+            # second pass over the assignment is needed)
+            exec_min = inf
             for job_id, k in alloc.items():
                 if k <= 0:
                     continue
-                job = state.active[job_id]
-                ready = job.dag.ready_nodes()
-                nodes = self.picker.pick(job.dag, ready, k)
-                if len(nodes) > k or len(set(nodes)) != len(nodes):
-                    raise SimulationError("picker returned invalid node set")
+                job = active[job_id]
+                dag = job.dag
+                if fifo_pick:
+                    if job._pick_k == k and job._pick_version == dag.ready_version:
+                        # Ready set unchanged, same width, and the job
+                        # stayed allocated since the memo was written: the
+                        # previous pick, its RUNNING marks and the
+                        # prev_running entry are all still exact, so the
+                        # per-job bookkeeping below is a no-op.
+                        nodes = job._pick_nodes
+                        assignment.append(job._assign)
+                        allocated_procs += k
+                        executing_procs += len(nodes)
+                        mr = job._min_rem
+                        if mr < exec_min:
+                            exec_min = mr
+                        continue
+                    # engine-built pick, valid by construction
+                    # (first_ready inlined: became-ready order, first k)
+                    ready = dag._ready
+                    nodes = list(ready) if len(ready) <= k else list(islice(ready, k))
+                    job._pick_k = k
+                    job._pick_version = dag.ready_version
+                    job._pick_nodes = nodes
+                else:
+                    nodes = picker.pick(dag, dag.ready_nodes(), k)
+                    if len(nodes) > k or len(set(nodes)) != len(nodes):
+                        raise SimulationError("picker returned invalid node set")
                 # preemption accounting: previously-running nodes that are
                 # neither rerun nor finished count as preempted
-                prev = state.prev_running.get(job_id, set())
-                now = set(nodes)
-                stale = {
-                    nd for nd in prev - now
-                    if nd in job.dag.ready_nodes() or job.dag.node_remaining(nd) > 0
-                }
-                state.counters.preemptions += len(stale)
-                job.dag.mark_preempted(stale)
-                if self.preemption_overhead > 0:
-                    for nd in stale:
-                        job.dag.add_overhead(nd, self.preemption_overhead)
-                job.dag.mark_running(nodes)
-                state.prev_running[job_id] = now
+                prev = prev_running.get(job_id)
+                dag_state = dag._state
+                if (
+                    prev is not None
+                    and prev != nodes
+                    # FIFO picks take a prefix of the ready dict, and the
+                    # survivors of the previous pick always occupy the
+                    # front of that dict (deletions preserve order, new
+                    # nodes append); a pick at least as wide as the
+                    # previous one therefore re-covers every survivor,
+                    # so nothing can be stale
+                    and not (fifo_pick and len(nodes) >= len(prev))
+                ):
+                    # a displaced node is stale iff it did not complete; a
+                    # node that ran is either DONE or still in the ready
+                    # dict, so the DONE test is the whole condition
+                    now = set(nodes)
+                    stale = [
+                        nd
+                        for nd in prev
+                        if nd not in now and dag_state[nd] != _DONE
+                    ]
+                    if stale:
+                        counters.preemptions += len(stale)
+                        dag.mark_preempted(stale)
+                        if overhead > 0:
+                            for nd in stale:
+                                dag.add_overhead(nd, overhead)
+                if fifo_pick:
+                    # inlined mark_running: the nodes came straight from
+                    # the ready dict, so they are executable by
+                    # construction and need no re-validation
+                    for nd in nodes:
+                        dag_state[nd] = _RUNNING
+                else:
+                    dag.mark_running(nodes)
+                prev_running[job_id] = nodes
                 job.executing = tuple(nodes)
-                assignment.append((job, nodes))
+                entry = (job, nodes, k, dag)
+                if fifo_pick:
+                    job._assign = entry
+                assignment.append(entry)
                 allocated_procs += k
                 executing_procs += len(nodes)
-                slice_entries.append((job_id, k, len(nodes)))
+                # overhead above only touches stale (non-executing) nodes,
+                # so the fresh minimum is unaffected by it
+                mr = min(map(dag._remaining.__getitem__, nodes))
+                job._min_rem = mr
+                if mr < exec_min:
+                    exec_min = mr
             # jobs allocated nothing this round lose their running marks
-            for job_id in list(state.prev_running):
-                if job_id not in alloc or alloc.get(job_id, 0) <= 0:
-                    job = state.active.get(job_id)
-                    prev = state.prev_running.pop(job_id)
-                    if job is not None:
-                        stale = {
-                            nd for nd in prev if job.dag.node_remaining(nd) > 0
-                        }
-                        state.counters.preemptions += len(stale)
-                        job.dag.mark_preempted(stale)
-                        if self.preemption_overhead > 0:
-                            for nd in stale:
-                                job.dag.add_overhead(nd, self.preemption_overhead)
-                        job.executing = ()
+            if len(prev_running) > len(assignment):
+                for job_id in list(prev_running):
+                    if alloc.get(job_id, 0) <= 0:
+                        job = active.get(job_id)
+                        prev = prev_running.pop(job_id)
+                        if job is not None:
+                            job._pick_k = -1  # pick memo needs re-marking
+                            dag = job.dag
+                            stale = {
+                                nd for nd in prev if dag.node_remaining(nd) > 0
+                            }
+                            counters.preemptions += len(stale)
+                            dag.mark_preempted(stale)
+                            if overhead > 0:
+                                for nd in stale:
+                                    dag.add_overhead(nd, overhead)
+                            job.executing = ()
 
-            # ---- choose chunk length dt ----------------------------------
-            dt = self._next_dt(state, assignment)
+            # ---- choose chunk length dt (the event-jump distance) --------
+            # Minimum over the four event sources: next pending arrival,
+            # next effective-deadline expiry, earliest node completion
+            # among the executing set, and the scheduler's requested
+            # wakeup.  None means no event can ever change the state.
+            best = None
+            if pending:
+                c = pending[0][0] - t
+                if c > 0:
+                    best = c
+            if deadline_heap:
+                c = deadline_heap[0][0] - t
+                if c > 0 and (best is None or c < best):
+                    best = c
+            if exec_min is not inf:
+                # min-then-ceil equals the per-job (and per-node)
+                # ceil-then-min: ceil is monotone
+                c = ceil(exec_min / speed)
+                if c > 0 and (best is None or c < best):
+                    best = c
+            if wakeup is not None:
+                wt = wakeup(t)
+                if wt is not None:
+                    if wt <= t:
+                        raise SimulationError(
+                            f"scheduler wakeup {wt} not after t={t}"
+                        )
+                    c = wt - t
+                    if best is None or c < best:
+                        best = c
+            if best is None:
+                dt = None
+            else:
+                dt = 1 if best < 1 else best
+
             if dt is None:
                 if target is None:
                     # Nothing executing and no future event can change that.
@@ -592,11 +731,11 @@ class Simulator:
                     break
                 # streaming: the next submission (at or before target) is
                 # the event batch mode would have fast-forwarded to
-                dt = target - state.t
+                dt = target - t
             elif target is not None:
-                dt = min(dt, target - state.t)
+                dt = min(dt, target - t)
             if horizon is not None:
-                dt = min(dt, horizon - state.t)
+                dt = min(dt, horizon - t)
                 if dt <= 0:
                     self._abandon_all(state)
                     state.done = True
@@ -604,40 +743,85 @@ class Simulator:
 
             # ---- execute the chunk ---------------------------------------
             completions: list[ActiveJob] = []
-            for job, nodes in assignment:
+            amount = speed * dt
+            finished_any: list[tuple[ActiveJob, DAGJob]] = []
+            for job, nodes, k, dag in assignment:
+                # Inlined DAGJob.process_many (same operations in the
+                # same order): one call per executing job per chunk was
+                # the largest remaining fixed cost of the event loop.
+                dag_state = dag._state
+                remaining = dag._remaining
+                ready = dag._ready
+                works = dag._works
+                unmet = dag._unmet
+                succ = dag._succ
+                completed = 0
                 for node in nodes:
-                    job.dag.process(node, self.speed * dt)
-            for job_id, k, _execing in slice_entries:
-                state.active[job_id].processor_steps += k * dt
-            state.counters.steps += dt
-            state.counters.allocated_steps += allocated_procs * dt
-            state.counters.busy_steps += executing_procs * dt
-            if state.trace:
-                state.trace.slice(state.t, state.t + dt, tuple(slice_entries))
-            state.t += dt
+                    rem = remaining[node] - amount
+                    if rem > _RESIDUE:
+                        remaining[node] = rem
+                        continue
+                    remaining[node] = 0.0
+                    dag_state[node] = _DONE
+                    # done_work accumulates per node, in completion
+                    # order, so laxity observers see the exact
+                    # historical float sum
+                    dag._done_work += works[node]
+                    completed += 1
+                    del ready[node]
+                    for v in succ[node]:
+                        u = unmet[v] - 1
+                        unmet[v] = u
+                        if u == 0:
+                            dag_state[v] = _READY
+                            ready[v] = None
+                if completed:
+                    dag._done_count += completed
+                    dag.ready_version += 1
+                    finished_any.append((job, dag))
+                job.processor_steps += k * dt
+                # same subtraction the depletion applied to the argmin
+                # node, so the memo stays bit-equal to min(remaining)
+                job._min_rem -= amount
+            counters.steps += dt
+            counters.allocated_steps += allocated_procs * dt
+            counters.busy_steps += executing_procs * dt
+            if trace:
+                trace.slice(
+                    t,
+                    t + dt,
+                    tuple(
+                        (job.job_id, k, len(nodes))
+                        for job, nodes, k, _dag in assignment
+                    ),
+                )
+            t += dt
+            state.t = t
 
             # ---- completions at t ----------------------------------------
-            for job, nodes in assignment:
-                if job.dag.is_complete() and job.completion_time is None:
-                    job.completion_time = state.t
-                    job.earned_profit = self._profit_at_completion(job, state.t)
+            for job, dag in finished_any:
+                # inlined DAGJob.is_complete
+                if dag._done_count == dag._n and job.completion_time is None:
+                    job.completion_time = t
+                    job.earned_profit = self._profit_at_completion(job, t)
                     completions.append(job)
             for job in completions:
                 job.executing = ()
-                state.prev_running.pop(job.job_id, None)
-                del state.active[job.job_id]
-                state.finished[job.job_id] = _finish_record(job)
-                state.counters.completions += 1
-                if state.trace:
-                    state.trace.event(state.t, EventKind.COMPLETION, job.job_id)
-                logger.debug(
-                    "t=%d completion job=%d profit=%.6g",
-                    state.t, job.job_id, job.earned_profit,
-                )
-                self.scheduler.on_completion(job.view, state.t)
+                prev_running.pop(job.job_id, None)
+                del active[job.job_id]
+                finished[job.job_id] = _finish_record(job)
+                counters.completions += 1
+                if trace:
+                    trace.event(t, EventKind.COMPLETION, job.job_id)
+                if debug_log:
+                    logger.debug(
+                        "t=%d completion job=%d profit=%.6g",
+                        t, job.job_id, job.earned_profit,
+                    )
+                scheduler.on_completion(job.view, t)
 
-            if self.validate:
-                self._validate_state(state.active)
+            if validate:
+                self._validate_state(active)
 
     # ------------------------------------------------------------------
     def _profit_at_completion(self, job: ActiveJob, t: int) -> float:
@@ -649,49 +833,41 @@ class Simulator:
         return spec.profit if t <= spec.deadline else 0.0
 
     def _check_allocation(self, alloc: dict[int, int], active: dict[int, ActiveJob]) -> None:
+        # Fast path for the common well-formed case: a plain dict over
+        # known jobs with exact-int non-negative counts within m.  The
+        # C-level keys/set/sum machinery replaces the per-key Python
+        # loop; anything unusual falls through to the precise check
+        # (type() of a bool is never int, so bools cannot slip past).
+        if alloc.__class__ is dict and alloc.keys() <= active.keys():
+            vals = alloc.values()
+            if (
+                set(map(type, vals)) <= {int}
+                and sum(vals) <= self.m
+                and (not alloc or min(vals) >= 0)
+            ):
+                return
+        self._check_allocation_slow(alloc, active)
+
+    def _check_allocation_slow(
+        self, alloc: dict[int, int], active: dict[int, ActiveJob]
+    ) -> None:
         if not isinstance(alloc, dict):
             raise AllocationError("allocation must be a dict of job_id -> processors")
         total = 0
         for job_id, k in alloc.items():
             if job_id not in active:
                 raise AllocationError(f"allocation references inactive job {job_id}")
-            if not isinstance(k, int) or isinstance(k, bool):
+            if k.__class__ is not int and (
+                not isinstance(k, int) or isinstance(k, bool)
+            ):
+                # exact-type check first: the slow isinstance pair only
+                # runs for subclasses (e.g. numpy ints pass, bools fail)
                 raise AllocationError(f"processor count for job {job_id} must be int")
             if k < 0:
                 raise AllocationError(f"negative processor count for job {job_id}")
             total += k
         if total > self.m:
             raise AllocationError(f"allocation uses {total} > m={self.m} processors")
-
-    def _next_dt(
-        self,
-        state: _RunState,
-        assignment: list[tuple[ActiveJob, list[int]]],
-    ) -> Optional[int]:
-        t = state.t
-        candidates: list[int] = []
-        if state.pending:
-            candidates.append(state.pending[0][0] - t)
-        if state.deadline_heap:
-            candidates.append(state.deadline_heap[0][0] - t)
-        for job, nodes in assignment:
-            for node in nodes:
-                rem = job.dag.node_remaining(node)
-                candidates.append(math.ceil(rem / self.speed))
-        wake = getattr(self.scheduler, "wakeup_after", None)
-        if wake is not None:
-            wt = wake(t)
-            if wt is not None:
-                if wt <= t:
-                    raise SimulationError(f"scheduler wakeup {wt} not after t={t}")
-                candidates.append(wt - t)
-        if not assignment:
-            # nothing executing: only external events can change state
-            candidates = [c for c in candidates if c > 0]
-            if not candidates:
-                return None
-            return max(1, min(candidates))
-        return max(1, min(c for c in candidates if c > 0))
 
     def _abandon_all(self, state: _RunState) -> None:
         for job_id, job in list(state.active.items()):

@@ -129,6 +129,11 @@ class ActiveJob:
         "processor_steps",
         "earned_profit",
         "view",
+        "_pick_version",
+        "_pick_k",
+        "_pick_nodes",
+        "_assign",
+        "_min_rem",
     )
 
     def __init__(self, spec: JobSpec) -> None:
@@ -147,6 +152,21 @@ class ActiveJob:
         self.processor_steps = 0.0
         self.earned_profit = 0.0
         self.view = JobView(self)
+        # FIFO-pick memo (engine-internal, never snapshotted): the last
+        # pick is reusable while the ready set and requested width are
+        # unchanged and the job stayed allocated.
+        self._pick_version = -1
+        self._pick_k = -1
+        self._pick_nodes: list[int] = []
+        #: the engine's (job, nodes, k, dag) assignment entry, built once
+        #: per memo write and re-appended on every memo hit
+        self._assign: tuple = ()
+        # Smallest remaining work among the executing nodes, maintained
+        # decrementally while the pick memo holds (-1.0 = recompute).
+        # IEEE subtraction is monotone, so depleting every executing node
+        # by the same amount keeps the argmin fixed and this value equals
+        # min(remaining) bit-for-bit.
+        self._min_rem = -1.0
 
     @property
     def job_id(self) -> int:
