@@ -15,6 +15,14 @@ docs/PERFORMANCE.md):
   :class:`repro.service.SchedulingService` relative to batch
   ``Simulator.run`` on the same workload.
 
+A second snapshot, ``BENCH_cluster.json``, covers the sharded cluster
+(:mod:`repro.cluster`): process-mode throughput at shard counts
+1/2/4/8 (the k=4 point must clear 1.5x over k=1 -- on a single-CPU
+host the speedup comes from subproblem scaling, since per-decision
+scheduler cost grows with the active set each shard holds), migration
+on/off under a deliberately skewed router, and the wall-clock cost of
+a kill-and-recover cycle with its fault-free-equality check.
+
 Timing methodology: each timed subject runs ``repeats`` times with the
 competing subjects interleaved round-robin (so machine-load drift hits
 all subjects equally) and garbage collection frozen around each run;
@@ -45,6 +53,13 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.sweep import run_sweep  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    ClusterService,
+    FaultInjector,
+    QueueBalancer,
+    Router,
+    ShardConfig,
+)
 from repro.core import SNSScheduler  # noqa: E402
 from repro.experiments.e03_thm2 import _thm2_value  # noqa: E402
 from repro.service import SchedulingService  # noqa: E402
@@ -211,6 +226,156 @@ def bench_service(quick: bool, repeats: int) -> dict:
     }
 
 
+#: Shard counts every cluster-scaling row measures.
+CLUSTER_SHARD_COUNTS = [1, 2, 4, 8]
+
+
+class _HotSpotRouter(Router):
+    """Routes everything to shard 0 -- the migration stressor."""
+
+    name = "hotspot"
+    needs_stats = False
+
+    def route(self, spec, stats):
+        return 0
+
+
+def _cluster_workload(quick: bool):
+    n_jobs, m = (800, 16) if quick else (12000, 64)
+    return m, generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=4.0, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+
+
+def bench_cluster_scaling(quick: bool, repeats: int) -> list[dict]:
+    """Process-mode throughput at shard counts 1/2/4/8."""
+    m, specs = _cluster_workload(quick)
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    def runner(k):
+        def run():
+            return ClusterService(
+                m, k, config=config, router="consistent-hash", mode="process"
+            ).run_stream(specs)
+
+        return run
+
+    profits = {k: runner(k)().total_profit for k in CLUSTER_SHARD_COUNTS}
+    best = _interleaved(
+        {str(k): runner(k) for k in CLUSTER_SHARD_COUNTS}, repeats
+    )
+    rows = []
+    for k in CLUSTER_SHARD_COUNTS:
+        seconds = best[str(k)]
+        rows.append(
+            {
+                "shards": k,
+                "n_jobs": len(specs),
+                "m": m,
+                "seconds": seconds,
+                "jobs_per_sec": len(specs) / seconds,
+                "speedup_vs_1": best["1"] / seconds,
+                "total_profit": profits[k],
+            }
+        )
+        print(
+            f"cluster k={k} {seconds:.2f}s "
+            f"({rows[-1]['jobs_per_sec']:.0f} jobs/sec, "
+            f"{rows[-1]['speedup_vs_1']:.2f}x vs k=1)"
+        )
+    return rows
+
+
+def bench_cluster_migration(quick: bool) -> dict:
+    """Shed/profit with and without migration under a skewed router."""
+    n_jobs = 200 if quick else 2000
+    m = 16
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=3.0, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+    config = ShardConfig(
+        m=1,
+        scheduler="sns",
+        scheduler_kwargs={"epsilon": 1.0},
+        capacity=8,
+        max_in_flight=8,
+    )
+
+    def run(migrate: bool):
+        cluster = ClusterService(
+            m,
+            4,
+            config=config,
+            router=_HotSpotRouter(),
+            mode="process",
+            migration=QueueBalancer() if migrate else None,
+            migrate_every=2 if migrate else 0,
+        )
+        result = cluster.run_stream(specs)
+        return result, cluster
+
+    off, _ = run(False)
+    on, cluster = run(True)
+    return {
+        "n_jobs": n_jobs,
+        "m": m,
+        "shards": 4,
+        "shed_without": off.num_shed,
+        "shed_with": on.num_shed,
+        "profit_without": off.total_profit,
+        "profit_with": on.total_profit,
+        "migrated": cluster.cluster_metrics.values()["migrations_total"],
+        "improved": on.num_shed <= off.num_shed
+        and on.total_profit >= off.total_profit,
+    }
+
+
+def bench_cluster_recovery(quick: bool) -> dict:
+    """Kill-and-recover wall time plus fault-free bit-equality."""
+    n_jobs = 200 if quick else 2000
+    m = 32
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=3.0, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+    fault_at = sorted(s.arrival for s in specs)[len(specs) // 2]
+
+    def run(injector):
+        # a wide checkpoint interval leaves a real log tail to replay,
+        # so the recovery timing covers restore + replay, not just restore
+        return ClusterService(
+            m,
+            4,
+            config=config,
+            router="consistent-hash",
+            mode="process",
+            fault_injector=injector,
+            checkpoint_every=512 if injector else None,
+        ).run_stream(specs)
+
+    clean = run(None)
+    injector = FaultInjector().add(shard=1, at=fault_at)
+    faulted = run(injector)
+    event = injector.events[0]
+    return {
+        "n_jobs": n_jobs,
+        "m": m,
+        "shards": 4,
+        "fault_at": fault_at,
+        "recovery_seconds": event.wall_seconds,
+        "replayed_submissions": event.replayed,
+        "checkpoint_time": event.checkpoint_time,
+        "identical": faulted.records == clean.records
+        and faulted.total_profit == clean.total_profit,
+    }
+
+
 def main(argv=None) -> int:
     """Run every section and write the JSON snapshot."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -235,6 +400,16 @@ def main(argv=None) -> int:
         "--check",
         action="store_true",
         help="exit 1 unless every bit-identity/equality assertion holds",
+    )
+    parser.add_argument(
+        "--cluster-output",
+        default=str(Path(__file__).resolve().parent / "BENCH_cluster.json"),
+        help="where to write the cluster JSON snapshot",
+    )
+    parser.add_argument(
+        "--skip-cluster",
+        action="store_true",
+        help="skip the repro.cluster sections (and BENCH_cluster.json)",
     )
     args = parser.parse_args(argv)
 
@@ -280,6 +455,36 @@ def main(argv=None) -> int:
         f"{largest['jobs_per_sec']:.0f} jobs/sec, "
         f"{largest['decisions_per_sec']:.0f} decisions/sec"
     )
+
+    if not args.skip_cluster:
+        cluster_snapshot = {
+            "meta": snapshot["meta"],
+            "scaling": bench_cluster_scaling(args.quick, args.repeats),
+            "migration": bench_cluster_migration(args.quick),
+            "recovery": bench_cluster_recovery(args.quick),
+        }
+        cluster_out = Path(args.cluster_output)
+        cluster_out.write_text(json.dumps(cluster_snapshot, indent=2) + "\n")
+        print(f"wrote {cluster_out}")
+
+        at4 = next(
+            row
+            for row in cluster_snapshot["scaling"]
+            if row["shards"] == 4
+        )
+        print(
+            f"cluster k=4: {at4['speedup_vs_1']:.2f}x vs k=1, "
+            f"migration improved={cluster_snapshot['migration']['improved']}, "
+            f"recovery {cluster_snapshot['recovery']['recovery_seconds'] * 1e3:.1f} ms "
+            f"identical={cluster_snapshot['recovery']['identical']}"
+        )
+        ok = ok and cluster_snapshot["recovery"]["identical"]
+        ok = ok and cluster_snapshot["migration"]["improved"]
+        # throughput scaling only gates in full mode: the quick sizes
+        # are too small for the sharding win to clear the IPC floor
+        if not args.quick:
+            ok = ok and at4["speedup_vs_1"] > 1.5
+
     if args.check and not ok:
         print("FAILED: output mismatch between timed subjects", file=sys.stderr)
         return 1

@@ -50,8 +50,17 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     ``0`` or ``"auto"`` (from either source) means one worker per CPU,
     so CI and shell one-liners can opt whole experiment grids into
     parallelism without touching call sites.
+
+    Inside a cluster shard worker process (detected via the
+    ``REPRO_CLUSTER_SHARD`` flag the shard spawner sets, see
+    :data:`repro.cluster.shard.SHARD_ENV_FLAG`) the default is 1
+    regardless of ``REPRO_SWEEP_WORKERS``: every shard spawning its own
+    CPU-wide pool would oversubscribe the host multiplicatively.  An
+    explicit ``workers`` argument still wins.
     """
     source: Any = workers
+    if source is None and os.environ.get("REPRO_CLUSTER_SHARD"):
+        return 1
     if source is None:
         source = os.environ.get("REPRO_SWEEP_WORKERS", 1)
     if isinstance(source, str):

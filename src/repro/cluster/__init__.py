@@ -1,0 +1,75 @@
+"""Sharded multi-process serving: routed admission, migration, faults.
+
+Scales the single-process :mod:`repro.service` layer out: ``m``
+machines split into ``k`` independent machine-pool shards, each running
+its own scheduler-S service, with jobs placed by a pluggable router at
+submit time, queued work rebalanced by a migration policy, and killed
+shards restored from JSON checkpoints plus submission-log replay.
+
+Package map
+-----------
+* :mod:`repro.cluster.config` -- picklable shard recipes + partitioning.
+* :mod:`repro.cluster.router` -- placement policies (round-robin,
+  least-loaded, density-aware, consistent-hash).
+* :mod:`repro.cluster.shard` -- in-process and worker-process shard
+  handles over one command protocol.
+* :mod:`repro.cluster.migration` -- queued-job rebalancing policies.
+* :mod:`repro.cluster.service` -- the :class:`ClusterService` facade and
+  merged :class:`ClusterResult`.
+* :mod:`repro.cluster.faults` -- kill/recover fault-injection harness.
+"""
+
+from repro.cluster.config import (
+    SCHEDULER_REGISTRY,
+    ShardConfig,
+    make_scheduler,
+    partition_machines,
+)
+from repro.cluster.faults import FaultInjector, FaultPlan, RecoveryEvent
+from repro.cluster.migration import MigrationMove, MigrationPolicy, QueueBalancer
+from repro.cluster.router import (
+    ConsistentHashRouter,
+    DensityAwareRouter,
+    LeastLoadedRouter,
+    ROUTERS,
+    RoundRobinRouter,
+    Router,
+    ShardStats,
+    make_router,
+)
+from repro.cluster.service import ClusterResult, ClusterService
+from repro.cluster.shard import (
+    InProcessShard,
+    ProcessShard,
+    SHARD_ENV_FLAG,
+    ShardHandle,
+    make_shard,
+)
+
+__all__ = [
+    "ClusterResult",
+    "ClusterService",
+    "ConsistentHashRouter",
+    "DensityAwareRouter",
+    "FaultInjector",
+    "FaultPlan",
+    "InProcessShard",
+    "LeastLoadedRouter",
+    "MigrationMove",
+    "MigrationPolicy",
+    "ProcessShard",
+    "QueueBalancer",
+    "ROUTERS",
+    "RecoveryEvent",
+    "RoundRobinRouter",
+    "Router",
+    "SCHEDULER_REGISTRY",
+    "SHARD_ENV_FLAG",
+    "ShardConfig",
+    "ShardHandle",
+    "ShardStats",
+    "make_router",
+    "make_scheduler",
+    "make_shard",
+    "partition_machines",
+]

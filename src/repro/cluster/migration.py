@@ -1,0 +1,103 @@
+"""Shard rebalancing: move queued-but-unstarted jobs off hot shards.
+
+Routing is done at submit time with whatever information the router
+had; load evolves afterwards, so a statically balanced placement can
+still leave one shard with a deep ingest queue while another sits idle.
+The migration layer corrects this at decision points: a
+:class:`MigrationPolicy` looks at per-shard stats and plans moves of
+*queued* jobs only -- jobs already inside a shard's engine have
+scheduler state (allotments, queue positions in S) and are never moved,
+which keeps migration invisible to the per-shard scheduler and
+preserves the paper's per-pool analysis.
+
+Moved jobs re-enter the destination shard as fresh submissions at the
+migration time: their density is recomputed against the destination's
+machine count (S's allotment depends on the pool size) and a job whose
+deadline has passed while queued is shed on release, exactly as if it
+had waited in the destination queue all along.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.router import ShardStats
+
+
+@dataclass(frozen=True)
+class MigrationMove:
+    """One planned transfer of up to ``n`` queued jobs."""
+
+    src: int
+    dst: int
+    n: int
+
+
+class MigrationPolicy:
+    """Plans queued-job transfers from overloaded to idle shards."""
+
+    def plan(self, stats: Sequence[ShardStats]) -> list[MigrationMove]:
+        """Return the moves to apply now (possibly empty)."""
+        raise NotImplementedError
+
+
+class QueueBalancer(MigrationPolicy):
+    """Pair idle shards with the deepest ingest queues.
+
+    A shard is *idle* when its ingest queue holds at most ``low_water``
+    jobs (jobs in flight don't count: an empty queue means the shard
+    can absorb backlog) and *overloaded* when its queue holds at least
+    ``high_water``.  Each idle shard is offered half of the deepest
+    backlog (capped at ``batch``); pairing is greedy and fully
+    deterministic (ties break on shard index).
+
+    Parameters
+    ----------
+    low_water:
+        Max queued jobs for a shard to count as idle (default 0: an
+        empty ingest queue).
+    high_water:
+        Min queued jobs for a shard to count as overloaded.
+    batch:
+        Cap on jobs moved per (src, dst) pair per rebalance tick.
+    """
+
+    def __init__(
+        self, low_water: int = 0, high_water: int = 2, batch: int = 16
+    ) -> None:
+        if high_water < 1:
+            raise ValueError("high_water must be >= 1")
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self.low_water = int(low_water)
+        self.high_water = int(high_water)
+        self.batch = int(batch)
+
+    def plan(self, stats: Sequence[ShardStats]) -> list[MigrationMove]:
+        """Greedy idle-to-deepest pairing over the current stats."""
+        live = [s for s in stats if s.alive]
+        idle = sorted(
+            (s for s in live if s.queue_depth <= self.low_water),
+            key=lambda s: (s.load, s.index),
+        )
+        backlog = {
+            s.index: s.queue_depth
+            for s in live
+            if s.queue_depth >= self.high_water
+        }
+        moves: list[MigrationMove] = []
+        for dst in idle:
+            if not backlog:
+                break
+            src = max(backlog, key=lambda i: (backlog[i], -i))
+            if src == dst.index:
+                continue
+            n = min(self.batch, backlog[src] // 2)
+            if n < 1:
+                break
+            moves.append(MigrationMove(src=src, dst=dst.index, n=n))
+            backlog[src] -= n
+            if backlog[src] < self.high_water:
+                del backlog[src]
+        return moves

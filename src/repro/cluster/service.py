@@ -1,0 +1,402 @@
+"""The cluster service: routed admission over sharded machine pools.
+
+:class:`ClusterService` partitions ``m`` machines into ``k`` shards,
+each running its own :class:`~repro.service.service.SchedulingService`
+(in this process, or in a worker process -- see
+:mod:`repro.cluster.shard`), and places every submitted job on exactly
+one shard via a pluggable :class:`~repro.cluster.router.Router`.  The
+paper's scheduler S makes this sound: a job's allotment and density are
+functions of the job and the pool size alone, so shards need no shared
+scheduler state and each shard's competitive analysis applies to its
+own pool.
+
+On top of placement the cluster provides:
+
+* **migration** -- a :class:`~repro.cluster.migration.MigrationPolicy`
+  periodically moves queued-but-unstarted jobs from overloaded to idle
+  shards (off by default; determinism vs. independent per-shard runs is
+  only pinned with migration off);
+* **fault recovery** -- with a
+  :class:`~repro.cluster.faults.FaultInjector` attached, shards are
+  periodically checkpointed and every submission is logged, so a killed
+  shard is restored from its latest checkpoint plus a log-tail replay
+  with zero admitted jobs lost (:mod:`repro.cluster.faults`);
+* **telemetry roll-up** -- per-shard registries merge into one cluster
+  view (:func:`repro.service.telemetry.merge_registries`), alongside
+  cluster-level counters (routed/migrated/recovered).
+
+With the consistent-hash router and migration off, a k-shard in-process
+cluster run over a fixed trace is *bit-identical* (per-job records and
+profit) to k independent service runs over the router's partition of
+that trace -- the determinism property the cluster tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from repro.cluster.config import ShardConfig, partition_machines
+from repro.cluster.faults import FaultInjector, RecoveryEvent
+from repro.cluster.migration import MigrationPolicy
+from repro.cluster.router import Router, ShardStats, make_router
+from repro.cluster.shard import ShardHandle, make_shard
+from repro.errors import ClusterError
+from repro.service.replay import SubmissionLog
+from repro.service.service import ServiceResult, ShedRecord
+from repro.service.telemetry import MetricsRegistry, merge_registries
+from repro.sim.jobs import CompletionRecord, JobSpec
+
+
+@dataclass
+class ClusterResult:
+    """Everything a finished cluster run reports."""
+
+    #: per-shard service results, in shard order
+    shard_results: list[ServiceResult]
+    #: cluster-level counters (routed/migrated/recovered totals)
+    cluster_metrics: MetricsRegistry
+    #: executed kill-and-recover events, in firing order
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def records(self) -> dict[int, CompletionRecord]:
+        """Per-job completion records merged across shards."""
+        merged: dict[int, CompletionRecord] = {}
+        for result in self.shard_results:
+            merged.update(result.result.records)
+        return merged
+
+    @property
+    def total_profit(self) -> float:
+        """Profit earned across all shards."""
+        return sum(r.total_profit for r in self.shard_results)
+
+    @property
+    def shed(self) -> list[ShedRecord]:
+        """Every job dropped before release, shard-major order."""
+        return [rec for r in self.shard_results for rec in r.shed]
+
+    @property
+    def num_shed(self) -> int:
+        """Number of jobs dropped before release, cluster-wide."""
+        return sum(r.num_shed for r in self.shard_results)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs that produced a completion record."""
+        return sum(len(r.result.records) for r in self.shard_results)
+
+    @property
+    def end_time(self) -> int:
+        """Latest shard end time."""
+        return max((r.result.end_time for r in self.shard_results), default=0)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Cluster telemetry: shard registries rolled up, plus the
+        cluster-level counters."""
+        return merge_registries(
+            [r.metrics for r in self.shard_results] + [self.cluster_metrics]
+        )
+
+
+class ClusterService:
+    """Sharded online scheduling over ``k`` machine-pool shards.
+
+    Parameters
+    ----------
+    m:
+        Total machines, split across shards by
+        :func:`~repro.cluster.config.partition_machines`.
+    k:
+        Number of shards.
+    config:
+        Shard template (scheduler recipe, queue bound, shed policy,
+        ...); its ``m`` field is overridden per shard.  Defaults to an
+        SNS shard with the service defaults.
+    router:
+        :class:`~repro.cluster.router.Router` instance or registry name
+        (default ``"consistent-hash"``, the deterministic choice).
+    mode:
+        ``"inprocess"`` (deterministic, zero-overhead) or ``"process"``
+        (one worker process per shard, commands over pipes).
+    migration:
+        Optional :class:`~repro.cluster.migration.MigrationPolicy`;
+        requires ``migrate_every``.
+    migrate_every:
+        Simulated-time interval between rebalance ticks.
+    fault_injector:
+        Optional :class:`~repro.cluster.faults.FaultInjector`; enables
+        checkpointing + submission logging for recovery.
+    checkpoint_every:
+        Simulated-time interval between cluster-wide checkpoints
+        (default 64 when fault injection is on).
+    stats_refresh:
+        In ``"process"`` mode, submissions between synchronous stats
+        refreshes for stats-hungry routers (lower = fresher = slower).
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        *,
+        config: Optional[ShardConfig] = None,
+        router: Union[Router, str] = "consistent-hash",
+        mode: str = "inprocess",
+        migration: Optional[MigrationPolicy] = None,
+        migrate_every: int = 0,
+        fault_injector: Optional[FaultInjector] = None,
+        checkpoint_every: Optional[int] = None,
+        stats_refresh: int = 32,
+    ) -> None:
+        if migration is not None and migrate_every < 1:
+            raise ClusterError("migration requires migrate_every >= 1")
+        if stats_refresh < 1:
+            raise ClusterError("stats_refresh must be >= 1")
+        sizes = partition_machines(m, k)
+        template = config if config is not None else ShardConfig(m=1)
+        self.m = int(m)
+        self.k = int(k)
+        self.mode = mode
+        self.router = router if isinstance(router, Router) else make_router(router)
+        self.shards: list[ShardHandle] = [
+            make_shard(i, template.with_machines(size), mode)
+            for i, size in enumerate(sizes)
+        ]
+        self.migration = migration
+        self.migrate_every = int(migrate_every)
+        self.fault_injector = fault_injector
+        if checkpoint_every is None and fault_injector is not None:
+            checkpoint_every = 64
+        self.checkpoint_every = checkpoint_every
+        self.stats_refresh = int(stats_refresh)
+        #: per-shard submission logs (the recovery source of truth)
+        self.logs: list[SubmissionLog] = [SubmissionLog() for _ in sizes]
+        #: per-shard latest checkpoint: (log index, snapshot dict)
+        self.checkpoints: dict[int, tuple[int, dict[str, Any]]] = {}
+        self.cluster_metrics = MetricsRegistry()
+        self.recoveries: list[RecoveryEvent] = []
+        self._now = 0
+        self._started = False
+        self._last_checkpoint_t: Optional[int] = None
+        self._last_migrate_t = 0
+        self._stats_cache: Optional[list[ShardStats]] = None
+        self._submits_since_stats = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring every shard up (idempotent).  With fault injection on,
+        an initial cluster checkpoint is taken immediately so recovery
+        never has to replay from an empty service."""
+        if self._started:
+            return
+        self.router.reset()
+        for shard in self.shards:
+            shard.start()
+        self._started = True
+        if self.fault_injector is not None:
+            self.checkpoint_all()
+
+    @property
+    def now(self) -> int:
+        """Cluster clock: the latest submission/advance time seen."""
+        return self._now
+
+    def submit(self, spec: JobSpec, t: Optional[int] = None) -> int:
+        """Route one job to a shard at time ``t`` (default: now).
+
+        Runs the decision-point hooks (checkpoint, fault firing,
+        migration) first, then routes and forwards the submission.
+        Returns the chosen shard index.
+        """
+        self.start()
+        t = self._now if t is None else max(int(t), self._now)
+        self._now = t
+        self._hooks(t)
+        index = self.router.route(spec, self._router_stats())
+        if not 0 <= index < self.k:
+            raise ClusterError(
+                f"router returned shard {index} (k={self.k})"
+            )
+        if self.fault_injector is not None:
+            self.logs[index].record(t, spec)
+        self.shards[index].submit(spec, t)
+        self.cluster_metrics.counter("routed_total").inc()
+        self.cluster_metrics.counter(f"routed_shard_{index}").inc()
+        self._submits_since_stats += 1
+        if self._stats_cache is not None:
+            # optimistic local estimate between refreshes, so a
+            # load-aware router doesn't route a whole refresh window's
+            # burst to the same frozen minimum
+            self._stats_cache[index].queue_depth += 1
+        return index
+
+    def advance_to(self, t: int) -> int:
+        """Advance every live shard's clock to ``t`` and run hooks."""
+        self.start()
+        t = max(int(t), self._now)
+        self._now = t
+        self._hooks(t)
+        for shard in self.shards:
+            if shard.alive:
+                shard.advance_to(t)
+        self._stats_cache = None
+        return self._now
+
+    def finish(self) -> ClusterResult:
+        """Drain every shard and return the merged cluster result."""
+        self.start()
+        results = [shard.finish() for shard in self.shards]
+        self._started = False
+        return ClusterResult(
+            shard_results=results,
+            cluster_metrics=self.cluster_metrics,
+            recoveries=list(self.recoveries),
+        )
+
+    def run_stream(self, specs: Iterable[JobSpec]) -> ClusterResult:
+        """Drive a whole arrival sequence through the cluster.
+
+        Jobs are submitted in online order ``(arrival, job_id)``; each
+        shard's clock advances only with its own submissions, exactly as
+        if the router's partition were served by independent services.
+        """
+        self.start()
+        ordered: Sequence[JobSpec] = sorted(
+            specs, key=lambda sp: (sp.arrival, sp.job_id)
+        )
+        for spec in ordered:
+            self.submit(spec, t=spec.arrival)
+        return self.finish()
+
+    # ------------------------------------------------------------------
+    # Fault handling (called by the FaultInjector)
+    # ------------------------------------------------------------------
+    def checkpoint_all(self) -> None:
+        """Snapshot every live shard, anchored to its submission-log
+        position (async submissions are fenced by the snapshot call)."""
+        for shard in self.shards:
+            if shard.alive:
+                self.checkpoints[shard.index] = (
+                    len(self.logs[shard.index]),
+                    shard.snapshot(),
+                )
+        self._last_checkpoint_t = self._now
+        self.cluster_metrics.counter("checkpoints_total").inc()
+
+    def kill_shard(self, index: int) -> None:
+        """Crash one shard: live engine/queue/scheduler state is lost."""
+        self.shards[index].kill()
+        self._stats_cache = None
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def recover_shard(self, index: int, t: int) -> RecoveryEvent:
+        """Restore a killed shard from its latest checkpoint and replay
+        the submission-log tail; returns the recovery report."""
+        started = time.perf_counter()
+        log_index, snapshot = self.checkpoints.get(index, (0, None))
+        checkpoint_time = 0 if snapshot is None else int(snapshot["engine"]["t"])
+        shard = self.shards[index]
+        shard.restore(snapshot)
+        tail = self.logs[index].entries[log_index:]
+        for entry_t, spec in tail:
+            shard.submit(spec, entry_t)
+        self._stats_cache = None
+        self.cluster_metrics.counter("recoveries_total").inc()
+        event = RecoveryEvent(
+            shard=index,
+            time=t,
+            checkpoint_time=checkpoint_time,
+            replayed=len(tail),
+            wall_seconds=time.perf_counter() - started,
+        )
+        self.recoveries.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _hooks(self, t: int) -> None:
+        """Decision-point hooks, in recovery-safe order: checkpoint,
+        fire faults, then migrate (migration re-checkpoints)."""
+        if (
+            self.checkpoint_every is not None
+            and self._last_checkpoint_t is not None
+            and t - self._last_checkpoint_t >= self.checkpoint_every
+        ):
+            self.checkpoint_all()
+        if self.fault_injector is not None:
+            self.fault_injector.maybe_fire(self, t)
+        if (
+            self.migration is not None
+            and t - self._last_migrate_t >= self.migrate_every
+        ):
+            self._rebalance(t)
+            self._last_migrate_t = t
+
+    def _rebalance(self, t: int) -> None:
+        """Apply one migration tick at cluster time ``t``."""
+        stats = [
+            shard.stats()
+            if shard.alive
+            else ShardStats(index=shard.index, m=shard.config.m, alive=False)
+            for shard in self.shards
+        ]
+        moved = 0
+        for move in self.migration.plan(stats):
+            for spec in self.shards[move.src].take_queued(move.n):
+                if self.fault_injector is not None:
+                    self.logs[move.dst].record(t, spec)
+                self.shards[move.dst].submit(spec, t)
+                moved += 1
+        if moved:
+            self.cluster_metrics.counter("migrations_total").inc(moved)
+            self._stats_cache = None
+            # keep the recovery invariant: the latest checkpoint must
+            # postdate the migration, or a log replay would resurrect
+            # jobs that migrated away
+            if self.fault_injector is not None:
+                self.checkpoint_all()
+
+    def _router_stats(self) -> list[ShardStats]:
+        """Stats for the router: exact in-process; cached (refreshed at
+        deterministic submission indices) in process mode."""
+        needs_stats = getattr(self.router, "needs_stats", True)
+        if self.mode == "inprocess" or not needs_stats:
+            if self.mode == "inprocess":
+                return self._live_stats()
+            return self._static_stats()
+        if (
+            self._stats_cache is None
+            or self._submits_since_stats >= self.stats_refresh
+        ):
+            self._stats_cache = self._live_stats()
+            self._submits_since_stats = 0
+        return self._stats_cache
+
+    def _live_stats(self) -> list[ShardStats]:
+        return [
+            shard.stats()
+            if shard.alive
+            else ShardStats(index=shard.index, m=shard.config.m, alive=False)
+            for shard in self.shards
+        ]
+
+    def _static_stats(self) -> list[ShardStats]:
+        return [
+            ShardStats(index=shard.index, m=shard.config.m, alive=shard.alive)
+            for shard in self.shards
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"t={self._now}" if self._started else "idle"
+        return (
+            f"ClusterService(m={self.m}, k={self.k}, mode={self.mode}, "
+            f"router={self.router.name}, {state})"
+        )

@@ -1,0 +1,460 @@
+"""Shard handles: one scheduling service per machine-pool shard.
+
+A *shard* is one :class:`~repro.service.service.SchedulingService` over
+a slice of the cluster's machines.  The cluster talks to every shard
+through the same small handle interface so callers never branch on
+deployment mode:
+
+* :class:`InProcessShard` -- the service lives in this process.  Fully
+  deterministic and zero-overhead; the mode the equivalence tests pin.
+* :class:`ProcessShard` -- the service lives in a worker process, driven
+  over a command pipe.  Submissions and clock advances are *fire and
+  forget* (the parent streams commands while workers execute) and are
+  batched -- buffered up to :data:`BATCH_SIZE` per pipe message -- so
+  per-job IPC cost is a fraction of a pipe round-trip.  Stats/snapshot/
+  finish calls are synchronous fences that flush the buffer first:
+  because each worker applies its command stream in FIFO order, every
+  reply is a deterministic function of the commands sent so far, so
+  process-mode runs are as reproducible as in-process ones.
+
+Worker processes set the ``REPRO_CLUSTER_SHARD`` environment variable
+so nested machinery (e.g. :func:`repro.analysis.sweep.resolve_workers`)
+knows not to oversubscribe the host by spawning its own pools.
+
+Both handles share the kill/restore contract the fault harness uses:
+:meth:`kill` abandons the shard's state outright (simulating a crash),
+and :meth:`restore` rebuilds it from a service snapshot (or from
+scratch), after which the cluster replays the submission-log tail.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Optional
+
+from repro.cluster.config import ShardConfig
+from repro.cluster.router import ShardStats
+from repro.errors import ClusterError
+from repro.service.service import SchedulingService, ServiceResult, ShedRecord
+from repro.service.snapshot import service_from_dict, service_to_dict
+from repro.service.telemetry import MetricsRegistry
+from repro.sim.engine import (
+    SimulationResult,
+    _counters_from_dict,
+    _record_from_dict,
+)
+from repro.sim.jobs import JobSpec
+
+#: Environment flag set inside shard worker processes (see
+#: :func:`repro.analysis.sweep.resolve_workers`).
+SHARD_ENV_FLAG = "REPRO_CLUSTER_SHARD"
+
+#: Fire-and-forget commands buffered per pipe message.  Batching
+#: amortizes the pickle-frame and syscall cost of the command pipe;
+#: order within and across batches is FIFO, so results are unchanged.
+BATCH_SIZE = 64
+
+
+class ShardHandle:
+    """Uniform interface over in-process and worker-process shards."""
+
+    def __init__(self, index: int, config: ShardConfig) -> None:
+        self.index = index
+        self.config = config
+        self.alive = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Bring the shard up with a fresh service."""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Crash the shard: its live state is lost, not drained."""
+        raise NotImplementedError
+
+    def restore(self, snapshot: Optional[dict[str, Any]]) -> None:
+        """Bring the shard back up from a service snapshot (``None``
+        restarts it empty); the caller replays the submission-log tail."""
+        raise NotImplementedError
+
+    # -- streaming ------------------------------------------------------
+    def submit(self, spec: JobSpec, t: int) -> None:
+        """Submit one job at simulated time ``t`` (may be asynchronous)."""
+        raise NotImplementedError
+
+    def advance_to(self, t: int) -> None:
+        """Advance the shard clock to at least ``t`` (may be async)."""
+        raise NotImplementedError
+
+    # -- synchronous fences ---------------------------------------------
+    def stats(self) -> ShardStats:
+        """Current load stats (synchronous; drains pending commands)."""
+        raise NotImplementedError
+
+    def take_queued(self, n: int) -> list[JobSpec]:
+        """Pop up to ``n`` newest queued-but-unstarted jobs (migration)."""
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-compatible checkpoint of the shard's whole service."""
+        raise NotImplementedError
+
+    def finish(self) -> ServiceResult:
+        """Drain and close the shard, returning its service result."""
+        raise NotImplementedError
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ClusterError(f"shard {self.index} is not alive")
+
+
+class InProcessShard(ShardHandle):
+    """Shard whose service runs in the calling process."""
+
+    def __init__(self, index: int, config: ShardConfig) -> None:
+        super().__init__(index, config)
+        self.service: Optional[SchedulingService] = None
+
+    def start(self) -> None:
+        """Build and start a fresh service from the config."""
+        self.service = self.config.build_service()
+        self.service.start()
+        self.alive = True
+
+    def kill(self) -> None:
+        """Drop the service object on the floor (simulated crash)."""
+        self.service = None
+        self.alive = False
+
+    def restore(self, snapshot: Optional[dict[str, Any]]) -> None:
+        """Rebuild from a snapshot, or start empty when ``None``."""
+        if snapshot is None:
+            self.start()
+            return
+        self.service = service_from_dict(
+            snapshot, self.config.build_scheduler()
+        )
+        self.alive = True
+
+    def submit(self, spec: JobSpec, t: int) -> None:
+        """Feed the job straight into the service."""
+        self._require_alive()
+        self.service.submit(spec, t=max(t, self.service.now))
+
+    def advance_to(self, t: int) -> None:
+        """Advance the service clock (no-op when already past ``t``)."""
+        self._require_alive()
+        if t > self.service.now:
+            self.service.advance_to(t)
+
+    def stats(self) -> ShardStats:
+        """Exact live stats."""
+        self._require_alive()
+        service = self.service
+        return ShardStats(
+            index=self.index,
+            m=service.sim.m,
+            now=service.now,
+            queue_depth=service.queue.depth,
+            in_flight=service.in_flight,
+            completed=service.sim.counters.completions,
+            alive=True,
+        )
+
+    def take_queued(self, n: int) -> list[JobSpec]:
+        """Pop newest queued jobs off the ingest queue."""
+        self._require_alive()
+        return [entry.spec for entry in self.service.queue.take_newest(n)]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serialize the whole service."""
+        self._require_alive()
+        return service_to_dict(self.service)
+
+    def finish(self) -> ServiceResult:
+        """Drain and close; the shard is no longer alive afterwards."""
+        self._require_alive()
+        result = self.service.finish()
+        self.alive = False
+        return result
+
+
+def _result_to_payload(result: ServiceResult) -> dict[str, Any]:
+    """Flatten a ServiceResult into a picklable payload (worker side)."""
+    from repro.sim.engine import _counters_to_dict, _record_to_dict
+
+    sim = result.result
+    return {
+        "m": sim.m,
+        "speed": sim.speed,
+        "records": [_record_to_dict(rec) for rec in sim.records.values()],
+        "counters": _counters_to_dict(sim.counters),
+        "end_time": sim.end_time,
+        "shed": [
+            [rec.job_id, rec.time, rec.reason, rec.density, rec.profit]
+            for rec in result.shed
+        ],
+        "metrics": result.metrics.state_to_dict(),
+        "samples": result.metrics.samples,
+    }
+
+
+def _result_from_payload(data: dict[str, Any]) -> ServiceResult:
+    """Rebuild a ServiceResult from a worker payload (parent side)."""
+    records = {}
+    for entry in data["records"]:
+        rec = _record_from_dict(entry)
+        records[rec.job_id] = rec
+    metrics = MetricsRegistry()
+    metrics.restore_from_dict(data["metrics"])
+    metrics.samples = list(data["samples"])
+    return ServiceResult(
+        result=SimulationResult(
+            m=int(data["m"]),
+            speed=float(data["speed"]),
+            records=records,
+            counters=_counters_from_dict(data["counters"]),
+            end_time=int(data["end_time"]),
+        ),
+        shed=[
+            ShedRecord(
+                job_id=int(job_id),
+                time=int(time),
+                reason=str(reason),
+                density=float(density),
+                profit=float(profit),
+            )
+            for job_id, time, reason, density, profit in data["shed"]
+        ],
+        metrics=metrics,
+    )
+
+
+def _shard_worker(conn, config: ShardConfig) -> None:
+    """Worker-process main loop: apply piped commands to one service.
+
+    The first command must be ``("start",)`` or ``("restore", data)``.
+    Submissions and advances are applied without replying; ``stats`` /
+    ``take`` / ``snapshot`` reply ``("ok", payload)`` and ``finish``
+    replies then ends the loop.  Any exception is reported as
+    ``("err", message)`` and kills the worker.
+    """
+    os.environ[SHARD_ENV_FLAG] = "1"
+    service: Optional[SchedulingService] = None
+
+    def apply_async(command: tuple) -> None:
+        op = command[0]
+        if op == "submit":
+            service.submit(command[1], t=max(command[2], service.now))
+        elif op == "advance":
+            if command[1] > service.now:
+                service.advance_to(command[1])
+        else:
+            raise ClusterError(f"command {op!r} not allowed in a batch")
+
+    try:
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "start":
+                service = config.build_service()
+                service.start()
+            elif op == "restore":
+                service = service_from_dict(
+                    command[1], config.build_scheduler()
+                )
+            elif op in ("submit", "advance"):
+                apply_async(command)
+            elif op == "batch":
+                for sub in command[1]:
+                    apply_async(sub)
+            elif op == "stats":
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "now": service.now,
+                            "queue_depth": service.queue.depth,
+                            "in_flight": service.in_flight,
+                            "completed": service.sim.counters.completions,
+                        },
+                    )
+                )
+            elif op == "take":
+                taken = service.queue.take_newest(command[1])
+                conn.send(("ok", [entry.spec for entry in taken]))
+            elif op == "snapshot":
+                conn.send(("ok", service_to_dict(service)))
+            elif op == "finish":
+                conn.send(("ok", _result_to_payload(service.finish())))
+                return
+            elif op == "stop":
+                return
+            else:
+                raise ClusterError(f"unknown shard command {op!r}")
+    except EOFError:
+        return
+    except BaseException as exc:  # report, then die
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """``fork`` where the platform has it (cheap; no re-import), else
+    ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class ProcessShard(ShardHandle):
+    """Shard whose service runs in a dedicated worker process."""
+
+    def __init__(self, index: int, config: ShardConfig) -> None:
+        super().__init__(index, config)
+        self._process = None
+        self._conn = None
+        self._buffer: list[tuple] = []
+
+    # -- plumbing -------------------------------------------------------
+    def _spawn(self, first_command: tuple) -> None:
+        ctx = _mp_context()
+        parent, child = ctx.Pipe()
+        process = ctx.Process(
+            target=_shard_worker,
+            args=(child, self.config),
+            daemon=True,
+            name=f"repro-shard-{self.index}",
+        )
+        process.start()
+        child.close()
+        self._process = process
+        self._conn = parent
+        self.alive = True
+        self._conn.send(first_command)
+
+    def _flush(self) -> None:
+        """Push buffered fire-and-forget commands in one pipe message."""
+        if not self._buffer:
+            return
+        batch, self._buffer = self._buffer, []
+        try:
+            if len(batch) == 1:
+                self._conn.send(batch[0])
+            else:
+                self._conn.send(("batch", batch))
+        except (BrokenPipeError, OSError) as exc:
+            self.alive = False
+            raise ClusterError(f"shard {self.index} worker died") from exc
+
+    def _enqueue(self, command: tuple) -> None:
+        """Buffer an async command, flushing at :data:`BATCH_SIZE`."""
+        self._require_alive()
+        self._buffer.append(command)
+        if len(self._buffer) >= BATCH_SIZE:
+            self._flush()
+
+    def _call(self, command: tuple) -> Any:
+        """Flush, send a synchronous command, and return its payload."""
+        self._require_alive()
+        self._flush()
+        try:
+            self._conn.send(command)
+            status, payload = self._conn.recv()
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            self.alive = False
+            raise ClusterError(
+                f"shard {self.index} worker died mid-command"
+            ) from exc
+        if status != "ok":
+            self.alive = False
+            raise ClusterError(f"shard {self.index} failed: {payload}")
+        return payload
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker and start its service."""
+        self._spawn(("start",))
+
+    def kill(self) -> None:
+        """Terminate the worker without draining (simulated crash).
+
+        Buffered commands are dropped with it -- exactly what a crash
+        does to in-flight traffic; the cluster's submission log is the
+        durable copy that recovery replays.
+        """
+        self._buffer.clear()
+        if self._process is not None:
+            self._process.terminate()
+            self._process.join(timeout=5)
+        if self._conn is not None:
+            self._conn.close()
+        self._process = None
+        self._conn = None
+        self.alive = False
+
+    def restore(self, snapshot: Optional[dict[str, Any]]) -> None:
+        """Spawn a fresh worker from a snapshot (or empty)."""
+        if snapshot is None:
+            self.start()
+        else:
+            self._spawn(("restore", snapshot))
+
+    # -- streaming (fire and forget, batched) ----------------------------
+    def submit(self, spec: JobSpec, t: int) -> None:
+        """Buffer one submission for the worker; no reply awaited."""
+        self._enqueue(("submit", spec, t))
+
+    def advance_to(self, t: int) -> None:
+        """Buffer a clock advance for the worker; no reply awaited."""
+        self._enqueue(("advance", t))
+
+    # -- synchronous fences ---------------------------------------------
+    def stats(self) -> ShardStats:
+        """Round-trip stats; deterministic (worker drains its queue first)."""
+        data = self._call(("stats",))
+        return ShardStats(
+            index=self.index,
+            m=self.config.m,
+            now=int(data["now"]),
+            queue_depth=int(data["queue_depth"]),
+            in_flight=int(data["in_flight"]),
+            completed=int(data["completed"]),
+            alive=True,
+        )
+
+    def take_queued(self, n: int) -> list[JobSpec]:
+        """Round-trip migration pop."""
+        return list(self._call(("take", n)))
+
+    def snapshot(self) -> dict[str, Any]:
+        """Round-trip service checkpoint."""
+        return self._call(("snapshot",))
+
+    def finish(self) -> ServiceResult:
+        """Drain the worker's service and reap the process."""
+        payload = self._call(("finish",))
+        result = _result_from_payload(payload)
+        self._process.join(timeout=10)
+        self._conn.close()
+        self._process = None
+        self._conn = None
+        self.alive = False
+        return result
+
+
+def make_shard(index: int, config: ShardConfig, mode: str) -> ShardHandle:
+    """Build a shard handle for ``mode`` (``"inprocess"``/``"process"``)."""
+    if mode == "inprocess":
+        return InProcessShard(index, config)
+    if mode == "process":
+        return ProcessShard(index, config)
+    raise ClusterError(
+        f"unknown cluster mode {mode!r}; known: ['inprocess', 'process']"
+    )

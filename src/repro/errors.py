@@ -23,6 +23,10 @@ class WorkloadError(ReproError):
     """A workload specification is invalid or infeasible to generate."""
 
 
+class ClusterError(ReproError):
+    """A cluster operation failed (dead shard, bad router, protocol)."""
+
+
 class SweepError(ReproError):
     """A sweep failed; carries the failing cell for diagnosis.
 

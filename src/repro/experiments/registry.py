@@ -26,6 +26,7 @@ from repro.experiments import (
     e12_extensions,
     e13_preemption_cost,
     e14_small_exact,
+    e15_cluster,
 )
 from repro.experiments.common import ExperimentResult
 
@@ -44,11 +45,12 @@ EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
     "E12": e12_extensions.run,
     "E13": e13_preemption_cost.run,
     "E14": e14_small_exact.run,
+    "E15": e15_cluster.run,
 }
 
 
 def run_experiment(key: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by key (``"E1"`` .. ``"E14"``)."""
+    """Run one experiment by key (``"E1"`` .. ``"E15"``)."""
     try:
         runner = EXPERIMENTS[key.upper()]
     except KeyError:
@@ -67,7 +69,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment keys (E1..E14) or 'all'",
+        help="experiment keys (E1..E15) or 'all'",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced sizes (CI-friendly)"

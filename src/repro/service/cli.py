@@ -12,6 +12,15 @@ Example -- 10k jobs at 3x overload with density-aware shedding::
     repro-serve --n-jobs 10000 --load 3.0 --capacity 64 \\
         --max-in-flight 32 --policy reject-lowest-density \\
         --metrics metrics.jsonl
+
+With ``--shards K`` (K > 1) the same stream is served by a
+:class:`~repro.cluster.service.ClusterService`: ``K`` machine-pool
+shards (worker processes by default), jobs placed by ``--router``, and
+-- with ``--fault-at T`` -- a shard killed mid-stream and recovered
+from its latest checkpoint plus submission-log replay::
+
+    repro-serve --n-jobs 5000 --m 32 --shards 4 --router least-loaded \\
+        --fault-at 200 --fault-shard 1
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
+from repro.cluster.router import ROUTERS
 from repro.core.sns import SNSScheduler
 from repro.service.queue import SHED_POLICIES, make_shed_policy
 from repro.service.replay import SubmissionLog
@@ -89,6 +99,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--speed", type=float, default=1.0, help="processor speed s"
     )
 
+    cl = parser.add_argument_group("cluster (active when --shards > 1)")
+    cl.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="shard the machines into K pools (default 1: single service)",
+    )
+    cl.add_argument(
+        "--router",
+        choices=sorted(ROUTERS),
+        default="consistent-hash",
+        help="shard placement policy",
+    )
+    cl.add_argument(
+        "--cluster-mode",
+        choices=["inprocess", "process"],
+        default="process",
+        help="run shards in this process or in worker processes",
+    )
+    cl.add_argument(
+        "--migrate-every", type=int, default=0, metavar="T",
+        help="rebalance queued jobs every T simulated steps (0 = off)",
+    )
+    cl.add_argument(
+        "--fault-at", type=int, default=None, metavar="T",
+        help="kill a shard at simulated time T and recover it",
+    )
+    cl.add_argument(
+        "--fault-shard", type=int, default=0, metavar="I",
+        help="which shard --fault-at kills (default 0)",
+    )
+    cl.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="T",
+        help="cluster checkpoint interval when fault injection is on",
+    )
+
     out = parser.add_argument_group("output")
     out.add_argument(
         "--metrics", default=None, metavar="PATH",
@@ -143,6 +187,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+    if args.shards > 1:
+        return _main_cluster(args, specs)
     log = SubmissionLog()
     sink = open(args.metrics, "w", encoding="utf-8") if args.metrics else None
     try:
@@ -192,6 +238,88 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"profit_shed:     {result.profit_shed:.4f}")
     print(f"decisions:       {counters.decisions}")
     if args.metrics:
+        print(f"metrics written: {args.metrics}")
+    return 0
+
+
+def _main_cluster(args: argparse.Namespace, specs: list) -> int:
+    """Serve the stream through a sharded cluster (``--shards > 1``)."""
+    from repro.cluster import (
+        ClusterService,
+        FaultInjector,
+        QueueBalancer,
+        ShardConfig,
+    )
+
+    scheduler_kwargs = (
+        {"epsilon": args.epsilon} if args.scheduler == "sns" else {}
+    )
+    injector = None
+    if args.fault_at is not None:
+        injector = FaultInjector().add(shard=args.fault_shard, at=args.fault_at)
+    cluster = ClusterService(
+        m=args.m,
+        k=args.shards,
+        config=ShardConfig(
+            m=1,  # overridden per shard by the machine partition
+            scheduler=args.scheduler,
+            scheduler_kwargs=scheduler_kwargs,
+            capacity=args.capacity,
+            shed_policy=args.policy,
+            max_in_flight=args.max_in_flight,
+            speed=args.speed,
+            sample_every=args.sample_every,
+        ),
+        router=args.router,
+        mode=args.cluster_mode,
+        migration=QueueBalancer() if args.migrate_every else None,
+        migrate_every=args.migrate_every,
+        fault_injector=injector,
+        checkpoint_every=args.checkpoint_every if injector else None,
+    )
+    cluster.start()
+    print(
+        f"repro-serve: {args.n_jobs} jobs, m={args.m}, shards={args.shards}, "
+        f"mode={args.cluster_mode}, router={args.router}, "
+        f"scheduler={args.scheduler}, migrate_every={args.migrate_every}, "
+        f"fault_at={args.fault_at}",
+        flush=True,
+    )
+    for i, spec in enumerate(specs, 1):
+        cluster.submit(spec, t=spec.arrival)
+        if args.report_every and i % args.report_every == 0:
+            print(
+                f"t={cluster.now:>8d}  submitted={i}/{len(specs)}",
+                flush=True,
+            )
+    result = cluster.finish()
+
+    values = result.metrics.values()
+    print("---")
+    print(f"end_time:        {result.end_time}")
+    print(f"completed:       {int(values.get('completed_total', 0))}")
+    print(f"expired:         {int(values.get('expired_total', 0))}")
+    print(f"shed:            {result.num_shed}")
+    print(f"migrated:        {int(values.get('migrations_total', 0))}")
+    print(f"total_profit:    {result.total_profit:.4f}")
+    for event in result.recoveries:
+        print(
+            f"recovery:        shard {event.shard} at t={event.time} "
+            f"(checkpoint t={event.checkpoint_time}, "
+            f"replayed {event.replayed} submissions, "
+            f"{event.wall_seconds * 1000:.1f} ms)"
+        )
+    if args.metrics:
+        merged = result.metrics
+        merged.samples = sorted(
+            (
+                {"shard": index, **sample}
+                for index, shard_result in enumerate(result.shard_results)
+                for sample in shard_result.metrics.samples
+            ),
+            key=lambda s: (s["t"], s["shard"]),
+        )
+        merged.write_jsonl(args.metrics)
         print(f"metrics written: {args.metrics}")
     return 0
 

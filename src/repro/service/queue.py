@@ -183,6 +183,21 @@ class IngestQueue:
         """The next job to be released, or ``None`` when empty."""
         return self._entries[0] if self._entries else None
 
+    def take_newest(self, n: int) -> list[QueuedJob]:
+        """Remove and return up to ``n`` entries from the *tail* (newest
+        first).
+
+        The migration layer uses this to move queued-but-unstarted jobs
+        off an overloaded shard: taking from the tail preserves the FIFO
+        release order of everything that stays, and the newest jobs have
+        waited least, so moving them forfeits the least accumulated
+        queue position.
+        """
+        taken: list[QueuedJob] = []
+        while self._entries and len(taken) < n:
+            taken.append(self._entries.pop())
+        return taken
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"IngestQueue(depth={self.depth}/{self.capacity}, "

@@ -14,7 +14,12 @@ the only clock, which keeps telemetry deterministic and replayable.
 from __future__ import annotations
 
 import json
-from typing import Any, IO, Optional
+import os
+from typing import Any, IO, Iterable, Optional
+
+#: Gauges that are averaged (not summed) by :func:`merge_registries` --
+#: ratios and rates, where summing across shards is meaningless.
+MEAN_GAUGES: tuple[str, ...] = ("utilization", "profit_rate")
 
 
 class Counter:
@@ -65,6 +70,7 @@ class MetricsRegistry:
     ) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._mean_counts: dict[str, int] = {}
         self.sink = sink
         self.keep_samples = bool(keep_samples)
         #: retained samples, one flat dict per call to :meth:`sample`
@@ -114,9 +120,51 @@ class MetricsRegistry:
         return "".join(json.dumps(s) + "\n" for s in self.samples)
 
     def write_jsonl(self, path: str) -> None:
-        """Write all retained samples to a JSONL file."""
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.to_jsonl())
+        """Write all retained samples to a JSONL file, crash-safely.
+
+        The samples are rendered into a sibling temp file which is then
+        atomically renamed over ``path`` (``os.replace``), so a process
+        killed mid-export -- a faulted cluster shard, a SIGKILLed
+        service -- never leaves a truncated or corrupt file behind:
+        readers see either the previous complete file or the new one.
+        """
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                fh.write(self.to_jsonl())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def merge_from(
+        self,
+        other: "MetricsRegistry",
+        *,
+        mean_gauges: Iterable[str] = MEAN_GAUGES,
+    ) -> None:
+        """Fold ``other``'s metric values into this registry.
+
+        Counters add.  Gauges add too -- queue depths, in-flight counts
+        and completion totals across shards are naturally additive --
+        except the names in ``mean_gauges`` (ratios/rates), which are
+        accumulated so that :func:`merge_registries` can average them.
+        Samples are log output, not state, and are not merged.
+        """
+        mean = set(mean_gauges)
+        for name, counter in other._counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other._gauges.items():
+            mine = self.gauge(name)
+            mine.set(mine.value + gauge.value)
+        # remember how many registries fed each mean gauge so the final
+        # averaging in merge_registries can divide correctly
+        for name in mean:
+            if name in other._gauges:
+                self._mean_counts[name] = self._mean_counts.get(name, 0) + 1
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -140,3 +188,34 @@ class MetricsRegistry:
             f"MetricsRegistry(counters={len(self._counters)}, "
             f"gauges={len(self._gauges)}, samples={len(self.samples)})"
         )
+
+
+def merge_registries(
+    registries: Iterable["MetricsRegistry"],
+    *,
+    mean_gauges: Iterable[str] = MEAN_GAUGES,
+) -> MetricsRegistry:
+    """Roll per-shard registries up into one cluster-level view.
+
+    Returns a fresh registry where every counter is the sum over the
+    inputs, every gauge is the sum, and the gauges named in
+    ``mean_gauges`` (default :data:`MEAN_GAUGES` -- ratios and rates)
+    are the mean over the registries that define them.  The inputs are
+    not modified.
+
+    >>> a, b = MetricsRegistry(), MetricsRegistry()
+    >>> a.counter("completed_total").inc(3); a.gauge("utilization").set(0.5)
+    >>> b.counter("completed_total").inc(4); b.gauge("utilization").set(1.0)
+    >>> merged = merge_registries([a, b])
+    >>> merged.values()
+    {'completed_total': 7.0, 'utilization': 0.75}
+    """
+    merged = MetricsRegistry()
+    for registry in registries:
+        merged.merge_from(registry, mean_gauges=mean_gauges)
+    for name, count in merged._mean_counts.items():
+        if count > 1:
+            gauge = merged.gauge(name)
+            gauge.set(gauge.value / count)
+    merged._mean_counts = {}
+    return merged

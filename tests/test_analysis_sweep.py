@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.analysis.sweep import SweepCell, grid_points, run_sweep, sweep_table
+from repro.analysis.sweep import (
+    SweepCell,
+    grid_points,
+    resolve_workers,
+    run_sweep,
+    sweep_table,
+)
 from repro.errors import SweepError
 
 
@@ -16,6 +22,42 @@ def _failing_fn(point: dict, seed: int) -> float:
     if point["a"] == 2 and seed == 1:
         raise ValueError("boom")
     return float(point["a"])
+
+
+class TestResolveWorkers:
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_var_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        assert resolve_workers() == 3
+
+    def test_cluster_shard_forces_serial(self, monkeypatch):
+        """Inside a cluster shard worker, 'auto' must NOT fan out: every
+        shard spawning a CPU-wide pool would oversubscribe the host."""
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        monkeypatch.setenv("REPRO_CLUSTER_SHARD", "1")
+        assert resolve_workers() == 1
+
+    def test_explicit_workers_beat_shard_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SHARD", "1")
+        assert resolve_workers(4) == 4
+
+    def test_auto_outside_shard(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "auto")
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    def test_invalid_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "lots")
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        with pytest.raises(SweepError):
+            resolve_workers()
 
 
 class TestGrid:

@@ -1,0 +1,172 @@
+"""Fault injection and recovery tests for repro.cluster.
+
+The load-bearing pin (ISSUE acceptance criterion): a fault-injected run
+-- one shard killed mid-stream and restored from its latest JSON
+checkpoint plus submission-log replay -- loses zero admitted jobs and
+finishes with profit equal to the fault-free run on the same trace.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterService,
+    FaultInjector,
+    FaultPlan,
+    QueueBalancer,
+    Router,
+    ShardConfig,
+)
+from repro.errors import ClusterError
+from repro.workloads import WorkloadConfig, generate_workload
+
+CFG = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+
+def workload(n_jobs=120, m=16, load=2.5, seed=3):
+    return generate_workload(
+        WorkloadConfig(n_jobs=n_jobs, m=m, load=load, epsilon=1.0, seed=seed)
+    )
+
+
+def run(specs, *, mode, injector=None, migration=None, migrate_every=0):
+    cluster = ClusterService(
+        16,
+        4,
+        config=CFG,
+        router="consistent-hash",
+        mode=mode,
+        migration=migration,
+        migrate_every=migrate_every,
+        fault_injector=injector,
+        checkpoint_every=64 if injector else None,
+    )
+    return cluster.run_stream(specs)
+
+
+def mid_stream_time(specs):
+    arrivals = sorted(sp.arrival for sp in specs)
+    return arrivals[len(arrivals) // 2]
+
+
+class TestFaultInjector:
+    def test_add_chains(self):
+        injector = FaultInjector().add(shard=1, at=50).add(shard=0, at=10)
+        assert injector.plans == [
+            FaultPlan(shard=1, at=50),
+            FaultPlan(shard=0, at=10),
+        ]
+        assert injector.pending == 2
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ClusterError):
+            FaultInjector().add(shard=0, at=-1)
+
+    def test_fires_once(self):
+        specs = workload(n_jobs=40)
+        injector = FaultInjector().add(shard=0, at=mid_stream_time(specs))
+        run(specs, mode="inprocess", injector=injector)
+        assert len(injector.events) == 1
+        assert injector.pending == 0
+
+
+class TestRecoveryPin:
+    @pytest.mark.parametrize("mode", ["inprocess", "process"])
+    def test_fault_free_equality(self, mode):
+        """THE pin: kill + checkpoint/replay recovery loses nothing."""
+        specs = workload()
+        at = mid_stream_time(specs)
+        clean = run(specs, mode=mode)
+        injector = FaultInjector().add(shard=1, at=at)
+        faulted = run(specs, mode=mode, injector=injector)
+
+        assert len(injector.events) == 1
+        event = injector.events[0]
+        assert event.shard == 1
+        assert event.time >= at
+        assert faulted.records == clean.records  # zero admitted jobs lost
+        assert faulted.total_profit == clean.total_profit
+        assert faulted.recoveries == injector.events
+        assert event.wall_seconds >= 0.0
+
+    def test_recovery_replays_log_tail(self):
+        specs = workload()
+        injector = FaultInjector().add(shard=1, at=mid_stream_time(specs))
+        run(specs, mode="inprocess", injector=injector)
+        event = injector.events[0]
+        # checkpoint predates the fault; replay covers the gap
+        assert event.checkpoint_time <= event.time
+        assert event.replayed >= 0
+
+    def test_multiple_faults_different_shards(self):
+        specs = workload()
+        at = mid_stream_time(specs)
+        clean = run(specs, mode="inprocess")
+        injector = FaultInjector().add(shard=0, at=at).add(shard=2, at=at + 20)
+        faulted = run(specs, mode="inprocess", injector=injector)
+        assert len(injector.events) == 2
+        assert faulted.records == clean.records
+        assert faulted.total_profit == clean.total_profit
+
+    def test_fault_with_migration(self):
+        """Checkpoints are refreshed after migration ticks, so replay
+        never resurrects a job that was migrated away."""
+
+        class HotSpot(Router):
+            name = "hotspot"
+            needs_stats = False
+
+            def route(self, spec, stats):
+                return 0
+
+        specs = workload()
+        at = mid_stream_time(specs)
+        cfg = ShardConfig(
+            m=1,
+            scheduler="sns",
+            scheduler_kwargs={"epsilon": 1.0},
+            capacity=8,
+            max_in_flight=8,
+        )
+
+        def migrated_run(injector):
+            cluster = ClusterService(
+                16,
+                4,
+                config=cfg,
+                router=HotSpot(),
+                mode="inprocess",
+                migration=QueueBalancer(),
+                migrate_every=2,
+                fault_injector=injector,
+                checkpoint_every=64 if injector else None,
+            )
+            return cluster.run_stream(specs)
+
+        clean = migrated_run(None)
+        injector = FaultInjector().add(shard=0, at=at)
+        faulted = migrated_run(injector)
+        assert len(injector.events) == 1
+        assert faulted.records == clean.records
+        assert faulted.total_profit == clean.total_profit
+
+    def test_dead_shard_rejects_submissions(self):
+        cluster = ClusterService(8, 2, config=CFG, mode="inprocess")
+        cluster.start()
+        cluster.kill_shard(0)
+        assert not cluster.shards[0].alive
+        with pytest.raises(ClusterError):
+            cluster.shards[0].submit(workload(n_jobs=1)[0], t=0)
+        cluster.recover_shard(0, t=0)
+        assert cluster.shards[0].alive
+        cluster.finish()
+
+    def test_process_mode_kill_terminates_worker(self):
+        cluster = ClusterService(8, 2, config=CFG, mode="process")
+        cluster.start()
+        proc = cluster.shards[0]._process
+        assert proc.is_alive()
+        cluster.kill_shard(0)
+        assert not proc.is_alive()
+        cluster.recover_shard(0, t=0)
+        assert cluster.shards[0].alive
+        cluster.finish()

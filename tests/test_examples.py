@@ -64,3 +64,9 @@ class TestExamples:
         assert "Workload" in out
         assert "Comparison" in out
         assert "Speed needed" in out
+
+    def test_sharded_cluster(self):
+        out = run_example("sharded_cluster.py")
+        assert "Routers vs single service" in out
+        assert "migration=on" in out
+        assert "bit-identical to fault-free run: True" in out

@@ -14,7 +14,7 @@ def results():
 
 class TestAllExperiments:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 16)}
 
     def test_unknown_key(self):
         with pytest.raises(KeyError):
@@ -99,3 +99,12 @@ class TestShapes:
     def test_e11_reports_throughput(self, results):
         for row in results["E11"].rows:
             assert row[5] > 0  # steps/s
+
+    def test_e15_covers_single_and_all_routers(self, results):
+        from repro.cluster.router import ROUTERS
+
+        rows = results["E15"].rows
+        assert [row[0] for row in rows] == ["single"] + sorted(ROUTERS)
+        for row in rows:
+            assert row[2] > 0  # completed
+            assert row[4] > 0  # profit

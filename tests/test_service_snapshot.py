@@ -96,6 +96,56 @@ class TestEngineSnapshot:
         assert restored.records == baseline.records
         assert restored.total_profit == baseline.total_profit
 
+    @pytest.mark.parametrize("name", ["sns", "edf", "fifo"])
+    def test_mid_gap_checkpoint_is_bit_identical(self, name):
+        """Snapshot at a time that is *not* an event time (the event-
+        driven engine skips over it), restore through JSON, and finish
+        bit-identically -- counters included -- against a baseline that
+        advances at exactly the same times."""
+        specs = sorted(
+            generate_workload(WorkloadConfig(n_jobs=40, m=4, load=2.5, seed=9)),
+            key=lambda s: (s.arrival, s.job_id),
+        )
+        # pick a checkpoint time between events: not an arrival, not a
+        # deadline, inside the stream
+        events = {s.arrival for s in specs} | {
+            s.deadline for s in specs if s.deadline is not None
+        }
+        mid = sorted(s.arrival for s in specs)[len(specs) // 2]
+        checkpoint_t = mid + 1
+        while checkpoint_t in events:
+            checkpoint_t += 1
+
+        def stream(with_checkpoint):
+            sim = Simulator(m=4, scheduler=FACTORIES[name]())
+            sim.start()
+            i = 0
+            while i < len(specs) and specs[i].arrival < checkpoint_t:
+                sim.submit(specs[i], t=specs[i].arrival)
+                i += 1
+            sim.advance_to(checkpoint_t)
+            if with_checkpoint:
+                blob = json.dumps(
+                    {
+                        "engine": sim.snapshot_state(),
+                        "sched": sim.scheduler.snapshot_state(),
+                    }
+                )
+                sim = Simulator(m=4, scheduler=FACTORIES[name]())
+                data = json.loads(blob)
+                views = sim.restore_state(data["engine"])
+                sim.scheduler.restore_state(data["sched"], views)
+            for spec in specs[i:]:
+                sim.submit(spec, t=spec.arrival)
+            return sim.finish()
+
+        baseline = stream(with_checkpoint=False)
+        restored = stream(with_checkpoint=True)
+        assert restored.records == baseline.records
+        assert restored.total_profit == baseline.total_profit
+        assert restored.end_time == baseline.end_time
+        assert restored.counters == baseline.counters
+
     def test_restore_rejects_config_mismatch(self):
         sim = Simulator(m=4, scheduler=FIFOScheduler())
         sim.start()

@@ -68,6 +68,95 @@ class TestMetrics:
         assert fresh.values() == reg.values()
 
 
+class TestCrashSafeExport:
+    def test_export_is_atomic_on_failure(self, tmp_path, monkeypatch):
+        """An export interrupted mid-write leaves the previous complete
+        file intact and no temp file behind."""
+        import os
+
+        from repro.service import telemetry
+
+        path = tmp_path / "m.jsonl"
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.sample(1)
+        reg.write_jsonl(str(path))
+        good = path.read_text()
+
+        reg.sample(2)
+        # make to_jsonl blow up after write_jsonl opened the temp file
+        monkeypatch.setattr(
+            MetricsRegistry,
+            "to_jsonl",
+            lambda self: (_ for _ in ()).throw(OSError("disk gone")),
+        )
+        with pytest.raises(OSError):
+            reg.write_jsonl(str(path))
+        assert path.read_text() == good  # old export untouched
+        leftovers = [p for p in os.listdir(tmp_path) if ".tmp." in p]
+        assert leftovers == []
+
+    def test_export_replaces_whole_file(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        path.write_text('{"stale": true}\n' * 100)
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        reg.sample(7)
+        reg.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == {"t": 7, "n": 2.0}
+
+
+class TestMergeRegistries:
+    def _shardlike(self, completed, utilization):
+        reg = MetricsRegistry()
+        reg.counter("completed_total").inc(completed)
+        reg.gauge("utilization").set(utilization)
+        return reg
+
+    def test_counters_sum_and_mean_gauges_average(self):
+        from repro.service.telemetry import merge_registries
+
+        merged = merge_registries(
+            [self._shardlike(3, 0.5), self._shardlike(4, 1.0)]
+        )
+        values = merged.values()
+        assert values["completed_total"] == 7.0
+        assert values["utilization"] == pytest.approx(0.75)
+
+    def test_plain_gauges_sum(self):
+        from repro.service.telemetry import merge_registries
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("queue_depth").set(3)
+        b.gauge("queue_depth").set(5)
+        assert merge_registries([a, b]).values()["queue_depth"] == 8.0
+
+    def test_inputs_not_modified(self):
+        from repro.service.telemetry import merge_registries
+
+        a = self._shardlike(3, 0.5)
+        before = a.values()
+        merge_registries([a, self._shardlike(4, 1.0)])
+        assert a.values() == before
+
+    def test_single_registry_passthrough(self):
+        from repro.service.telemetry import merge_registries
+
+        merged = merge_registries([self._shardlike(3, 0.5)])
+        assert merged.values() == {
+            "completed_total": 3.0,
+            "utilization": 0.5,
+        }
+
+    def test_merge_from_accumulates(self):
+        target = MetricsRegistry()
+        target.merge_from(self._shardlike(1, 0.2))
+        target.merge_from(self._shardlike(2, 0.4))
+        assert target.values()["completed_total"] == 3.0
+
+
 class TestServiceTelemetry:
     def test_overload_run_populates_metrics(self):
         specs = generate_workload(
