@@ -23,6 +23,12 @@ scheduler cost grows with the active set each shard holds), migration
 on/off under a deliberately skewed router, and the wall-clock cost of
 a kill-and-recover cycle with its fault-free-equality check.
 
+A third snapshot, ``BENCH_resilience.json``, covers the supervised
+cluster (:mod:`repro.resilience`): hang detection and restart latency
+under heartbeat supervision, bit-identity of a seeded chaos schedule
+against the fault-free run, and the fraction of profit retained when
+1 of 4 shards degrades out early (gated at >= 70% under ``--check``).
+
 Timing methodology: each timed subject runs ``repeats`` times with the
 competing subjects interleaved round-robin (so machine-load drift hits
 all subjects equally) and garbage collection frozen around each run;
@@ -376,6 +382,143 @@ def bench_cluster_recovery(quick: bool) -> dict:
     }
 
 
+def bench_resilience_detection(quick: bool) -> dict:
+    """Hang detection + restart latency under heartbeat supervision."""
+    from repro.resilience import (
+        ResilientClusterService,
+        RpcPolicy,
+        SupervisorConfig,
+    )
+
+    n_jobs = 150 if quick else 600
+    m = 8
+    heartbeat_timeout = 0.3
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=2.5, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+    specs.sort(key=lambda s: (s.arrival, s.job_id))
+    fault_at = specs[len(specs) // 2].arrival
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    cluster = ResilientClusterService(
+        m,
+        2,
+        config=config,
+        mode="process",
+        supervisor=SupervisorConfig(
+            heartbeat_timeout=heartbeat_timeout,
+            heartbeat_every=1,
+            max_restarts=8,
+            backoff_base=0.001,
+            backoff_max=0.01,
+        ),
+        rpc=RpcPolicy(call_timeout=1.0, retries=0),
+    )
+    cluster.start()
+    injected = False
+    for spec in specs:
+        if spec.arrival >= fault_at and not injected:
+            cluster.inject_hang(0, 2.0)
+            injected = True
+        cluster.submit(spec, t=spec.arrival)
+    cluster.finish()
+    event = next(e for e in cluster.supervisor.events if e.reason == "hang")
+    return {
+        "n_jobs": n_jobs,
+        "m": m,
+        "shards": 2,
+        "heartbeat_timeout": heartbeat_timeout,
+        "detection_seconds": event.detection_seconds,
+        "restart_seconds": event.restart_seconds,
+        # one rpc call_timeout of slack: a synchronous fence may eat
+        # its deadline before the heartbeat gets its turn
+        "within_deadline": event.detection_seconds <= heartbeat_timeout + 1.0,
+    }
+
+
+def bench_resilience_chaos(quick: bool) -> dict:
+    """Seeded crash schedule: bit-identity with the fault-free run."""
+    from repro.resilience import ChaosSchedule, run_chaos
+
+    n_jobs = 150 if quick else 600
+    m = 8
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=2.5, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+    horizon = max(s.arrival for s in specs)
+    schedule = ChaosSchedule.generate(
+        7, k=2, horizon=horizon, n_events=3, kinds=("crash", "pipe-drop")
+    )
+    report = run_chaos(specs, m=m, k=2, schedule=schedule, mode="inprocess")
+    return {
+        "n_jobs": n_jobs,
+        "schedule": report.schedule,
+        "recoveries": report.recoveries,
+        "identical": report.ok,
+    }
+
+
+def bench_resilience_degraded(quick: bool) -> dict:
+    """Throughput retained when 1 of 4 shards degrades out early."""
+    from repro.resilience import ResilientClusterService, SupervisorConfig
+
+    n_jobs = 300 if quick else 2000
+    m = 16
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=2.5, family="mixed", epsilon=1.0, seed=7
+        )
+    )
+    specs.sort(key=lambda s: (s.arrival, s.job_id))
+    # kill early: the degraded cluster serves most of the stream on 3/4
+    # of its machines, the worst case for retention
+    fault_at = specs[len(specs) // 10].arrival
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    def run(inject: bool):
+        cluster = ResilientClusterService(
+            m,
+            4,
+            config=config,
+            mode="inprocess",
+            supervisor=SupervisorConfig(
+                heartbeat_every=1, max_restarts=0, on_exhausted="degrade"
+            ),
+        )
+        cluster.start()
+        injected = False
+        for spec in specs:
+            if inject and spec.arrival >= fault_at and not injected:
+                cluster.inject_crash(1)
+                injected = True
+            cluster.submit(spec, t=spec.arrival)
+        return cluster.finish()
+
+    clean = run(False)
+    degraded = run(True)
+    retained = (
+        degraded.total_profit / clean.total_profit
+        if clean.total_profit > 0
+        else 1.0
+    )
+    return {
+        "n_jobs": n_jobs,
+        "m": m,
+        "shards": 4,
+        "fault_at": fault_at,
+        "clean_profit": clean.total_profit,
+        "degraded_profit": degraded.total_profit,
+        "throughput_retained": retained,
+        "degraded_shards": degraded.extra.get("degraded_shards", []),
+        # losing 1 of 4 shards early must keep >= 70% of the profit
+        "retained_ok": retained >= 0.7,
+    }
+
+
 def main(argv=None) -> int:
     """Run every section and write the JSON snapshot."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -410,6 +553,16 @@ def main(argv=None) -> int:
         "--skip-cluster",
         action="store_true",
         help="skip the repro.cluster sections (and BENCH_cluster.json)",
+    )
+    parser.add_argument(
+        "--resilience-output",
+        default=str(Path(__file__).resolve().parent / "BENCH_resilience.json"),
+        help="where to write the resilience JSON snapshot",
+    )
+    parser.add_argument(
+        "--skip-resilience",
+        action="store_true",
+        help="skip the repro.resilience sections (and BENCH_resilience.json)",
     )
     args = parser.parse_args(argv)
 
@@ -484,6 +637,33 @@ def main(argv=None) -> int:
         # are too small for the sharding win to clear the IPC floor
         if not args.quick:
             ok = ok and at4["speedup_vs_1"] > 1.5
+
+    if not args.skip_resilience:
+        resilience_snapshot = {
+            "meta": snapshot["meta"],
+            "detection": bench_resilience_detection(args.quick),
+            "chaos": bench_resilience_chaos(args.quick),
+            "degraded": bench_resilience_degraded(args.quick),
+        }
+        resilience_out = Path(args.resilience_output)
+        resilience_out.write_text(
+            json.dumps(resilience_snapshot, indent=2) + "\n"
+        )
+        print(f"wrote {resilience_out}")
+
+        detection = resilience_snapshot["detection"]
+        degraded = resilience_snapshot["degraded"]
+        print(
+            f"resilience: hang detected in "
+            f"{detection['detection_seconds'] * 1e3:.1f} ms, restart "
+            f"{detection['restart_seconds'] * 1e3:.1f} ms, chaos identical="
+            f"{resilience_snapshot['chaos']['identical']}, "
+            f"throughput retained at k=4 with 1 shard down: "
+            f"{degraded['throughput_retained']:.1%}"
+        )
+        ok = ok and detection["within_deadline"]
+        ok = ok and resilience_snapshot["chaos"]["identical"]
+        ok = ok and degraded["retained_ok"]
 
     if args.check and not ok:
         print("FAILED: output mismatch between timed subjects", file=sys.stderr)

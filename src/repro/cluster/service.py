@@ -174,8 +174,12 @@ class ClusterService:
             checkpoint_every = 64
         self.checkpoint_every = checkpoint_every
         self.stats_refresh = int(stats_refresh)
-        #: per-shard submission logs (the recovery source of truth)
+        #: per-shard submission logs (the recovery source of truth);
+        #: the resilient subclass swaps these for durable WALs
         self.logs: list[SubmissionLog] = [SubmissionLog() for _ in sizes]
+        #: whether submissions are logged for recovery (the resilient
+        #: subclass forces this on even without a fault injector)
+        self._log_submissions = fault_injector is not None
         #: per-shard latest checkpoint: (log index, snapshot dict)
         self.checkpoints: dict[int, tuple[int, dict[str, Any]]] = {}
         self.cluster_metrics = MetricsRegistry()
@@ -224,9 +228,11 @@ class ClusterService:
             raise ClusterError(
                 f"router returned shard {index} (k={self.k})"
             )
-        if self.fault_injector is not None:
-            self.logs[index].record(t, spec)
-        self.shards[index].submit(spec, t)
+        key = None
+        if self._log_submissions:
+            entry_index = self.logs[index].record(t, spec)
+            key = self._submit_key(index, entry_index)
+        self._deliver(index, spec, t, key=key)
         self.cluster_metrics.counter("routed_total").inc()
         self.cluster_metrics.counter(f"routed_shard_{index}").inc()
         self._submits_since_stats += 1
@@ -248,6 +254,26 @@ class ClusterService:
                 shard.advance_to(t)
         self._stats_cache = None
         return self._now
+
+    def _submit_key(self, index: int, entry_index: int) -> str:
+        """Idempotency key for log entry ``entry_index`` on one shard.
+
+        Derived from the log position alone, so a recovery replay sends
+        the *same* key the original delivery did -- the shard dedupes
+        and each job is admitted exactly once however many times it is
+        sent.
+        """
+        return f"s{index}e{entry_index}"
+
+    def _deliver(self, index: int, spec: JobSpec, t: int, key=None) -> None:
+        """Hand one (already logged) submission to its shard.
+
+        Runs *after* the log append, so a delivery failure loses
+        nothing: recovery replays the logged entry under the same key.
+        The resilient subclass overrides this to catch shard failures
+        and trigger supervised recovery.
+        """
+        self.shards[index].submit(spec, t, key=key)
 
     def finish(self) -> ClusterResult:
         """Drain every shard and return the merged cluster result."""
@@ -283,12 +309,25 @@ class ClusterService:
         position (async submissions are fenced by the snapshot call)."""
         for shard in self.shards:
             if shard.alive:
-                self.checkpoints[shard.index] = (
+                self._save_checkpoint(
+                    shard.index,
                     len(self.logs[shard.index]),
                     shard.snapshot(),
                 )
         self._last_checkpoint_t = self._now
         self.cluster_metrics.counter("checkpoints_total").inc()
+
+    def _save_checkpoint(
+        self, index: int, log_index: int, snapshot: dict[str, Any]
+    ) -> None:
+        """Store one shard checkpoint (in memory here; the resilient
+        subclass persists it through a digest-verified store)."""
+        self.checkpoints[index] = (log_index, snapshot)
+
+    def _load_checkpoint(self, index: int) -> tuple[int, Optional[dict[str, Any]]]:
+        """Latest usable checkpoint for one shard; ``(0, None)`` means
+        restart empty and replay the whole log."""
+        return self.checkpoints.get(index, (0, None))
 
     def kill_shard(self, index: int) -> None:
         """Crash one shard: live engine/queue/scheduler state is lost."""
@@ -300,13 +339,13 @@ class ClusterService:
         """Restore a killed shard from its latest checkpoint and replay
         the submission-log tail; returns the recovery report."""
         started = time.perf_counter()
-        log_index, snapshot = self.checkpoints.get(index, (0, None))
+        log_index, snapshot = self._load_checkpoint(index)
         checkpoint_time = 0 if snapshot is None else int(snapshot["engine"]["t"])
         shard = self.shards[index]
         shard.restore(snapshot)
         tail = self.logs[index].entries[log_index:]
-        for entry_t, spec in tail:
-            shard.submit(spec, entry_t)
+        for offset, (entry_t, spec) in enumerate(tail, start=log_index):
+            shard.submit(spec, entry_t, key=self._submit_key(index, offset))
         self._stats_cache = None
         self.cluster_metrics.counter("recoveries_total").inc()
         event = RecoveryEvent(
@@ -351,9 +390,11 @@ class ClusterService:
         moved = 0
         for move in self.migration.plan(stats):
             for spec in self.shards[move.src].take_queued(move.n):
-                if self.fault_injector is not None:
-                    self.logs[move.dst].record(t, spec)
-                self.shards[move.dst].submit(spec, t)
+                key = None
+                if self._log_submissions:
+                    entry_index = self.logs[move.dst].record(t, spec)
+                    key = self._submit_key(move.dst, entry_index)
+                self._deliver(move.dst, spec, t, key=key)
                 moved += 1
         if moved:
             self.cluster_metrics.counter("migrations_total").inc(moved)

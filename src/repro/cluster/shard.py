@@ -25,17 +25,35 @@ Both handles share the kill/restore contract the fault harness uses:
 :meth:`kill` abandons the shard's state outright (simulating a crash),
 and :meth:`restore` rebuilds it from a service snapshot (or from
 scratch), after which the cluster replays the submission-log tail.
+
+The resilience layer (:mod:`repro.resilience`) adds three disciplines
+on top of the same protocol:
+
+* **idempotency keys** -- ``submit`` accepts an optional key; a shard
+  skips keys it has already applied, so replayed or re-sent batches
+  never double-admit (exactly-once admission over at-least-once
+  delivery);
+* **at-most-once sync RPC** -- with an
+  :class:`~repro.resilience.rpc.RpcPolicy` attached, synchronous calls
+  are sequence-tagged, bounded by per-call deadlines, and retried with
+  backoff; the worker caches its last reply per sequence number so a
+  retry of an executed call returns the cache instead of re-executing;
+* **liveness probes** -- :meth:`ShardHandle.ping` round-trips a
+  heartbeat under a deadline, distinguishing *crash* (process dead,
+  pipe broken -- :class:`~repro.errors.ShardFailedError`) from *hang*
+  (no reply in time -- :class:`~repro.errors.ShardTimeoutError`).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Any, Optional
 
 from repro.cluster.config import ShardConfig
 from repro.cluster.router import ShardStats
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ShardFailedError, ShardTimeoutError
 from repro.service.service import SchedulingService, ServiceResult, ShedRecord
 from repro.service.snapshot import service_from_dict, service_to_dict
 from repro.service.telemetry import MetricsRegistry
@@ -79,12 +97,33 @@ class ShardHandle:
         raise NotImplementedError
 
     # -- streaming ------------------------------------------------------
-    def submit(self, spec: JobSpec, t: int) -> None:
-        """Submit one job at simulated time ``t`` (may be asynchronous)."""
+    def submit(self, spec: JobSpec, t: int, key: Optional[str] = None) -> None:
+        """Submit one job at simulated time ``t`` (may be asynchronous).
+
+        ``key`` is an optional idempotency key: a submission whose key
+        the shard has already applied is silently skipped, so replays
+        and re-sent batches admit each job exactly once.
+        """
         raise NotImplementedError
 
     def advance_to(self, t: int) -> None:
         """Advance the shard clock to at least ``t`` (may be async)."""
+        raise NotImplementedError
+
+    # -- liveness -------------------------------------------------------
+    def ping(self, timeout: float) -> float:
+        """Heartbeat probe: returns the observed latency in seconds.
+
+        Raises :class:`~repro.errors.ShardFailedError` when the shard
+        is dead (crash) and :class:`~repro.errors.ShardTimeoutError`
+        when it does not answer within ``timeout`` (hang).
+        """
+        raise NotImplementedError
+
+    def drop_pipe(self) -> None:
+        """Sever the shard's command channel without a clean shutdown
+        (chaos injection: in-flight commands are lost; the failure is
+        only observed at the next use or heartbeat)."""
         raise NotImplementedError
 
     # -- synchronous fences ---------------------------------------------
@@ -106,7 +145,9 @@ class ShardHandle:
 
     def _require_alive(self) -> None:
         if not self.alive:
-            raise ClusterError(f"shard {self.index} is not alive")
+            raise ShardFailedError(
+                f"shard {self.index} is not alive", shard=self.index
+            )
 
 
 class InProcessShard(ShardHandle):
@@ -115,17 +156,28 @@ class InProcessShard(ShardHandle):
     def __init__(self, index: int, config: ShardConfig) -> None:
         super().__init__(index, config)
         self.service: Optional[SchedulingService] = None
+        self._seen_keys: set[str] = set()
+        #: chaos flags -- an in-process shard cannot *really* hang the
+        #: caller, so the harness marks it hung/slow and the liveness
+        #: probe reports accordingly (see repro.resilience.chaos)
+        self.chaos_hung = False
+        self.chaos_latency = 0.0
 
     def start(self) -> None:
         """Build and start a fresh service from the config."""
         self.service = self.config.build_service()
         self.service.start()
         self.alive = True
+        self._seen_keys = set()
+        self.chaos_hung = False
+        self.chaos_latency = 0.0
 
     def kill(self) -> None:
         """Drop the service object on the floor (simulated crash)."""
         self.service = None
         self.alive = False
+        self.chaos_hung = False
+        self.chaos_latency = 0.0
 
     def restore(self, snapshot: Optional[dict[str, Any]]) -> None:
         """Rebuild from a snapshot, or start empty when ``None``."""
@@ -136,17 +188,48 @@ class InProcessShard(ShardHandle):
             snapshot, self.config.build_scheduler()
         )
         self.alive = True
+        self._seen_keys = set()
+        self.chaos_hung = False
+        self.chaos_latency = 0.0
 
-    def submit(self, spec: JobSpec, t: int) -> None:
+    def submit(self, spec: JobSpec, t: int, key: Optional[str] = None) -> None:
         """Feed the job straight into the service."""
         self._require_alive()
+        if self.chaos_hung:
+            raise ShardTimeoutError(
+                f"shard {self.index} did not accept the submission in time",
+                shard=self.index,
+            )
+        if key is not None:
+            if key in self._seen_keys:
+                return
+            self._seen_keys.add(key)
         self.service.submit(spec, t=max(t, self.service.now))
 
     def advance_to(self, t: int) -> None:
         """Advance the service clock (no-op when already past ``t``)."""
         self._require_alive()
+        if self.chaos_hung:
+            raise ShardTimeoutError(
+                f"shard {self.index} did not advance in time", shard=self.index
+            )
         if t > self.service.now:
             self.service.advance_to(t)
+
+    def ping(self, timeout: float) -> float:
+        """Simulated heartbeat: dead raises crash, hung raises timeout."""
+        self._require_alive()
+        if self.chaos_hung:
+            raise ShardTimeoutError(
+                f"shard {self.index} missed its heartbeat "
+                f"(deadline {timeout}s)",
+                shard=self.index,
+            )
+        return self.chaos_latency
+
+    def drop_pipe(self) -> None:
+        """No pipe in-process: equivalent to losing the live state."""
+        self.kill()
 
     def stats(self) -> ShardStats:
         """Exact live stats."""
@@ -235,24 +318,59 @@ def _shard_worker(conn, config: ShardConfig) -> None:
     """Worker-process main loop: apply piped commands to one service.
 
     The first command must be ``("start",)`` or ``("restore", data)``.
-    Submissions and advances are applied without replying; ``stats`` /
-    ``take`` / ``snapshot`` reply ``("ok", payload)`` and ``finish``
-    replies then ends the loop.  Any exception is reported as
-    ``("err", message)`` and kills the worker.
+    Submissions, advances and chaos sleeps are applied without
+    replying; synchronous commands arrive wrapped as
+    ``("call", seq, inner)`` and reply ``("ok", seq, payload)`` /
+    ``("err", seq, message)``.  The worker caches its last reply, so a
+    duplicate ``call`` (a parent retry after a timeout) is answered
+    from cache instead of executing twice -- at-most-once execution
+    over at-least-once delivery.  Submissions carrying an idempotency
+    key are applied at most once per key.  ``finish`` replies then ends
+    the loop.  Any exception is reported and kills the worker.
     """
     os.environ[SHARD_ENV_FLAG] = "1"
     service: Optional[SchedulingService] = None
+    seen_keys: set[str] = set()
 
     def apply_async(command: tuple) -> None:
         op = command[0]
         if op == "submit":
+            key = command[3] if len(command) > 3 else None
+            if key is not None:
+                if key in seen_keys:
+                    return
+                seen_keys.add(key)
             service.submit(command[1], t=max(command[2], service.now))
         elif op == "advance":
             if command[1] > service.now:
                 service.advance_to(command[1])
+        elif op == "sleep":  # chaos: stall the worker (hang / slow RPC)
+            time.sleep(command[1])
         else:
             raise ClusterError(f"command {op!r} not allowed in a batch")
 
+    def apply_sync(command: tuple) -> Any:
+        op = command[0]
+        if op == "stats":
+            return {
+                "now": service.now,
+                "queue_depth": service.queue.depth,
+                "in_flight": service.in_flight,
+                "completed": service.sim.counters.completions,
+            }
+        if op == "take":
+            taken = service.queue.take_newest(command[1])
+            return [entry.spec for entry in taken]
+        if op == "snapshot":
+            return service_to_dict(service)
+        if op == "ping":
+            return {"now": service.now if service is not None else -1}
+        if op == "finish":
+            return _result_to_payload(service.finish())
+        raise ClusterError(f"unknown shard command {op!r}")
+
+    last_seq = -1
+    last_reply: Optional[tuple] = None
     try:
         while True:
             command = conn.recv()
@@ -260,35 +378,27 @@ def _shard_worker(conn, config: ShardConfig) -> None:
             if op == "start":
                 service = config.build_service()
                 service.start()
+                seen_keys = set()
             elif op == "restore":
                 service = service_from_dict(
                     command[1], config.build_scheduler()
                 )
-            elif op in ("submit", "advance"):
+                seen_keys = set()
+            elif op in ("submit", "advance", "sleep"):
                 apply_async(command)
             elif op == "batch":
                 for sub in command[1]:
                     apply_async(sub)
-            elif op == "stats":
-                conn.send(
-                    (
-                        "ok",
-                        {
-                            "now": service.now,
-                            "queue_depth": service.queue.depth,
-                            "in_flight": service.in_flight,
-                            "completed": service.sim.counters.completions,
-                        },
-                    )
-                )
-            elif op == "take":
-                taken = service.queue.take_newest(command[1])
-                conn.send(("ok", [entry.spec for entry in taken]))
-            elif op == "snapshot":
-                conn.send(("ok", service_to_dict(service)))
-            elif op == "finish":
-                conn.send(("ok", _result_to_payload(service.finish())))
-                return
+            elif op == "call":
+                seq, inner = command[1], command[2]
+                if seq == last_seq and last_reply is not None:
+                    conn.send(last_reply)
+                    continue
+                last_reply = ("ok", seq, apply_sync(inner))
+                last_seq = seq
+                conn.send(last_reply)
+                if inner[0] == "finish":
+                    return
             elif op == "stop":
                 return
             else:
@@ -297,7 +407,7 @@ def _shard_worker(conn, config: ShardConfig) -> None:
         return
     except BaseException as exc:  # report, then die
         try:
-            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+            conn.send(("err", None, f"{type(exc).__name__}: {exc}"))
         except (BrokenPipeError, OSError):
             pass
     finally:
@@ -314,13 +424,23 @@ def _mp_context():
 
 
 class ProcessShard(ShardHandle):
-    """Shard whose service runs in a dedicated worker process."""
+    """Shard whose service runs in a dedicated worker process.
+
+    With ``rpc`` left at ``None`` (the default) synchronous calls block
+    forever -- PR 3's deterministic behaviour.  The resilient cluster
+    attaches an :class:`~repro.resilience.rpc.RpcPolicy`, which bounds
+    every call with a deadline and retries timed-out calls; sequence
+    tags plus the worker's reply cache keep retried calls at-most-once.
+    """
 
     def __init__(self, index: int, config: ShardConfig) -> None:
         super().__init__(index, config)
         self._process = None
         self._conn = None
         self._buffer: list[tuple] = []
+        #: deadline/retry policy; ``None`` = legacy blocking RPC
+        self.rpc = None
+        self._seq = 0
 
     # -- plumbing -------------------------------------------------------
     def _spawn(self, first_command: tuple) -> None:
@@ -351,7 +471,9 @@ class ProcessShard(ShardHandle):
                 self._conn.send(("batch", batch))
         except (BrokenPipeError, OSError) as exc:
             self.alive = False
-            raise ClusterError(f"shard {self.index} worker died") from exc
+            raise ShardFailedError(
+                f"shard {self.index} worker died", shard=self.index
+            ) from exc
 
     def _enqueue(self, command: tuple) -> None:
         """Buffer an async command, flushing at :data:`BATCH_SIZE`."""
@@ -360,22 +482,64 @@ class ProcessShard(ShardHandle):
         if len(self._buffer) >= BATCH_SIZE:
             self._flush()
 
-    def _call(self, command: tuple) -> Any:
-        """Flush, send a synchronous command, and return its payload."""
+    def _recv_reply(self, seq: int, timeout: Optional[float]) -> Any:
+        """Wait for the reply tagged ``seq``, skipping stale replies.
+
+        A reply with a lower sequence number is a late answer to a call
+        that already timed out (and whose retry was answered from the
+        worker's cache) -- discarding it keeps the pipe synchronized.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._conn.poll(remaining):
+                    raise ShardTimeoutError(
+                        f"shard {self.index} did not reply within "
+                        f"{timeout}s",
+                        shard=self.index,
+                    )
+            status, rseq, payload = self._conn.recv()
+            if rseq is not None and rseq < seq:
+                continue  # stale reply from a timed-out attempt
+            if status != "ok":
+                self.alive = False
+                raise ShardFailedError(
+                    f"shard {self.index} failed: {payload}", shard=self.index
+                )
+            return payload
+
+    def _call(self, command: tuple, *, timeout: Optional[float] = None) -> Any:
+        """Flush, send a synchronous command, and return its payload.
+
+        ``timeout`` overrides the policy's ``call_timeout`` (the finish
+        drain passes ``finish_timeout``).  Without a policy the call
+        blocks until the worker answers.
+        """
         self._require_alive()
         self._flush()
-        try:
-            self._conn.send(command)
-            status, payload = self._conn.recv()
-        except (EOFError, BrokenPipeError, OSError) as exc:
-            self.alive = False
-            raise ClusterError(
-                f"shard {self.index} worker died mid-command"
-            ) from exc
-        if status != "ok":
-            self.alive = False
-            raise ClusterError(f"shard {self.index} failed: {payload}")
-        return payload
+        self._seq += 1
+        seq = self._seq
+        wrapped = ("call", seq, command)
+        if timeout is None and self.rpc is not None:
+            timeout = self.rpc.call_timeout
+        attempts = 1 + (self.rpc.retries if self.rpc is not None else 0)
+        last_timeout: Optional[ShardTimeoutError] = None
+        for attempt in range(attempts):
+            if attempt > 0:
+                time.sleep(self.rpc.backoff(attempt - 1))
+            try:
+                self._conn.send(wrapped)
+                return self._recv_reply(seq, timeout)
+            except ShardTimeoutError as exc:
+                last_timeout = exc
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                self.alive = False
+                raise ShardFailedError(
+                    f"shard {self.index} worker died mid-command",
+                    shard=self.index,
+                ) from exc
+        raise last_timeout
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -394,7 +558,10 @@ class ProcessShard(ShardHandle):
             self._process.terminate()
             self._process.join(timeout=5)
         if self._conn is not None:
-            self._conn.close()
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already severed
+                pass
         self._process = None
         self._conn = None
         self.alive = False
@@ -407,13 +574,64 @@ class ProcessShard(ShardHandle):
             self._spawn(("restore", snapshot))
 
     # -- streaming (fire and forget, batched) ----------------------------
-    def submit(self, spec: JobSpec, t: int) -> None:
+    def submit(self, spec: JobSpec, t: int, key: Optional[str] = None) -> None:
         """Buffer one submission for the worker; no reply awaited."""
-        self._enqueue(("submit", spec, t))
+        self._enqueue(("submit", spec, t, key))
 
     def advance_to(self, t: int) -> None:
         """Buffer a clock advance for the worker; no reply awaited."""
         self._enqueue(("advance", t))
+
+    # -- liveness / chaos -----------------------------------------------
+    def ping(self, timeout: float) -> float:
+        """Round-trip a heartbeat under ``timeout``; returns latency.
+
+        A dead worker process raises
+        :class:`~repro.errors.ShardFailedError` immediately; a live one
+        that fails to reply in time (hung, or drowning in backlog)
+        raises :class:`~repro.errors.ShardTimeoutError`.  The probe is
+        single-shot -- no retries -- so detection latency is bounded by
+        the deadline itself.
+        """
+        self._require_alive()
+        if self._process is not None and not self._process.is_alive():
+            self.alive = False
+            raise ShardFailedError(
+                f"shard {self.index} worker process is dead",
+                shard=self.index,
+            )
+        started = time.monotonic()
+        self._flush()
+        self._seq += 1
+        seq = self._seq
+        try:
+            self._conn.send(("call", seq, ("ping",)))
+            self._recv_reply(seq, timeout)
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            self.alive = False
+            raise ShardFailedError(
+                f"shard {self.index} worker died mid-heartbeat",
+                shard=self.index,
+            ) from exc
+        return time.monotonic() - started
+
+    def hang(self, seconds: float) -> None:
+        """Chaos: make the worker sleep, stalling its command stream."""
+        self._enqueue(("sleep", seconds))
+        self._flush()
+
+    def drop_pipe(self) -> None:
+        """Chaos: close the parent end of the command pipe.
+
+        The worker exits on EOF; the parent only notices at its next
+        send or heartbeat, which models an abrupt network partition.
+        """
+        self._buffer.clear()
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:  # pragma: no cover - already severed
+                pass
 
     # -- synchronous fences ---------------------------------------------
     def stats(self) -> ShardStats:
@@ -439,7 +657,8 @@ class ProcessShard(ShardHandle):
 
     def finish(self) -> ServiceResult:
         """Drain the worker's service and reap the process."""
-        payload = self._call(("finish",))
+        timeout = self.rpc.finish_timeout if self.rpc is not None else None
+        payload = self._call(("finish",), timeout=timeout)
         result = _result_from_payload(payload)
         self._process.join(timeout=10)
         self._conn.close()

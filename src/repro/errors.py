@@ -27,6 +27,77 @@ class ClusterError(ReproError):
     """A cluster operation failed (dead shard, bad router, protocol)."""
 
 
+class ShardFailedError(ClusterError):
+    """A shard RPC failed fail-stop (dead worker, broken pipe).
+
+    Attributes
+    ----------
+    shard:
+        Index of the failing shard, or ``None`` when unknown.
+    reason:
+        Failure class the supervisor keys its handling on:
+        ``"crash"`` (process dead / pipe broken) or ``"hang"``
+        (no reply within the deadline; see :class:`ShardTimeoutError`).
+    """
+
+    def __init__(self, message: str, shard: int = None, reason: str = "crash") -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.reason = reason
+
+
+class ShardTimeoutError(ShardFailedError):
+    """A shard RPC exceeded its deadline (liveness, not fail-stop)."""
+
+    def __init__(self, message: str, shard: int = None) -> None:
+        super().__init__(message, shard=shard, reason="hang")
+
+
+class NoHealthyShardError(ClusterError):
+    """Every shard's circuit breaker is open; nothing can admit."""
+
+
+class RestartBudgetExhausted(ClusterError):
+    """A shard failed more times than the supervisor's restart budget.
+
+    Carries the structured summary ``repro-serve`` prints before
+    exiting nonzero: the shard, the last fault class, how many restarts
+    were spent, and where the last good checkpoint was.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int,
+        fault: str,
+        restarts: int,
+        last_checkpoint_time: int = 0,
+        last_checkpoint_log_index: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.fault = fault
+        self.restarts = restarts
+        self.last_checkpoint_time = last_checkpoint_time
+        self.last_checkpoint_log_index = last_checkpoint_log_index
+
+    def summary(self) -> dict:
+        """JSON-compatible structured error summary."""
+        return {
+            "error": "recovery-exhausted",
+            "shard": self.shard,
+            "fault": self.fault,
+            "restarts": self.restarts,
+            "last_checkpoint_time": self.last_checkpoint_time,
+            "last_checkpoint_log_index": self.last_checkpoint_log_index,
+        }
+
+
+class WALError(ReproError):
+    """A write-ahead log file is unusable (bad magic, wrong version)."""
+
+
 class SweepError(ReproError):
     """A sweep failed; carries the failing cell for diagnosis.
 

@@ -1,0 +1,80 @@
+"""Resilient serving: supervision, breakers, durable logs, chaos.
+
+This package hardens the sharded cluster (:mod:`repro.cluster`) for
+hostile conditions while keeping the repo's core guarantee intact --
+determinism.  Every mechanism here is engineered so that a faulted run
+*converges back to the fault-free run bit-for-bit*: submissions are
+logged before delivery, recovery replays under stable idempotency
+keys, and the chaos harness (:mod:`repro.resilience.chaos`) pins the
+equivalence for every fault class.
+
+Modules
+-------
+:mod:`~repro.resilience.wal`
+    Durable write-ahead submission log (CRC32 frames, fsync batching,
+    torn-tail truncation).
+:mod:`~repro.resilience.checkpoints`
+    Digest-verified generational checkpoint store with corruption
+    fallback.
+:mod:`~repro.resilience.rpc`
+    Deadline/retry policy for shard command pipes (at-most-once sync
+    RPC, idempotent submits).
+:mod:`~repro.resilience.supervisor`
+    Heartbeat liveness (crash *and* hang detection) with bounded,
+    jittered auto-restart.
+:mod:`~repro.resilience.breaker`
+    Per-shard circuit breakers and the routing decorator that sheds
+    traffic around open circuits.
+:mod:`~repro.resilience.cluster`
+    :class:`ResilientClusterService` -- the whole stack wired together,
+    plus the chaos-injection surface.
+:mod:`~repro.resilience.chaos`
+    Deterministic fault schedules and the identity-checking harness.
+"""
+
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerRouter,
+)
+from repro.resilience.chaos import (
+    FAULT_KINDS,
+    ChaosEvent,
+    ChaosInjector,
+    ChaosReport,
+    ChaosSchedule,
+    run_chaos,
+)
+from repro.resilience.checkpoints import CheckpointStore
+from repro.resilience.cluster import ResilientClusterService
+from repro.resilience.rpc import DEFAULT_RPC_POLICY, RpcPolicy
+from repro.resilience.supervisor import (
+    ShardSupervisor,
+    SupervisionEvent,
+    SupervisorConfig,
+)
+from repro.resilience.wal import WAL_MAGIC, WriteAheadLog, open_wal
+
+__all__ = [
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerRouter",
+    "FAULT_KINDS",
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosReport",
+    "ChaosSchedule",
+    "run_chaos",
+    "CheckpointStore",
+    "ResilientClusterService",
+    "DEFAULT_RPC_POLICY",
+    "RpcPolicy",
+    "ShardSupervisor",
+    "SupervisionEvent",
+    "SupervisorConfig",
+    "WAL_MAGIC",
+    "WriteAheadLog",
+    "open_wal",
+]

@@ -1,0 +1,394 @@
+"""The resilient cluster: supervised shards behind circuit breakers.
+
+:class:`ResilientClusterService` is :class:`~repro.cluster.service.
+ClusterService` with the full resilience stack wired through it:
+
+* every shard RPC is bounded by an :class:`~repro.resilience.rpc.
+  RpcPolicy` (deadlines, bounded retries, at-most-once execution);
+* submissions are always logged -- durably, when ``wal_dir`` is given,
+  through :class:`~repro.resilience.wal.WriteAheadLog` -- and carry
+  idempotency keys derived from their log position;
+* a :class:`~repro.resilience.supervisor.ShardSupervisor` heartbeats
+  the shards and restarts crashed or hung ones from the latest
+  checkpoint plus a keyed log-tail replay, under an exponential-backoff
+  restart budget;
+* checkpoints persist through a digest-verified
+  :class:`~repro.resilience.checkpoints.CheckpointStore` when
+  ``checkpoint_dir`` is given, with automatic fallback to the previous
+  generation on corruption;
+* routing goes through a :class:`~repro.resilience.breaker.
+  CircuitBreakerRouter` -- a shard that keeps failing is routed around,
+  and a shard whose restart budget is spent is *degraded*: forced open,
+  served around, and reported as an empty shard result rather than an
+  exception (``on_exhausted="degrade"``).
+
+The invariant everything hangs on: **the log append happens before the
+delivery**.  A delivery that fails mid-flight therefore loses nothing
+-- supervised recovery restores the shard and replays the logged tail
+under the same idempotency keys, admitting every logged job exactly
+once.  The chaos suite (:mod:`repro.resilience.chaos`) pins that a
+faulted run's completed records and profit are bit-identical to the
+fault-free run.
+
+The class also hosts the chaos injection surface (``inject_*``) so the
+harness can trigger each fault class through one interface in both
+cluster modes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Union
+
+from repro.cluster.config import ShardConfig
+from repro.cluster.faults import FaultInjector
+from repro.cluster.migration import MigrationPolicy
+from repro.cluster.router import Router, ShardStats
+from repro.cluster.service import ClusterResult, ClusterService
+from repro.cluster.shard import InProcessShard, ProcessShard
+from repro.core.theory import Constants
+from repro.errors import NoHealthyShardError, ShardFailedError
+from repro.resilience.breaker import BreakerConfig, CircuitBreakerRouter
+from repro.resilience.checkpoints import CheckpointStore
+from repro.resilience.rpc import DEFAULT_RPC_POLICY, RpcPolicy
+from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
+from repro.resilience.wal import WriteAheadLog
+from repro.service.queue import sns_density
+from repro.service.service import ServiceResult, ShedRecord
+from repro.service.telemetry import MetricsRegistry
+from repro.sim.engine import SimulationResult
+from repro.sim.jobs import JobSpec
+from repro.sim.trace import RunCounters
+
+
+class ResilientClusterService(ClusterService):
+    """Sharded serving that survives crashes, hangs, and corruption.
+
+    Parameters (on top of :class:`~repro.cluster.service.
+    ClusterService`)
+    ----------
+    supervisor:
+        A :class:`~repro.resilience.supervisor.ShardSupervisor`, a
+        :class:`~repro.resilience.supervisor.SupervisorConfig`, or
+        ``None`` for the default supervisor.
+    breaker:
+        Per-shard :class:`~repro.resilience.breaker.BreakerConfig`
+        (default thresholds are deliberately high enough that isolated
+        supervised faults never trip a breaker -- tripping is for
+        *sustained* failure).
+    rpc:
+        :class:`~repro.resilience.rpc.RpcPolicy` applied to every
+        process-mode shard (``None`` restores blocking RPC).
+    wal_dir:
+        Directory for per-shard durable WALs; ``None`` keeps the
+        in-memory submission logs.
+    checkpoint_dir:
+        Directory for the digest-verified checkpoint store; ``None``
+        keeps checkpoints in memory.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k: int,
+        *,
+        config: Optional[ShardConfig] = None,
+        router: Union[Router, str] = "consistent-hash",
+        mode: str = "inprocess",
+        migration: Optional[MigrationPolicy] = None,
+        migrate_every: int = 0,
+        fault_injector: Optional[FaultInjector] = None,
+        checkpoint_every: Optional[int] = None,
+        stats_refresh: int = 32,
+        supervisor: Union[ShardSupervisor, SupervisorConfig, None] = None,
+        breaker: Optional[BreakerConfig] = None,
+        rpc: Optional[RpcPolicy] = DEFAULT_RPC_POLICY,
+        wal_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_keep: int = 2,
+        wal_fsync_every: int = 8,
+    ) -> None:
+        super().__init__(
+            m,
+            k,
+            config=config,
+            router=router,
+            mode=mode,
+            migration=migration,
+            migrate_every=migrate_every,
+            fault_injector=fault_injector,
+            checkpoint_every=checkpoint_every,
+            stats_refresh=stats_refresh,
+        )
+        # recovery machinery is always on, injector or not
+        self._log_submissions = True
+        if self.checkpoint_every is None:
+            self.checkpoint_every = 64
+        if isinstance(supervisor, ShardSupervisor):
+            self.supervisor = supervisor
+        else:
+            self.supervisor = ShardSupervisor(supervisor)
+        self.breaker_router = CircuitBreakerRouter(self.router, breaker)
+        self.router = self.breaker_router
+        self.rpc = rpc
+        for shard in self.shards:
+            if isinstance(shard, ProcessShard):
+                shard.rpc = rpc
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+            self.logs = [
+                WriteAheadLog(
+                    os.path.join(wal_dir, f"shard-{i:03d}.wal"),
+                    fsync_every=wal_fsync_every,
+                )
+                for i in range(self.k)
+            ]
+        self.store: Optional[CheckpointStore] = (
+            CheckpointStore(checkpoint_dir, keep=checkpoint_keep)
+            if checkpoint_dir is not None
+            else None
+        )
+        #: jobs shed at the *cluster* level (no healthy shard to admit)
+        self.cluster_shed: list[ShedRecord] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring the shards up and always take the initial checkpoint
+        (recovery must never have to guess)."""
+        if self._started:
+            return
+        super().start()
+        if self.fault_injector is None:
+            self.checkpoint_all()
+
+    def submit(self, spec: JobSpec, t: Optional[int] = None) -> int:
+        """Route one job; shed it cluster-side when no shard is healthy.
+
+        Returns the chosen shard index, or ``-1`` for a cluster-level
+        shed (recorded in :attr:`cluster_shed`).  Shedding follows the
+        paper's ordering implicitly: per-shard queues configured with
+        ``reject-lowest-density`` drop the least dense jobs first as
+        surviving shards absorb the diverted load.
+        """
+        try:
+            return super().submit(spec, t)
+        except NoHealthyShardError:
+            at = self._now if t is None else max(int(t), self._now)
+            template = self.shards[0].config
+            self.cluster_shed.append(
+                ShedRecord(
+                    job_id=spec.job_id,
+                    time=at,
+                    reason="no-healthy-shard",
+                    density=sns_density(
+                        spec,
+                        template.m,
+                        Constants.from_epsilon(1.0),
+                        template.speed,
+                    ),
+                    profit=spec.profit,
+                )
+            )
+            self.cluster_metrics.counter("cluster_shed_total").inc()
+            return -1
+
+    def advance_to(self, t: int) -> int:
+        """Advance live shards, supervising any failure en route."""
+        self.start()
+        t = max(int(t), self._now)
+        self._now = t
+        self._hooks(t)
+        for shard in self.shards:
+            if not shard.alive or shard.index in self.supervisor.degraded:
+                continue
+            try:
+                shard.advance_to(t)
+            except ShardFailedError as exc:
+                self._supervise_failure(shard.index, t, exc)
+        self._stats_cache = None
+        return self._now
+
+    def finish(self) -> ClusterResult:
+        """Drain every shard; degraded shards yield empty results.
+
+        A shard that fails during its drain gets one supervised
+        recovery and a second drain attempt; if the budget is already
+        spent, the degrade policy decides (empty result or raise).
+        """
+        self.start()
+        results = []
+        for shard in self.shards:
+            if shard.index in self.supervisor.degraded:
+                results.append(self._empty_result(shard))
+                continue
+            try:
+                results.append(shard.finish())
+            except ShardFailedError as exc:
+                self._supervise_failure(shard.index, self._now, exc)
+                if shard.index in self.supervisor.degraded:
+                    results.append(self._empty_result(shard))
+                else:
+                    results.append(shard.finish())
+        self._started = False
+        for log in self.logs:
+            close = getattr(log, "close", None)
+            if close is not None:
+                close()
+        result = ClusterResult(
+            shard_results=results,
+            cluster_metrics=self.cluster_metrics,
+            recoveries=list(self.recoveries),
+        )
+        result.extra["cluster_shed"] = list(self.cluster_shed)
+        result.extra["supervision_events"] = list(self.supervisor.events)
+        result.extra["degraded_shards"] = sorted(self.supervisor.degraded)
+        return result
+
+    def _empty_result(self, shard) -> ServiceResult:
+        """Stand-in result for a shard degraded out of the run: its
+        admitted-but-unfinished work is lost, which the throughput
+        retention benchmark measures as the cost of degradation."""
+        return ServiceResult(
+            result=SimulationResult(
+                m=shard.config.m,
+                speed=shard.config.speed,
+                records={},
+                counters=RunCounters(),
+                end_time=self._now,
+            ),
+            shed=[],
+            metrics=MetricsRegistry(),
+        )
+
+    # ------------------------------------------------------------------
+    # Supervised failure paths
+    # ------------------------------------------------------------------
+    def _supervise_failure(self, index: int, t: int, exc: ShardFailedError):
+        """Route one caught shard failure through breaker + supervisor."""
+        self.breaker_router.breaker(index).record_failure(t)
+        self._stats_cache = None
+        return self.supervisor.handle_failure(self, index, t, reason=exc.reason)
+
+    def _deliver(self, index: int, spec: JobSpec, t: int, key=None) -> None:
+        """Deliver one logged submission, recovering the shard on
+        failure.
+
+        No explicit re-delivery happens here: the entry is already in
+        the log *before* delivery, so the supervised recovery's keyed
+        tail replay admits it (exactly once) on the same shard --
+        re-sending it ourselves would race the replay.
+        """
+        try:
+            super()._deliver(index, spec, t, key=key)
+            self.breaker_router.breaker(index).record_success(t)
+        except ShardFailedError as exc:
+            self._supervise_failure(index, t, exc)
+
+    def checkpoint_all(self) -> None:
+        """Checkpoint live shards; a shard that fails its snapshot is
+        recovered (and checkpointed on the next round)."""
+        for shard in self.shards:
+            if not shard.alive or shard.index in self.supervisor.degraded:
+                continue
+            try:
+                self._save_checkpoint(
+                    shard.index,
+                    len(self.logs[shard.index]),
+                    shard.snapshot(),
+                )
+            except ShardFailedError as exc:
+                self._supervise_failure(shard.index, self._now, exc)
+        self._last_checkpoint_t = self._now
+        self.cluster_metrics.counter("checkpoints_total").inc()
+
+    def _save_checkpoint(
+        self, index: int, log_index: int, snapshot: dict[str, Any]
+    ) -> None:
+        if self.store is not None:
+            self.store.save(index, log_index, snapshot)
+        else:
+            super()._save_checkpoint(index, log_index, snapshot)
+
+    def _load_checkpoint(self, index: int) -> tuple[int, Optional[dict[str, Any]]]:
+        if self.store is not None:
+            return self.store.load(index)
+        return super()._load_checkpoint(index)
+
+    def mark_degraded(self, index: int) -> None:
+        """Take a shard permanently out of service (budget exhausted):
+        force its breaker open so routing never sees it again."""
+        self.breaker_router.breaker(index).force_open()
+        self._stats_cache = None
+        self.cluster_metrics.counter("degraded_total").inc()
+
+    def _hooks(self, t: int) -> None:
+        self.breaker_router.now = t
+        super()._hooks(t)
+        self.supervisor.tick(self, t)
+
+    def _live_stats(self) -> list[ShardStats]:
+        """Per-shard stats that tolerate a failing shard (reported as
+        dead; the supervisor deals with it on its own cadence)."""
+        stats = []
+        for shard in self.shards:
+            if not shard.alive or shard.index in self.supervisor.degraded:
+                stats.append(
+                    ShardStats(index=shard.index, m=shard.config.m, alive=False)
+                )
+                continue
+            try:
+                stats.append(shard.stats())
+            except ShardFailedError:
+                stats.append(
+                    ShardStats(index=shard.index, m=shard.config.m, alive=False)
+                )
+        return stats
+
+    # ------------------------------------------------------------------
+    # Chaos injection surface (see repro.resilience.chaos)
+    # ------------------------------------------------------------------
+    def inject_crash(self, index: int) -> None:
+        """Kill one shard outright; detection is the next delivery,
+        fence, or heartbeat."""
+        self.kill_shard(index)
+
+    def inject_hang(self, index: int, seconds: float = 30.0) -> None:
+        """Make one shard unresponsive without killing it."""
+        shard = self.shards[index]
+        if isinstance(shard, ProcessShard):
+            shard.hang(seconds)
+        elif isinstance(shard, InProcessShard):
+            shard.chaos_hung = True
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def inject_slow(self, index: int, seconds: float = 0.05) -> None:
+        """Add latency to one shard without changing its state."""
+        shard = self.shards[index]
+        if isinstance(shard, ProcessShard):
+            shard.hang(seconds)
+        elif isinstance(shard, InProcessShard):
+            shard.chaos_latency = seconds
+
+    def inject_pipe_drop(self, index: int) -> None:
+        """Sever one shard's command channel mid-run."""
+        self.shards[index].drop_pipe()
+        self._stats_cache = None
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def inject_corrupt_checkpoint(self, index: int) -> None:
+        """Corrupt the shard's newest checkpoint, then crash it, so the
+        recovery path must fall back (previous generation, or an empty
+        restore plus full-log replay)."""
+        if self.store is not None:
+            self.store.corrupt_latest(index)
+        else:
+            self.checkpoints.pop(index, None)
+        self.kill_shard(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResilientClusterService(m={self.m}, k={self.k}, "
+            f"mode={self.mode}, degraded={sorted(self.supervisor.degraded)})"
+        )

@@ -1,0 +1,176 @@
+"""Durable write-ahead log for shard submissions.
+
+The cluster's in-memory :class:`~repro.service.replay.SubmissionLog`
+is the recovery source of truth -- which makes it a single point of
+loss: a fault that takes the *parent* process down loses every
+submission with it, and a fault that lands mid-write leaves a torn
+record that naive replay would choke on.  :class:`WriteAheadLog` is the
+durable replacement: an append-only binary file of length-prefixed,
+CRC32-checksummed records, fsynced in batches, that truncates a torn
+tail on open so recovery is correct even when the crash landed halfway
+through a write.
+
+Byte layout (see docs/RESILIENCE.md for the full table)::
+
+    file   := magic records*
+    magic  := b"RWAL0001"                      (8 bytes)
+    record := length crc32 payload
+    length := uint32 little-endian             (payload bytes)
+    crc32  := uint32 little-endian             (zlib.crc32 of payload)
+    payload:= UTF-8 JSON {"t": int, "spec": {...}}
+
+A record is *valid* iff its full frame is present and the CRC matches.
+On open, the log scans forward from the magic and keeps the longest
+valid prefix; anything after the first invalid frame is a torn tail --
+the bytes a crash cut short -- and is truncated away.  Replay of the
+surviving prefix plus idempotent re-submission (keys are assigned per
+log position, see :meth:`key_for`) makes recovery exactly-once.
+
+The class duck-types ``SubmissionLog`` (``record`` / ``entries`` /
+``__len__`` / ``__iter__``), so :class:`~repro.cluster.service.
+ClusterService` can use either interchangeably.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import Iterator, Union
+
+from repro.errors import WALError
+from repro.sim.jobs import JobSpec
+from repro.workloads.serialize import spec_from_dict, spec_to_dict
+
+#: File magic: format name + version.  Bump the digits on layout change.
+WAL_MAGIC = b"RWAL0001"
+
+#: ``<length:uint32><crc32:uint32>`` little-endian frame header.
+_FRAME = struct.Struct("<II")
+
+
+class WriteAheadLog:
+    """Append-only durable submission log with torn-tail recovery.
+
+    Parameters
+    ----------
+    path:
+        The log file.  An existing file is scanned and its valid prefix
+        loaded (torn tail truncated); a missing file is created.
+    fsync_every:
+        Records between fsyncs (batch durability).  1 fsyncs every
+        record; the default 8 amortizes the syscall at the cost of at
+        most 7 records on power loss -- records the *cluster* still
+        holds in memory, so only a parent-process fault can lose them.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *, fsync_every: int = 8) -> None:
+        if fsync_every < 1:
+            raise WALError("fsync_every must be >= 1")
+        self.path = str(path)
+        self.fsync_every = int(fsync_every)
+        #: in-memory mirror of the durable records, ``(t, spec)`` pairs
+        self.entries: list[tuple[int, JobSpec]] = []
+        #: bytes cut off the tail when the file was opened (0 = clean)
+        self.truncated_bytes = 0
+        self._pending = 0
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            self._recover()
+            self._fh = open(self.path, "ab")
+        else:
+            self._fh = open(self.path, "wb")
+            self._fh.write(WAL_MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    # SubmissionLog interface
+    # ------------------------------------------------------------------
+    def record(self, t: int, spec: JobSpec) -> int:
+        """Append one submission durably; returns its log index."""
+        payload = json.dumps(
+            {"t": int(t), "spec": spec_to_dict(spec)}, separators=(",", ":")
+        ).encode("utf-8")
+        self._fh.write(_FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
+        self._fh.write(payload)
+        self.entries.append((int(t), spec))
+        self._pending += 1
+        if self._pending >= self.fsync_every:
+            self.sync()
+        return len(self.entries) - 1
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[tuple[int, JobSpec]]:
+        return iter(self.entries)
+
+    def key_for(self, index: int) -> str:
+        """Idempotency key of the record at ``index`` (stable across
+        replays: a function of log position alone)."""
+        return str(index)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Flush buffered records to the OS and fsync the file."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        """Sync and close the underlying file (idempotent)."""
+        if self._fh.closed:
+            return
+        self.sync()
+        self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        """Load the longest valid record prefix; truncate the rest."""
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if not data.startswith(WAL_MAGIC):
+            raise WALError(
+                f"{self.path} is not a WAL (expected magic {WAL_MAGIC!r})"
+            )
+        good = len(WAL_MAGIC)
+        while True:
+            header = data[good : good + _FRAME.size]
+            if len(header) < _FRAME.size:
+                break
+            length, crc = _FRAME.unpack(header)
+            start = good + _FRAME.size
+            payload = data[start : start + length]
+            if len(payload) < length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break
+            entry = json.loads(payload.decode("utf-8"))
+            self.entries.append((int(entry["t"]), spec_from_dict(entry["spec"])))
+            good = start + length
+        if good < len(data):
+            self.truncated_bytes = len(data) - good
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WriteAheadLog({self.path!r}, entries={len(self.entries)}, "
+            f"truncated={self.truncated_bytes})"
+        )
+
+
+def open_wal(path: Union[str, os.PathLike], *, fsync_every: int = 8) -> WriteAheadLog:
+    """Open (or create) a WAL, recovering a torn tail if present."""
+    return WriteAheadLog(path, fsync_every=fsync_every)

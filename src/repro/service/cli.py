@@ -133,6 +133,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="cluster checkpoint interval when fault injection is on",
     )
 
+    res = parser.add_argument_group(
+        "resilience (active with --supervise or --chaos; --shards > 1)"
+    )
+    res.add_argument(
+        "--supervise", action="store_true",
+        help="serve through the resilient cluster: heartbeat "
+        "supervision, RPC deadlines, circuit breakers",
+    )
+    res.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="supervisor restart budget per shard",
+    )
+    res.add_argument(
+        "--heartbeat-timeout", type=float, default=0.5, metavar="S",
+        help="seconds a shard may take to answer a heartbeat",
+    )
+    res.add_argument(
+        "--heartbeat-every", type=int, default=16, metavar="N",
+        help="decision points between heartbeat rounds",
+    )
+    res.add_argument(
+        "--on-exhausted", choices=["raise", "degrade"], default="raise",
+        help="restart budget spent: exit with a structured error, or "
+        "degrade the shard and serve on",
+    )
+    res.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="durable write-ahead logs for shard submissions",
+    )
+    res.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="digest-verified on-disk checkpoint store",
+    )
+    res.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject faults: 'kind:shard:at,...' or 'seed:N' "
+        "(implies --supervise)",
+    )
+
     out = parser.add_argument_group("output")
     out.add_argument(
         "--metrics", default=None, metavar="PATH",
@@ -243,56 +282,128 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _main_cluster(args: argparse.Namespace, specs: list) -> int:
-    """Serve the stream through a sharded cluster (``--shards > 1``)."""
+    """Serve the stream through a sharded cluster (``--shards > 1``).
+
+    With ``--supervise`` or ``--chaos`` the resilient cluster serves
+    the stream instead; a shard whose restart budget is exhausted under
+    ``--on-exhausted raise`` aborts the run with a structured JSON
+    error summary on stderr and exit code 2.
+    """
     from repro.cluster import (
         ClusterService,
         FaultInjector,
         QueueBalancer,
         ShardConfig,
     )
+    from repro.errors import RestartBudgetExhausted, ShardFailedError
 
     scheduler_kwargs = (
         {"epsilon": args.epsilon} if args.scheduler == "sns" else {}
     )
+    resilient = args.supervise or args.chaos is not None
     injector = None
-    if args.fault_at is not None:
+    if args.chaos is not None:
+        from repro.resilience.chaos import ChaosInjector, ChaosSchedule
+
+        if args.chaos.startswith("seed:"):
+            horizon = max(spec.arrival for spec in specs) or 1
+            schedule = ChaosSchedule.generate(
+                int(args.chaos.split(":", 1)[1]),
+                k=args.shards,
+                horizon=horizon,
+            )
+        else:
+            schedule = ChaosSchedule.parse(args.chaos)
+        injector = ChaosInjector(schedule)
+    elif args.fault_at is not None:
         injector = FaultInjector().add(shard=args.fault_shard, at=args.fault_at)
-    cluster = ClusterService(
-        m=args.m,
-        k=args.shards,
-        config=ShardConfig(
-            m=1,  # overridden per shard by the machine partition
-            scheduler=args.scheduler,
-            scheduler_kwargs=scheduler_kwargs,
-            capacity=args.capacity,
-            shed_policy=args.policy,
-            max_in_flight=args.max_in_flight,
-            speed=args.speed,
-            sample_every=args.sample_every,
-        ),
-        router=args.router,
-        mode=args.cluster_mode,
-        migration=QueueBalancer() if args.migrate_every else None,
-        migrate_every=args.migrate_every,
-        fault_injector=injector,
-        checkpoint_every=args.checkpoint_every if injector else None,
+    config = ShardConfig(
+        m=1,  # overridden per shard by the machine partition
+        scheduler=args.scheduler,
+        scheduler_kwargs=scheduler_kwargs,
+        capacity=args.capacity,
+        shed_policy=args.policy,
+        max_in_flight=args.max_in_flight,
+        speed=args.speed,
+        sample_every=args.sample_every,
     )
+    if resilient:
+        from repro.resilience import (
+            ResilientClusterService,
+            SupervisorConfig,
+        )
+
+        cluster = ResilientClusterService(
+            m=args.m,
+            k=args.shards,
+            config=config,
+            router=args.router,
+            mode=args.cluster_mode,
+            migration=QueueBalancer() if args.migrate_every else None,
+            migrate_every=args.migrate_every,
+            fault_injector=injector,
+            checkpoint_every=args.checkpoint_every,
+            supervisor=SupervisorConfig(
+                heartbeat_timeout=args.heartbeat_timeout,
+                heartbeat_every=args.heartbeat_every,
+                max_restarts=args.max_restarts,
+                on_exhausted=args.on_exhausted,
+            ),
+            wal_dir=args.wal_dir,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    else:
+        cluster = ClusterService(
+            m=args.m,
+            k=args.shards,
+            config=config,
+            router=args.router,
+            mode=args.cluster_mode,
+            migration=QueueBalancer() if args.migrate_every else None,
+            migrate_every=args.migrate_every,
+            fault_injector=injector,
+            checkpoint_every=args.checkpoint_every if injector else None,
+        )
     cluster.start()
     print(
         f"repro-serve: {args.n_jobs} jobs, m={args.m}, shards={args.shards}, "
         f"mode={args.cluster_mode}, router={args.router}, "
         f"scheduler={args.scheduler}, migrate_every={args.migrate_every}, "
-        f"fault_at={args.fault_at}",
+        f"fault_at={args.fault_at}, "
+        f"resilient={'yes' if resilient else 'no'}",
         flush=True,
     )
-    for i, spec in enumerate(specs, 1):
-        cluster.submit(spec, t=spec.arrival)
-        if args.report_every and i % args.report_every == 0:
-            print(
-                f"t={cluster.now:>8d}  submitted={i}/{len(specs)}",
-                flush=True,
-            )
-    result = cluster.finish()
+    try:
+        for i, spec in enumerate(specs, 1):
+            cluster.submit(spec, t=spec.arrival)
+            if args.report_every and i % args.report_every == 0:
+                print(
+                    f"t={cluster.now:>8d}  submitted={i}/{len(specs)}",
+                    flush=True,
+                )
+        result = cluster.finish()
+    except RestartBudgetExhausted as exc:
+        json.dump(exc.summary(), sys.stderr, indent=2)
+        sys.stderr.write("\n")
+        print(
+            f"error: shard {exc.shard} recovery exhausted after "
+            f"{exc.restarts} restarts ({exc.fault}); aborting",
+            flush=True,
+        )
+        return 2
+    except ShardFailedError as exc:
+        json.dump(
+            {
+                "error": "shard-failed",
+                "shard": exc.shard,
+                "fault": exc.reason,
+            },
+            sys.stderr,
+            indent=2,
+        )
+        sys.stderr.write("\n")
+        print(f"error: shard {exc.shard} failed ({exc.reason}); aborting")
+        return 2
 
     values = result.metrics.values()
     print("---")
@@ -309,6 +420,19 @@ def _main_cluster(args: argparse.Namespace, specs: list) -> int:
             f"replayed {event.replayed} submissions, "
             f"{event.wall_seconds * 1000:.1f} ms)"
         )
+    for event in result.extra.get("supervision_events", []):
+        print(
+            f"supervision:     shard {event.shard} {event.reason} at "
+            f"t={event.time} -> {event.action} "
+            f"(#{event.restarts}, detect {event.detection_seconds * 1000:.1f} ms, "
+            f"restart {event.restart_seconds * 1000:.1f} ms)"
+        )
+    degraded = result.extra.get("degraded_shards", [])
+    if degraded:
+        print(f"degraded:        shards {degraded}")
+    cluster_shed = result.extra.get("cluster_shed", [])
+    if cluster_shed:
+        print(f"cluster_shed:    {len(cluster_shed)}")
     if args.metrics:
         merged = result.metrics
         merged.samples = sorted(

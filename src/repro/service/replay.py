@@ -28,10 +28,11 @@ class SubmissionLog:
     def __init__(self) -> None:
         self.entries: list[tuple[int, JobSpec]] = []
 
-    def record(self, t: int, spec: JobSpec) -> None:
+    def record(self, t: int, spec: JobSpec) -> int:
         """Append one submission (called by the service when attached
-        as its ``recorder``)."""
+        as its ``recorder``); returns the entry's log index."""
         self.entries.append((int(t), spec))
+        return len(self.entries) - 1
 
     def __len__(self) -> int:
         return len(self.entries)

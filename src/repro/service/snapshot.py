@@ -17,7 +17,9 @@ refuses to restore into a different type.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from typing import Any, Optional
 
 from repro.errors import SimulationError
@@ -144,9 +146,23 @@ def service_from_dict(
 
 
 def save_snapshot(service: SchedulingService, path: str) -> None:
-    """Write a service snapshot to a JSON file."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(service_to_dict(service), fh)
+    """Write a service snapshot to a JSON file, durably.
+
+    A ``<path>.sha256`` sidecar carries the digest of the exact file
+    bytes; :func:`load_snapshot` verifies it so bit rot or a torn write
+    surfaces as a clear error instead of a JSON parse failure (or a
+    silently wrong restore) deep inside recovery.
+    """
+    body = json.dumps(service_to_dict(service)).encode("utf-8")
+    with open(path, "wb") as fh:
+        fh.write(body)
+        fh.flush()
+        os.fsync(fh.fileno())
+    digest = hashlib.sha256(body).hexdigest()
+    with open(path + ".sha256", "w", encoding="utf-8") as fh:
+        fh.write(digest + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
 
 
 def load_snapshot(
@@ -157,9 +173,26 @@ def load_snapshot(
     metrics: Optional[MetricsRegistry] = None,
     recorder: Optional[Any] = None,
 ) -> SchedulingService:
-    """Read a JSON snapshot file and rebuild the service."""
-    with open(path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
+    """Read a JSON snapshot file and rebuild the service.
+
+    When a ``<path>.sha256`` sidecar exists the file bytes are verified
+    against it first; a mismatch raises
+    :class:`~repro.errors.SimulationError`.  Snapshots written before
+    the sidecar existed (or whose sidecar was deleted) load unchecked.
+    """
+    with open(path, "rb") as fh:
+        body = fh.read()
+    sidecar = path + ".sha256"
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as fh:
+            expected = fh.read().strip()
+        actual = hashlib.sha256(body).hexdigest()
+        if actual != expected:
+            raise SimulationError(
+                f"snapshot {path} failed its digest check "
+                f"(expected {expected[:12]}..., got {actual[:12]}...)"
+            )
+    data = json.loads(body.decode("utf-8"))
     return service_from_dict(
         data, scheduler, picker=picker, metrics=metrics, recorder=recorder
     )

@@ -122,16 +122,20 @@ class MetricsRegistry:
     def write_jsonl(self, path: str) -> None:
         """Write all retained samples to a JSONL file, crash-safely.
 
-        The samples are rendered into a sibling temp file which is then
-        atomically renamed over ``path`` (``os.replace``), so a process
-        killed mid-export -- a faulted cluster shard, a SIGKILLed
-        service -- never leaves a truncated or corrupt file behind:
-        readers see either the previous complete file or the new one.
+        The samples are rendered into a sibling temp file which is
+        fsynced, then atomically renamed over ``path`` (``os.replace``)
+        and the containing directory fsynced, so a process killed
+        mid-export -- a faulted cluster shard, a SIGKILLed service, a
+        power cut -- never leaves a truncated or corrupt file behind:
+        readers see either the previous complete file or the new one,
+        and the rename itself is durable.
         """
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
                 fh.write(self.to_jsonl())
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -139,6 +143,18 @@ class MetricsRegistry:
             except OSError:
                 pass
             raise
+        # make the rename durable: fsync the directory entry too
+        parent = os.path.dirname(os.path.abspath(path))
+        try:
+            fd = os.open(parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - exotic filesystems
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - fsync on dirs unsupported
+            pass
+        finally:
+            os.close(fd)
 
     def merge_from(
         self,

@@ -1,0 +1,114 @@
+"""Chaos harness tests: every fault class preserves bit-identity."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.resilience import ChaosEvent, ChaosSchedule, run_chaos
+from repro.resilience.chaos import FAULT_KINDS
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def workload(n_jobs=60, m=8, seed=11):
+    return generate_workload(
+        WorkloadConfig(n_jobs=n_jobs, m=m, load=2.5, epsilon=1.0, seed=seed)
+    )
+
+
+def mid_time(specs):
+    arrivals = sorted(sp.arrival for sp in specs)
+    return arrivals[len(arrivals) // 2]
+
+
+class TestSchedule:
+    def test_generate_is_deterministic(self):
+        a = ChaosSchedule.generate(7, k=4, horizon=1000)
+        b = ChaosSchedule.generate(7, k=4, horizon=1000)
+        assert a.events == b.events
+        assert ChaosSchedule.generate(8, k=4, horizon=1000).events != a.events
+
+    def test_parse_roundtrip(self):
+        schedule = ChaosSchedule.parse("crash:0:200,hang:1:450")
+        assert schedule.events == [
+            ChaosEvent(kind="crash", shard=0, at=200),
+            ChaosEvent(kind="hang", shard=1, at=450),
+        ]
+        assert ChaosSchedule.parse(schedule.spec()).events == schedule.events
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ClusterError):
+            ChaosSchedule.parse("crash:0")
+        with pytest.raises(ClusterError):
+            ChaosSchedule.parse("meteor:0:10")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ClusterError):
+            ChaosEvent(kind="flood", shard=0, at=1)
+
+    def test_events_sorted_by_time(self):
+        schedule = ChaosSchedule.parse("hang:1:450,crash:0:200")
+        assert [e.at for e in schedule.events] == [200, 450]
+
+
+@pytest.mark.parametrize("mode", ["inprocess", "process"])
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+class TestIdentityPerFault:
+    def test_single_fault_preserves_identity(self, mode, kind, tmp_path):
+        specs = workload()
+        schedule = ChaosSchedule.parse(f"{kind}:0:{mid_time(specs)}")
+        report = run_chaos(
+            specs,
+            m=8,
+            k=2,
+            schedule=schedule,
+            mode=mode,
+            workdir=str(tmp_path),
+        )
+        assert report.faults_fired == 1
+        assert report.identical_records, (
+            f"{kind}/{mode}: lost={report.lost_jobs} extra={report.extra_jobs}"
+        )
+        assert report.chaos_profit == report.clean_profit
+        assert report.unaccounted == []
+        assert report.ok
+
+
+class TestMultiFault:
+    @pytest.mark.parametrize("mode", ["inprocess", "process"])
+    def test_seeded_schedule_preserves_identity(self, mode, tmp_path):
+        specs = workload(n_jobs=80)
+        horizon = max(sp.arrival for sp in specs)
+        schedule = ChaosSchedule.generate(3, k=2, horizon=horizon, n_events=3)
+        report = run_chaos(
+            specs, m=8, k=2, schedule=schedule, mode=mode,
+            workdir=str(tmp_path),
+        )
+        assert report.ok, report.to_dict()
+        assert report.faults_fired == 3
+
+    def test_repeated_crashes_on_one_shard(self, tmp_path):
+        specs = workload(n_jobs=80)
+        times = sorted({sp.arrival for sp in specs})
+        hits = ",".join(
+            f"crash:0:{times[i]}" for i in (len(times) // 4, len(times) // 2,
+                                            3 * len(times) // 4)
+        )
+        report = run_chaos(
+            specs, m=8, k=2, schedule=ChaosSchedule.parse(hits),
+            mode="inprocess", workdir=str(tmp_path),
+        )
+        assert report.ok, report.to_dict()
+        assert report.recoveries >= 3
+
+    def test_report_dict_shape(self, tmp_path):
+        specs = workload(n_jobs=40)
+        report = run_chaos(
+            specs, m=8, k=2,
+            schedule=ChaosSchedule.parse(f"crash:1:{mid_time(specs)}"),
+            mode="inprocess",
+        )
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert set(payload) >= {
+            "schedule", "mode", "clean_profit", "chaos_profit",
+            "identical_records", "lost_jobs", "recoveries",
+        }

@@ -1,0 +1,194 @@
+"""Supervisor tests: liveness detection, restart budget, degradation."""
+
+import pytest
+
+from repro.cluster import ShardConfig
+from repro.errors import ClusterError, RestartBudgetExhausted
+from repro.resilience import (
+    ResilientClusterService,
+    RpcPolicy,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from repro.workloads import WorkloadConfig, generate_workload
+
+CFG = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+FAST_RPC = RpcPolicy(call_timeout=1.0, retries=0)
+
+
+def workload(n_jobs=80, m=8, seed=3):
+    return generate_workload(
+        WorkloadConfig(n_jobs=n_jobs, m=m, load=2.5, epsilon=1.0, seed=seed)
+    )
+
+
+def build(mode, *, k=2, m=8, supervisor=None, heartbeat_every=1,
+          heartbeat_timeout=0.25, max_restarts=8, on_exhausted="raise"):
+    if supervisor is None:
+        supervisor = SupervisorConfig(
+            heartbeat_timeout=heartbeat_timeout,
+            heartbeat_every=heartbeat_every,
+            max_restarts=max_restarts,
+            backoff_base=0.001,
+            backoff_max=0.01,
+            on_exhausted=on_exhausted,
+        )
+    return ResilientClusterService(
+        m, k, config=CFG, mode=mode, supervisor=supervisor, rpc=FAST_RPC
+    )
+
+
+def mid_time(specs):
+    arrivals = sorted(sp.arrival for sp in specs)
+    return arrivals[len(arrivals) // 2]
+
+
+class TestConfig:
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(heartbeat_every=0)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(on_exhausted="panic")
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ClusterError):
+            SupervisorConfig(max_restarts=-1)
+
+
+@pytest.mark.parametrize("mode", ["inprocess", "process"])
+class TestCrashRecovery:
+    def test_crash_restart_is_bit_identical(self, mode):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+
+        clean = build(mode).run_stream(specs)
+
+        cluster = build(mode)
+        cluster.start()
+        for spec in specs:
+            if spec.arrival >= fault_t and not cluster.supervisor.events:
+                cluster.inject_crash(0)
+            cluster.submit(spec, t=spec.arrival)
+        chaos = cluster.finish()
+
+        assert cluster.supervisor.events, "the crash was never detected"
+        assert cluster.supervisor.events[0].reason == "crash"
+        assert chaos.records == clean.records
+        assert chaos.total_profit == clean.total_profit
+
+    def test_hang_detected_within_deadline(self, mode):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        deadline = 0.25
+
+        cluster = build(mode, heartbeat_timeout=deadline)
+        cluster.start()
+        injected = False
+        for spec in specs:
+            if spec.arrival >= fault_t and not injected:
+                cluster.inject_hang(0, 2.0)
+                injected = True
+            cluster.submit(spec, t=spec.arrival)
+        result = cluster.finish()
+
+        events = cluster.supervisor.events
+        assert any(e.reason == "hang" for e in events)
+        hang = next(e for e in events if e.reason == "hang")
+        # detection latency is bounded by the probe deadline (plus
+        # rpc-level noise: one call_timeout if a fence hit it first)
+        assert hang.detection_seconds <= deadline + FAST_RPC.call_timeout
+        # and the run still matches the fault-free one
+        clean = build(mode).run_stream(specs)
+        assert result.records == clean.records
+
+
+class TestBudget:
+    def test_exhausted_budget_raises_with_summary(self):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        cluster = build("inprocess", max_restarts=0, on_exhausted="raise")
+        cluster.start()
+        with pytest.raises(RestartBudgetExhausted) as excinfo:
+            for spec in specs:
+                if spec.arrival >= fault_t:
+                    cluster.inject_crash(0)
+                cluster.submit(spec, t=spec.arrival)
+            cluster.finish()
+        exc = excinfo.value
+        summary = exc.summary()
+        assert summary["error"] == "recovery-exhausted"
+        assert summary["shard"] == 0
+        assert summary["fault"] == "crash"
+        assert summary["last_checkpoint_log_index"] >= 0
+
+    def test_budget_counts_restarts(self):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        cluster = build("inprocess", max_restarts=2, on_exhausted="raise")
+        cluster.start()
+        fired = 0
+        with pytest.raises(RestartBudgetExhausted):
+            for spec in specs:
+                if spec.arrival >= fault_t and fired < 3:
+                    cluster.inject_crash(0)
+                    fired += 1
+                cluster.submit(spec, t=spec.arrival)
+            cluster.finish()
+        assert cluster.supervisor.restarts[0] == 2
+
+
+class TestDegrade:
+    def test_degraded_shard_is_served_around(self):
+        specs = sorted(workload(n_jobs=120), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        cluster = build("inprocess", k=4, max_restarts=0, on_exhausted="degrade")
+        cluster.start()
+        injected = False
+        for spec in specs:
+            if spec.arrival >= fault_t and not injected:
+                cluster.inject_crash(1)
+                injected = True
+            assert cluster.submit(spec, t=spec.arrival) != 1 or not injected
+        result = cluster.finish()
+
+        assert cluster.supervisor.degraded == {1}
+        assert result.extra["degraded_shards"] == [1]
+        # the degraded shard reports an empty stand-in result
+        assert result.shard_results[1].result.records == {}
+        # the cluster as a whole kept serving and completing work
+        assert result.total_profit > 0
+        assert cluster.supervisor.events[-1].action == "degrade"
+
+    def test_degrade_events_are_recorded_once(self):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        cluster = build("inprocess", k=2, max_restarts=0, on_exhausted="degrade")
+        cluster.start()
+        for spec in specs:
+            if spec.arrival >= fault_t and not cluster.supervisor.degraded:
+                cluster.inject_crash(0)
+            cluster.submit(spec, t=spec.arrival)
+        cluster.finish()
+        degrades = [e for e in cluster.supervisor.events if e.action == "degrade"]
+        assert len(degrades) == 1
+
+
+class TestSupervisorObject:
+    def test_existing_supervisor_instance_is_used(self):
+        supervisor = ShardSupervisor(SupervisorConfig(max_restarts=1))
+        cluster = ResilientClusterService(
+            4, 2, config=CFG, mode="inprocess", supervisor=supervisor
+        )
+        assert cluster.supervisor is supervisor
+
+    def test_tick_respects_cadence(self):
+        cluster = build("inprocess", heartbeat_every=1000)
+        cluster.start()
+        specs = workload(n_jobs=10)
+        for spec in sorted(specs, key=lambda sp: (sp.arrival, sp.job_id)):
+            cluster.submit(spec, t=spec.arrival)
+        # far below the cadence: no heartbeat round ever ran
+        assert cluster.supervisor.events == []
+        cluster.finish()
