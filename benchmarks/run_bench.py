@@ -29,6 +29,14 @@ under heartbeat supervision, bit-identity of a seeded chaos schedule
 against the fault-free run, and the fraction of profit retained when
 1 of 4 shards degrades out early (gated at >= 70% under ``--check``).
 
+A fourth snapshot, ``BENCH_observability.json``, prices the tracing
+layer (:mod:`repro.observability`): engine wall-clock with no recorder
+at all, with the disabled :data:`~repro.observability.NULL_RECORDER`
+(the always-installed fast path), and with a live
+:class:`~repro.observability.TraceRecorder` plus profiler.  Under
+``--check`` the disabled path must cost < 2% over no recorder and full
+tracing < 10%, and all three runs must stay bit-identical.
+
 Timing methodology: each timed subject runs ``repeats`` times with the
 competing subjects interleaved round-robin (so machine-load drift hits
 all subjects equally) and garbage collection frozen around each run;
@@ -519,6 +527,88 @@ def bench_resilience_degraded(quick: bool) -> dict:
     }
 
 
+def bench_observability(
+    quick: bool, repeats: int, trace_path: str | None = None
+) -> dict:
+    """Tracing overhead: no recorder vs disabled recorder vs full trace.
+
+    The bit-identity checks are the load-bearing part: a recorder that
+    perturbed the schedule would be worse than a slow one.  The timing
+    gates get a small absolute slack (5 ms) on top of the relative
+    bound so sub-second quick runs don't flake on scheduler jitter.
+    """
+    from repro.observability import (
+        NULL_RECORDER,
+        Profiler,
+        TraceRecorder,
+        recompute_profit,
+        validate_trace,
+        write_jsonl,
+    )
+
+    # quick stays at 400 jobs: smaller runs are over in ~13 ms, where
+    # per-event constants and scheduler jitter dominate the ratio
+    n_jobs, m = (400, 32) if quick else (800, 64)
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=2.0, family="mixed", epsilon=1.0, seed=17
+        )
+    )
+
+    def run(recorder=None, profiler=None):
+        return Simulator(
+            m=m,
+            scheduler=SNSScheduler(epsilon=1.0),
+            recorder=recorder,
+            profiler=profiler,
+        ).run(list(specs))
+
+    res_base = run()
+    res_noop = run(NULL_RECORDER)
+    tracer, profiler = TraceRecorder(), Profiler()
+    res_traced = run(tracer, profiler)
+    violations = validate_trace(tracer.events)
+    profit_ok = recompute_profit(tracer.events) == res_traced.total_profit
+    if trace_path:
+        write_jsonl(tracer.events, trace_path)
+        print(f"wrote {trace_path} ({len(tracer)} events)")
+
+    best = _interleaved(
+        {
+            "baseline": run,
+            "noop": lambda: run(NULL_RECORDER),
+            "traced": lambda: run(TraceRecorder(), Profiler()),
+        },
+        repeats,
+    )
+    slack = 0.005
+    disabled_overhead = best["noop"] / best["baseline"] - 1.0
+    enabled_overhead = best["traced"] / best["baseline"] - 1.0
+    row = {
+        "n_jobs": n_jobs,
+        "m": m,
+        "events": len(tracer),
+        "identical_noop": _identical(res_base, res_noop),
+        "identical_traced": _identical(res_base, res_traced),
+        "trace_valid": not violations,
+        "profit_recomputed_ok": profit_ok,
+        "baseline_seconds": best["baseline"],
+        "noop_seconds": best["noop"],
+        "traced_seconds": best["traced"],
+        "disabled_overhead": disabled_overhead,
+        "enabled_overhead": enabled_overhead,
+        "disabled_ok": best["noop"] <= best["baseline"] * 1.02 + slack,
+        "enabled_ok": best["traced"] <= best["baseline"] * 1.10 + slack,
+    }
+    print(
+        f"observability n={n_jobs} m={m}: disabled "
+        f"{disabled_overhead:+.2%}, traced {enabled_overhead:+.2%} "
+        f"({row['events']} events, identical="
+        f"{row['identical_noop'] and row['identical_traced']})"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     """Run every section and write the JSON snapshot."""
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
@@ -563,6 +653,25 @@ def main(argv=None) -> int:
         "--skip-resilience",
         action="store_true",
         help="skip the repro.resilience sections (and BENCH_resilience.json)",
+    )
+    parser.add_argument(
+        "--observability-output",
+        default=str(
+            Path(__file__).resolve().parent / "BENCH_observability.json"
+        ),
+        help="where to write the observability JSON snapshot",
+    )
+    parser.add_argument(
+        "--skip-observability",
+        action="store_true",
+        help="skip the tracing-overhead section (and "
+        "BENCH_observability.json)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also dump the observability section's trace to PATH (JSONL)",
     )
     args = parser.parse_args(argv)
 
@@ -664,6 +773,27 @@ def main(argv=None) -> int:
         ok = ok and detection["within_deadline"]
         ok = ok and resilience_snapshot["chaos"]["identical"]
         ok = ok and degraded["retained_ok"]
+
+    if not args.skip_observability:
+        observability_snapshot = {
+            "meta": snapshot["meta"],
+            "overhead": bench_observability(
+                args.quick, args.repeats, trace_path=args.trace
+            ),
+        }
+        observability_out = Path(args.observability_output)
+        observability_out.write_text(
+            json.dumps(observability_snapshot, indent=2) + "\n"
+        )
+        print(f"wrote {observability_out}")
+
+        overhead = observability_snapshot["overhead"]
+        ok = ok and overhead["identical_noop"]
+        ok = ok and overhead["identical_traced"]
+        ok = ok and overhead["trace_valid"]
+        ok = ok and overhead["profit_recomputed_ok"]
+        ok = ok and overhead["disabled_ok"]
+        ok = ok and overhead["enabled_ok"]
 
     if args.check and not ok:
         print("FAILED: output mismatch between timed subjects", file=sys.stderr)

@@ -137,6 +137,16 @@ class ClusterService:
     stats_refresh:
         In ``"process"`` mode, submissions between synchronous stats
         refreshes for stats-hungry routers (lower = fresher = slower).
+    tracer:
+        Optional cluster-level
+        :class:`~repro.observability.recorder.TraceRecorder`.  The
+        cluster records routing, migration, checkpoint and recovery
+        events on it and hands every shard a shard-tagged view
+        (in-process shards then record their full service/engine
+        lifecycle; process-mode shards stay parent-side-only).  Shard
+        recovery truncates the crashed shard's post-checkpoint events
+        before the keyed log-tail replay regenerates them, so traces
+        stay exactly-once under faults.
     """
 
     def __init__(
@@ -152,6 +162,7 @@ class ClusterService:
         fault_injector: Optional[FaultInjector] = None,
         checkpoint_every: Optional[int] = None,
         stats_refresh: int = 32,
+        tracer: Optional[Any] = None,
     ) -> None:
         if migration is not None and migrate_every < 1:
             raise ClusterError("migration requires migrate_every >= 1")
@@ -182,6 +193,14 @@ class ClusterService:
         self._log_submissions = fault_injector is not None
         #: per-shard latest checkpoint: (log index, snapshot dict)
         self.checkpoints: dict[int, tuple[int, dict[str, Any]]] = {}
+        self.tracer = tracer
+        #: shard-event counts at checkpoint time, keyed by
+        #: (shard, log_index, checkpoint engine time) -- see
+        #: :meth:`_note_trace_mark`
+        self._trace_marks: dict[tuple[int, int, int], int] = {}
+        if tracer is not None and tracer.enabled:
+            for shard in self.shards:
+                shard.attach_tracer(tracer.for_shard(shard.index))
         self.cluster_metrics = MetricsRegistry()
         self.recoveries: list[RecoveryEvent] = []
         self._now = 0
@@ -228,6 +247,9 @@ class ClusterService:
             raise ClusterError(
                 f"router returned shard {index} (k={self.k})"
             )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(t, "route", spec.job_id, {"shard": index})
         key = None
         if self._log_submissions:
             entry_index = self.logs[index].record(t, spec)
@@ -323,6 +345,33 @@ class ClusterService:
         """Store one shard checkpoint (in memory here; the resilient
         subclass persists it through a digest-verified store)."""
         self.checkpoints[index] = (log_index, snapshot)
+        self._note_trace_mark(index, log_index, snapshot)
+
+    def _note_trace_mark(
+        self, index: int, log_index: int, snapshot: dict[str, Any]
+    ) -> None:
+        """Remember how many shard-tagged trace events exist right now.
+
+        Keyed by ``(shard, log_index, checkpoint engine time)`` -- the
+        engine time disambiguates checkpoint generations that share a
+        log position (no submissions in between), so a corrupt-latest
+        fallback to the previous generation finds *that* generation's
+        own mark.  :meth:`recover_shard` truncates the shard's trace to
+        the mark before replaying, keeping spans exactly-once.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        checkpoint_time = int(snapshot["engine"]["t"])
+        self._trace_marks[(index, log_index, checkpoint_time)] = (
+            tracer.shard_event_count(index)
+        )
+        tracer.event(
+            self._now,
+            "checkpoint",
+            None,
+            {"shard": index, "log_index": log_index, "t": checkpoint_time},
+        )
 
     def _load_checkpoint(self, index: int) -> tuple[int, Optional[dict[str, Any]]]:
         """Latest usable checkpoint for one shard; ``(0, None)`` means
@@ -341,6 +390,18 @@ class ClusterService:
         started = time.perf_counter()
         log_index, snapshot = self._load_checkpoint(index)
         checkpoint_time = 0 if snapshot is None else int(snapshot["engine"]["t"])
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            # drop the crashed shard's post-checkpoint events; the keyed
+            # replay below deterministically regenerates them exactly once
+            keep = (
+                0
+                if snapshot is None
+                else self._trace_marks.get(
+                    (index, log_index, checkpoint_time), 0
+                )
+            )
+            tracer.truncate_shard(index, keep)
         shard = self.shards[index]
         shard.restore(snapshot)
         tail = self.logs[index].entries[log_index:]
@@ -348,6 +409,17 @@ class ClusterService:
             shard.submit(spec, entry_t, key=self._submit_key(index, offset))
         self._stats_cache = None
         self.cluster_metrics.counter("recoveries_total").inc()
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                t,
+                "recovery",
+                None,
+                {
+                    "shard": index,
+                    "checkpoint_time": checkpoint_time,
+                    "replayed": len(tail),
+                },
+            )
         event = RecoveryEvent(
             shard=index,
             time=t,
@@ -388,8 +460,17 @@ class ClusterService:
             for shard in self.shards
         ]
         moved = 0
+        tracer = self.tracer
+        emit = tracer is not None and tracer.enabled
         for move in self.migration.plan(stats):
             for spec in self.shards[move.src].take_queued(move.n):
+                if emit:
+                    tracer.event(
+                        t,
+                        "migrate",
+                        spec.job_id,
+                        {"src": move.src, "dst": move.dst},
+                    )
                 key = None
                 if self._log_submissions:
                     entry_index = self.logs[move.dst].record(t, spec)

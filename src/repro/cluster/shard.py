@@ -81,6 +81,20 @@ class ShardHandle:
         self.index = index
         self.config = config
         self.alive = False
+        #: shard-tagged trace view (see repro.observability.recorder);
+        #: attached by the cluster before start()
+        self.tracer: Optional[Any] = None
+
+    def attach_tracer(self, tracer: Optional[Any]) -> None:
+        """Attach this shard's trace view; the next (re)start wires it
+        into the shard's service.
+
+        In-process shards record every service/engine event shard-
+        tagged; process-mode shards keep the tracer parent-side (the
+        cluster still records routing, checkpoint and recovery events
+        for them, but not in-worker lifecycle events).
+        """
+        self.tracer = tracer
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -166,6 +180,8 @@ class InProcessShard(ShardHandle):
     def start(self) -> None:
         """Build and start a fresh service from the config."""
         self.service = self.config.build_service()
+        if self.tracer is not None:
+            self.service.attach_tracer(self.tracer)
         self.service.start()
         self.alive = True
         self._seen_keys = set()
@@ -187,6 +203,8 @@ class InProcessShard(ShardHandle):
         self.service = service_from_dict(
             snapshot, self.config.build_scheduler()
         )
+        if self.tracer is not None:
+            self.service.attach_tracer(self.tracer)
         self.alive = True
         self._seen_keys = set()
         self.chaos_hung = False

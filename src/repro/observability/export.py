@@ -1,0 +1,225 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Two on-disk formats, both JSON-tooling friendly:
+
+* **JSONL** -- one event per line, keys ``seq`` / ``shard`` / ``t`` /
+  ``kind`` / ``job`` / ``data``.  The canonical interchange format:
+  :func:`read_jsonl` round-trips it back into the recorder's tuple
+  layout, and every :mod:`repro.observability.spans` helper accepts
+  the result directly.
+* **Chrome trace-event** -- a JSON object loadable in
+  ``chrome://tracing`` / Perfetto.  Execution slices render as ``"X"``
+  (complete) events on per-shard process lanes, with one track per
+  machine; point events render as ``"i"`` (instant) events.  Simulated
+  time steps map to microseconds (``ts``), so the viewer's timeline is
+  the simulated clock.  The full original event list rides along under
+  ``otherData.repro``, which makes the conversion **lossless**:
+  :func:`from_chrome` recovers the exact JSONL events, so
+  ``repro-trace convert`` round-trips JSONL -> Chrome -> JSONL
+  bit-identically.
+
+Writes are crash-safe in the same way the telemetry registry's are:
+rendered to a temp file, fsynced, then atomically renamed over the
+target.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Optional
+
+from repro.observability.recorder import event_data
+
+#: Chrome trace-event export format version (under ``otherData.repro``).
+CHROME_EXPORT_VERSION = 1
+
+
+def event_to_dict(event: Any) -> dict[str, Any]:
+    """One recorder tuple (or already-exported dict) as a JSONL record.
+
+    Deferred slice payloads (``SliceData``) are rendered here, so the
+    exported record is always plain JSON."""
+    if isinstance(event, dict):
+        return event
+    seq, shard, t, kind, job_id, _ = event
+    data = event_data(event)
+    record: dict[str, Any] = {"seq": seq, "t": t, "kind": kind}
+    if shard is not None:
+        record["shard"] = shard
+    if job_id is not None:
+        record["job"] = job_id
+    if data is not None:
+        record["data"] = data
+    return record
+
+
+def event_from_dict(record: dict[str, Any]) -> tuple:
+    """One JSONL record back into the recorder tuple layout."""
+    return (
+        record.get("seq", 0),
+        record.get("shard"),
+        record["t"],
+        record["kind"],
+        record.get("job"),
+        record.get("data"),
+    )
+
+
+def _atomic_write(path: str, body: str) -> None:
+    """Write ``body`` to ``path`` via fsynced temp file + atomic rename."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def to_jsonl(events: Iterable[Any]) -> str:
+    """Render events as a JSONL string (one event per line)."""
+    return "".join(
+        json.dumps(event_to_dict(event)) + "\n" for event in events
+    )
+
+
+def write_jsonl(events: Iterable[Any], path: str) -> int:
+    """Write events to a JSONL file crash-safely; returns the count."""
+    records = [event_to_dict(event) for event in events]
+    _atomic_write(path, "".join(json.dumps(r) + "\n" for r in records))
+    return len(records)
+
+
+def read_jsonl(path: str) -> list[tuple]:
+    """Read a JSONL trace file back into recorder tuples."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def _chrome_pid(shard: Optional[int]) -> int:
+    """Process lane for one shard (cluster-level events live on pid 0)."""
+    return 0 if shard is None else int(shard) + 1
+
+
+def to_chrome(events: Iterable[Any], label: str = "repro") -> dict[str, Any]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Slices become ``"X"`` complete events, one per machine the entry
+    occupies (lanes assigned cumulatively in entry order, matching
+    :func:`repro.observability.spans.machine_intervals`); other events
+    become ``"i"`` instants.  The original events are embedded verbatim
+    under ``otherData.repro`` so :func:`from_chrome` is lossless.
+    """
+    records = [event_to_dict(event) for event in events]
+    trace_events: list[dict[str, Any]] = []
+    named_pids: set[int] = set()
+    for record in records:
+        shard = record.get("shard")
+        pid = _chrome_pid(shard)
+        if pid not in named_pids:
+            named_pids.add(pid)
+            scope = "cluster" if shard is None else f"shard {shard}"
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{label} {scope}"},
+                }
+            )
+        kind = record["kind"]
+        t = record["t"]
+        if kind == "slice" and record.get("data"):
+            data = record["data"]
+            duration = data["t1"] - t
+            offset = 0
+            for entry in data.get("entries", ()):
+                job_id, procs = int(entry[0]), int(entry[1])
+                for lane in range(offset, offset + procs):
+                    trace_events.append(
+                        {
+                            "name": f"job {job_id}",
+                            "cat": "execution",
+                            "ph": "X",
+                            "ts": t,
+                            "dur": duration,
+                            "pid": pid,
+                            "tid": lane,
+                            "args": {"procs": procs, "nodes": int(entry[2])},
+                        }
+                    )
+                offset += procs
+            continue
+        event_args: dict[str, Any] = {}
+        if record.get("job") is not None:
+            event_args["job"] = record["job"]
+        if record.get("data") is not None:
+            event_args.update(record["data"])
+        name = kind if record.get("job") is None else (
+            f"{kind} job {record['job']}"
+        )
+        trace_events.append(
+            {
+                "name": name,
+                "cat": kind,
+                "ph": "i",
+                "s": "p",
+                "ts": t,
+                "pid": pid,
+                "tid": 0,
+                "args": event_args,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "repro": {"version": CHROME_EXPORT_VERSION, "events": records}
+        },
+    }
+
+
+def write_chrome(
+    events: Iterable[Any], path: str, label: str = "repro"
+) -> int:
+    """Write a Chrome trace-event file crash-safely; returns the number
+    of original events embedded."""
+    document = to_chrome(events, label=label)
+    _atomic_write(path, json.dumps(document) + "\n")
+    return len(document["otherData"]["repro"]["events"])
+
+
+def from_chrome(document: dict[str, Any]) -> list[tuple]:
+    """Recover the original events from a Chrome trace-event export.
+
+    Requires the ``otherData.repro`` payload :func:`to_chrome` embeds;
+    a foreign Chrome trace (without it) raises ``ValueError``.
+    """
+    payload = document.get("otherData", {}).get("repro")
+    if payload is None:
+        raise ValueError(
+            "not a repro-exported Chrome trace (missing otherData.repro)"
+        )
+    version = payload.get("version")
+    if version != CHROME_EXPORT_VERSION:
+        raise ValueError(f"unsupported Chrome export version {version!r}")
+    return [event_from_dict(record) for record in payload["events"]]
+
+
+def read_chrome(path: str) -> list[tuple]:
+    """Read a repro-exported Chrome trace file back into event tuples."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return from_chrome(json.load(fh))

@@ -1,0 +1,102 @@
+"""Ring-buffered histograms for hot-path metrics.
+
+:class:`RingHistogram` keeps a bounded window of the most recent
+observations (decision latencies, queue depths, restart durations)
+plus running aggregates over *all* observations -- count, total, min,
+max -- so long runs get quantiles over a recent window and exact
+lifetime totals without unbounded memory.
+
+The whole simulation stack is single-threaded; "lock-free" here means
+literally lock-free -- plain list writes, no synchronization, no
+atomics -- so an ``observe`` costs one index, one store, and four
+scalar updates.  Histograms extend the existing telemetry registry
+(:meth:`repro.service.telemetry.MetricsRegistry.histogram`) but stay
+out of its samples and checkpoints, keeping telemetry output and
+snapshot formats bit-identical with or without observability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class RingHistogram:
+    """Fixed-capacity ring of observations with running aggregates."""
+
+    __slots__ = ("name", "capacity", "count", "total", "min", "max", "_ring")
+
+    def __init__(self, name: str, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("histogram capacity must be >= 1")
+        self.name = name
+        self.capacity = int(capacity)
+        #: lifetime number of observations (>= len(window))
+        self.count = 0
+        #: lifetime sum of observations
+        self.total = 0.0
+        #: lifetime minimum (None until the first observation)
+        self.min: Optional[float] = None
+        #: lifetime maximum (None until the first observation)
+        self.max: Optional[float] = None
+        self._ring: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation (overwrites the oldest when full)."""
+        value = float(value)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(value)
+        else:
+            ring[self.count % self.capacity] = value
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def window(self) -> list[float]:
+        """Retained observations, oldest first."""
+        if self.count <= self.capacity:
+            return list(self._ring)
+        pos = self.count % self.capacity
+        return self._ring[pos:] + self._ring[:pos]
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Windowed quantile ``q`` in [0, 1] (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._ring:
+            return None
+        ordered = sorted(self._ring)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float:
+        """Lifetime mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """Flat JSON-compatible summary: lifetime aggregates plus
+        windowed p50/p90/p99."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def __len__(self) -> int:
+        """Number of retained (windowed) observations."""
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RingHistogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.6g})"
+        )

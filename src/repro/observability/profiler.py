@@ -1,0 +1,89 @@
+"""Profiling hooks: wall-clock timing of named engine hot-path sections.
+
+A :class:`Profiler` owns one :class:`~repro.observability.metrics.
+RingHistogram` per named section.  The engine hoists the sections it
+times (``allocate`` -- one scheduler decision, i.e. decision latency --
+and ``execute`` -- one chunk execution) into locals at session start,
+so the per-decision cost with no profiler attached is a single ``None``
+check.
+
+Wall-clock readings never enter simulated state: profiling a run
+changes nothing about its records, counters, or profit (the same
+bit-identity contract tracing obeys), it only *observes* where the
+wall time goes.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.observability.metrics import RingHistogram
+
+
+class Profiler:
+    """Named hot-path section timings backed by ring histograms."""
+
+    __slots__ = ("sections", "capacity")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("profiler capacity must be >= 1")
+        #: section name -> RingHistogram of seconds per invocation
+        self.sections: dict[str, RingHistogram] = {}
+        self.capacity = int(capacity)
+
+    def section(self, name: str) -> RingHistogram:
+        """Get (or lazily create) the histogram for section ``name``.
+
+        Hot paths call this once per session and then ``observe``
+        elapsed ``time.perf_counter`` deltas directly on the result.
+        """
+        hist = self.sections.get(name)
+        if hist is None:
+            hist = self.sections[name] = RingHistogram(
+                name, capacity=self.capacity
+            )
+        return hist
+
+    def time(self, name: str) -> "_Timer":
+        """Context manager timing one block into section ``name``.
+
+        >>> profiler = Profiler()
+        >>> with profiler.time("setup"):
+        ...     pass
+        >>> profiler.section("setup").count
+        1
+        """
+        return _Timer(self.section(name))
+
+    def summary(self) -> dict[str, dict[str, Any]]:
+        """Per-section summaries (see :meth:`RingHistogram.summary`),
+        sorted by total time descending."""
+        return {
+            name: hist.summary()
+            for name, hist in sorted(
+                self.sections.items(),
+                key=lambda item: -item[1].total,
+            )
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Profiler(sections={sorted(self.sections)})"
+
+
+class _Timer:
+    """Context manager recording one elapsed interval into a histogram."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: RingHistogram) -> None:
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._hist.observe(perf_counter() - self._start)

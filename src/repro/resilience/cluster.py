@@ -107,6 +107,7 @@ class ResilientClusterService(ClusterService):
         checkpoint_dir: Optional[str] = None,
         checkpoint_keep: int = 2,
         wal_fsync_every: int = 8,
+        tracer: Optional[Any] = None,
     ) -> None:
         super().__init__(
             m,
@@ -119,6 +120,7 @@ class ResilientClusterService(ClusterService):
             fault_injector=fault_injector,
             checkpoint_every=checkpoint_every,
             stats_refresh=stats_refresh,
+            tracer=tracer,
         )
         # recovery machinery is always on, injector or not
         self._log_submissions = True
@@ -192,6 +194,17 @@ class ResilientClusterService(ClusterService):
                 )
             )
             self.cluster_metrics.counter("cluster_shed_total").inc()
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    at, "submit", spec.job_id, {"outcome": "cluster-shed"}
+                )
+                tracer.event(
+                    at,
+                    "cluster-shed",
+                    spec.job_id,
+                    {"reason": "no-healthy-shard", "profit": spec.profit},
+                )
             return -1
 
     def advance_to(self, t: int) -> int:
@@ -308,6 +321,7 @@ class ResilientClusterService(ClusterService):
     ) -> None:
         if self.store is not None:
             self.store.save(index, log_index, snapshot)
+            self._note_trace_mark(index, log_index, snapshot)
         else:
             super()._save_checkpoint(index, log_index, snapshot)
 
@@ -315,6 +329,35 @@ class ResilientClusterService(ClusterService):
         if self.store is not None:
             return self.store.load(index)
         return super()._load_checkpoint(index)
+
+    def note_supervision(self, event) -> None:
+        """Record one supervisor action in telemetry and the trace.
+
+        Called by :meth:`ShardSupervisor.handle_failure` after each
+        restart/degrade: bumps the per-shard restart counter, feeds the
+        ``restart_seconds`` histogram, and emits a ``supervision`` trace
+        event (cluster-level, so recovery truncation never drops it).
+        """
+        if event.action == "restart":
+            self.cluster_metrics.counter(
+                f"restarts_shard_{event.shard}"
+            ).inc()
+            self.cluster_metrics.histogram("restart_seconds").observe(
+                event.restart_seconds
+            )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                event.time,
+                "supervision",
+                None,
+                {
+                    "shard": event.shard,
+                    "reason": event.reason,
+                    "action": event.action,
+                    "restarts": event.restarts,
+                },
+            )
 
     def mark_degraded(self, index: int) -> None:
         """Take a shard permanently out of service (budget exhausted):

@@ -189,6 +189,7 @@ class ShardSupervisor:
             backoff_seconds=backoff,
         )
         self.events.append(event)
+        self._notify(cluster, event)
         return event
 
     def _exhaust(
@@ -223,7 +224,16 @@ class ShardSupervisor:
             backoff_seconds=0.0,
         )
         self.events.append(event)
+        self._notify(cluster, event)
         return event
+
+    @staticmethod
+    def _notify(cluster, event: SupervisionEvent) -> None:
+        """Report one handled failure back to the cluster, when it
+        exposes ``note_supervision`` (telemetry + trace hooks)."""
+        notify = getattr(cluster, "note_supervision", None)
+        if notify is not None:
+            notify(event)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -193,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint-path", default=None, metavar="PATH",
         help="where to write the checkpoint (default: in-memory only)",
     )
+    out.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured decision trace and write it to PATH "
+        "as JSONL (inspect with repro-trace)",
+    )
     return parser
 
 
@@ -226,8 +231,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     )
     specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+    tracer = None
+    if args.trace:
+        from repro.observability import TraceRecorder
+
+        tracer = TraceRecorder()
     if args.shards > 1:
-        return _main_cluster(args, specs)
+        return _main_cluster(args, specs, tracer)
     log = SubmissionLog()
     sink = open(args.metrics, "w", encoding="utf-8") if args.metrics else None
     try:
@@ -242,6 +252,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             metrics=metrics,
             sample_every=args.sample_every,
             recorder=log,
+            tracer=tracer,
         )
         service.start()
         print(
@@ -257,7 +268,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 and not checkpointed
                 and spec.arrival >= args.checkpoint_at
             ):
-                service = _checkpoint_restore(service, args, metrics, log)
+                service = _checkpoint_restore(
+                    service, args, metrics, log, tracer
+                )
                 checkpointed = True
             service.submit(spec, t=spec.arrival)
             if args.report_every and i % args.report_every == 0:
@@ -278,10 +291,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"decisions:       {counters.decisions}")
     if args.metrics:
         print(f"metrics written: {args.metrics}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     return 0
 
 
-def _main_cluster(args: argparse.Namespace, specs: list) -> int:
+def _write_trace(tracer, path: str) -> None:
+    """Export a recorded trace as JSONL and announce it."""
+    from repro.observability import write_jsonl
+
+    write_jsonl(tracer.events, path)
+    print(f"trace written:   {path} ({len(tracer)} events)")
+
+
+def _main_cluster(
+    args: argparse.Namespace, specs: list, tracer=None
+) -> int:
     """Serve the stream through a sharded cluster (``--shards > 1``).
 
     With ``--supervise`` or ``--chaos`` the resilient cluster serves
@@ -351,6 +376,7 @@ def _main_cluster(args: argparse.Namespace, specs: list) -> int:
             ),
             wal_dir=args.wal_dir,
             checkpoint_dir=args.checkpoint_dir,
+            tracer=tracer,
         )
     else:
         cluster = ClusterService(
@@ -363,6 +389,7 @@ def _main_cluster(args: argparse.Namespace, specs: list) -> int:
             migrate_every=args.migrate_every,
             fault_injector=injector,
             checkpoint_every=args.checkpoint_every if injector else None,
+            tracer=tracer,
         )
     cluster.start()
     print(
@@ -433,6 +460,8 @@ def _main_cluster(args: argparse.Namespace, specs: list) -> int:
     cluster_shed = result.extra.get("cluster_shed", [])
     if cluster_shed:
         print(f"cluster_shed:    {len(cluster_shed)}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
     if args.metrics:
         merged = result.metrics
         merged.samples = sorted(
@@ -453,6 +482,7 @@ def _checkpoint_restore(
     args: argparse.Namespace,
     metrics: MetricsRegistry,
     log: SubmissionLog,
+    tracer=None,
 ) -> SchedulingService:
     """Snapshot the live service, discard it, restore, and continue."""
     from repro.service.snapshot import service_from_dict, service_to_dict
@@ -475,6 +505,8 @@ def _checkpoint_restore(
             recorder=log,
         )
         where = "<memory>"
+    if tracer is not None:
+        restored.attach_tracer(tracer)
     print(
         f"checkpoint: t={restored.now} restored from {where} "
         f"({restored.in_flight} in flight, depth={restored.queue.depth})",

@@ -121,6 +121,15 @@ class SchedulingService:
     recorder:
         Optional :class:`~repro.service.replay.SubmissionLog`; every
         submission is recorded for deterministic re-driving.
+    tracer:
+        Optional structured trace recorder (see
+        :mod:`repro.observability.recorder`).  Forwarded to the engine
+        and additionally fed the service-level lifecycle events:
+        ``submit`` (with its admission outcome), ``release`` and the
+        terminal ``shed``.  Tracing never changes the run.
+    profiler:
+        Optional :class:`~repro.observability.profiler.Profiler`
+        forwarded to the engine's hot-path sections.
     """
 
     def __init__(
@@ -139,6 +148,8 @@ class SchedulingService:
         metrics: Optional[MetricsRegistry] = None,
         sample_every: Optional[int] = None,
         recorder: Optional[Any] = None,
+        tracer: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         if max_in_flight is not None and max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")
@@ -151,7 +162,10 @@ class SchedulingService:
             speed=speed,
             horizon=horizon,
             preemption_overhead=preemption_overhead,
+            recorder=tracer,
+            profiler=profiler,
         )
+        self.tracer = tracer
         self.queue = IngestQueue(capacity, shed_policy)
         self.max_in_flight = max_in_flight
         if constants is None:
@@ -173,6 +187,19 @@ class SchedulingService:
         """Open the underlying engine session (idempotent)."""
         if not self.sim.started:
             self.sim.start()
+
+    def attach_tracer(
+        self, tracer: Optional[Any], profiler: Optional[Any] = None
+    ) -> None:
+        """Attach (or detach, with ``None``) a trace recorder mid-life.
+
+        Used by cluster shards to re-attach their shard-tagged trace
+        view after a restore; takes effect from the next engine advance.
+        """
+        self.tracer = tracer
+        self.sim.recorder = tracer
+        if profiler is not None:
+            self.sim.profiler = profiler
 
     @property
     def now(self) -> int:
@@ -211,10 +238,17 @@ class SchedulingService:
         self._release()
         self._maybe_sample()
         if victim is entry:
-            return Admission.SHED
-        if any(e is entry for e in self.queue.entries()):
-            return Admission.QUEUED
-        return Admission.ADMITTED
+            outcome = Admission.SHED
+        elif any(e is entry for e in self.queue.entries()):
+            outcome = Admission.QUEUED
+        else:
+            outcome = Admission.ADMITTED
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                now, "submit", spec.job_id, {"outcome": outcome.value}
+            )
+        return outcome
 
     def advance_to(self, t: int) -> int:
         """Advance simulated time, releasing queued jobs as slots free."""
@@ -296,6 +330,14 @@ class SchedulingService:
                     self._note_shed(entry, now, "expired-in-queue")
                     continue
                 spec = replace(spec, arrival=now)
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.event(
+                    now,
+                    "release",
+                    spec.job_id,
+                    {"waited": now - entry.enqueued_at},
+                )
             self.sim.submit(spec)
             self.metrics.counter("released_total").inc()
 
@@ -312,9 +354,22 @@ class SchedulingService:
         self.metrics.counter("shed_total").inc()
         if reason == "expired-in-queue":
             self.metrics.counter("queue_expired_total").inc()
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                t,
+                "shed",
+                entry.job_id,
+                {
+                    "reason": reason,
+                    "density": entry.density,
+                    "profit": entry.spec.profit,
+                },
+            )
 
     def _maybe_sample(self) -> None:
         now = self.sim.now
+        self.metrics.histogram("queue_depth").observe(self.queue.depth)
         if (
             self.sample_every is not None
             and self._last_sample_t is not None

@@ -70,6 +70,7 @@ class MetricsRegistry:
     ) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Any] = {}
         self._mean_counts: dict[str, int] = {}
         self.sink = sink
         self.keep_samples = bool(keep_samples)
@@ -90,6 +91,33 @@ class MetricsRegistry:
         if metric is None:
             metric = self._gauges[name] = Gauge(name)
         return metric
+
+    def histogram(self, name: str, capacity: int = 1024) -> Any:
+        """Get (or lazily create) the ring histogram called ``name``.
+
+        Histograms (see
+        :class:`~repro.observability.metrics.RingHistogram`) record
+        distributions -- decision latency, queue depth, restart
+        duration -- that counters and gauges flatten away.  They stay
+        out of :meth:`values`, :meth:`sample` and :meth:`state_to_dict`
+        deliberately: samples and checkpoints remain bit-identical
+        whether or not anything observes a histogram.
+        """
+        metric = self._histograms.get(name)
+        if metric is None:
+            from repro.observability.metrics import RingHistogram
+
+            metric = self._histograms[name] = RingHistogram(
+                name, capacity=capacity
+            )
+        return metric
+
+    def histograms(self) -> dict[str, dict[str, Any]]:
+        """Summaries of every histogram (see ``RingHistogram.summary``)."""
+        return {
+            name: self._histograms[name].summary()
+            for name in sorted(self._histograms)
+        }
 
     def values(self) -> dict[str, float]:
         """Current value of every metric, counters before gauges."""
@@ -226,6 +254,11 @@ def merge_registries(
     >>> merged.values()
     {'completed_total': 7.0, 'utilization': 0.75}
     """
+    # Materialize once: a single-use iterator passed as ``mean_gauges``
+    # would otherwise be exhausted by the first merge_from's set() call,
+    # silently dropping the mean roll-up (and its count bookkeeping) for
+    # every later registry.
+    mean_gauges = frozenset(mean_gauges)
     merged = MetricsRegistry()
     for registry in registries:
         merged.merge_from(registry, mean_gauges=mean_gauges)

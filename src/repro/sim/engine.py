@@ -56,9 +56,11 @@ import logging
 import math
 from dataclasses import dataclass, field
 from itertools import islice
+from time import perf_counter
 from typing import Any, Optional, Sequence
 
 from repro.errors import AllocationError, SimulationError
+from repro.observability.recorder import SliceData, scheduler_admission
 from repro.sim.jobs import ActiveJob, CompletionRecord, JobSpec, JobView
 from repro.sim.picker import FIFOPicker, NodePicker
 from repro.sim.scheduler import Scheduler
@@ -178,6 +180,18 @@ class Simulator:
         Work added to a node each time it is preempted mid-execution
         (context-switch cost; capped at the node's original work).
         Default 0 = the paper's free-preemption model.
+    recorder:
+        Optional structured trace recorder (see
+        :mod:`repro.observability.recorder`): every lifecycle transition
+        and decision point emits an event.  ``None`` (default) and the
+        shared ``NULL_RECORDER`` both reduce the per-event cost to one
+        hoisted ``None`` check.  Recording never changes simulated
+        state, records, counters or profit.
+    profiler:
+        Optional :class:`~repro.observability.profiler.Profiler` timing
+        the named hot-path sections ``allocate`` (one scheduler
+        decision, i.e. decision latency) and ``execute`` (one chunk
+        execution).  Wall-clock only; never touches simulated state.
     """
 
     def __init__(
@@ -190,6 +204,8 @@ class Simulator:
         horizon: Optional[int] = None,
         validate: bool = False,
         preemption_overhead: float = 0.0,
+        recorder: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> None:
         if m < 1:
             raise ValueError("m must be >= 1")
@@ -207,6 +223,8 @@ class Simulator:
         self.horizon = horizon
         self.validate = bool(validate)
         self.preemption_overhead = float(preemption_overhead)
+        self.recorder = recorder
+        self.profiler = profiler
         self._state: Optional[_RunState] = None
 
     # ------------------------------------------------------------------
@@ -264,6 +282,9 @@ class Simulator:
             )
         state.ids.add(spec.job_id)
         heapq.heappush(state.pending, (spec.arrival, spec.job_id, spec))
+        rec = self.recorder
+        if rec is not None and rec.enabled:
+            rec.event(state.t, "submit", spec.job_id)
 
     def advance_to(self, target: int) -> int:
         """Advance simulated time to ``target`` and return the clock.
@@ -285,6 +306,8 @@ class Simulator:
         return the final :class:`SimulationResult`; the session closes."""
         state = self._require_session()
         self._advance(None)
+        rec = self.recorder
+        emit = rec.event if (rec is not None and rec.enabled) else None
         # jobs never released (horizon before arrival) get empty records
         while state.pending:
             _, job_id, spec = heapq.heappop(state.pending)
@@ -297,6 +320,8 @@ class Simulator:
                 abandoned=True,
             )
             state.counters.abandons += 1
+            if emit is not None:
+                emit(state.t, "abandon", job_id)
         result = SimulationResult(
             m=self.m,
             speed=self.speed,
@@ -487,6 +512,18 @@ class Simulator:
         inf = math.inf
         ceil = math.ceil
         debug_log = logger.isEnabledFor(logging.DEBUG)
+        # Observability hoists: with no recorder (or the NULL_RECORDER)
+        # attached, every emit site below is one local None check.
+        rec = self.recorder
+        emit = rec.event if (rec is not None and rec.enabled) else None
+        prof = self.profiler
+        if prof is not None:
+            prof_alloc = prof.section("allocate")
+            prof_exec = prof.section("execute")
+            perf = perf_counter
+        else:
+            prof_alloc = prof_exec = None
+            perf = None
 
         while not state.done:
             if target is not None and state.t >= target:
@@ -517,6 +554,8 @@ class Simulator:
                 active[spec.job_id] = job
                 if trace:
                     trace.event(spec.arrival, EventKind.ARRIVAL, spec.job_id)
+                if emit is not None:
+                    emit(spec.arrival, "arrival", spec.job_id)
                 if debug_log:
                     logger.debug(
                         "t=%d arrival job=%d W=%.6g L=%.6g d=%s",
@@ -537,6 +576,11 @@ class Simulator:
                 eff = job.effective_deadline()
                 if eff is not None:
                     heappush(deadline_heap, (eff, spec.job_id))
+                if emit is not None:
+                    info = scheduler_admission(scheduler, spec.job_id) or {}
+                    if job.assigned_deadline is not None:
+                        info["assigned_deadline"] = job.assigned_deadline
+                    emit(state.t, "admission", spec.job_id, info or None)
 
             # ---- expiries at t -------------------------------------------
             while deadline_heap and deadline_heap[0][0] <= state.t:
@@ -556,6 +600,8 @@ class Simulator:
                 counters.expiries += 1
                 if trace:
                     trace.event(state.t, EventKind.EXPIRY, job_id)
+                if emit is not None:
+                    emit(state.t, "expiry", job_id)
                 if debug_log:
                     logger.debug("t=%d expiry job=%d", state.t, job_id)
                 scheduler.on_expiry(job.view, state.t)
@@ -575,7 +621,12 @@ class Simulator:
             t = state.t
 
             # ---- allocation ----------------------------------------------
-            alloc = scheduler.allocate(t)
+            if prof_alloc is not None:
+                _p0 = perf()
+                alloc = scheduler.allocate(t)
+                prof_alloc.observe(perf() - _p0)
+            else:
+                alloc = scheduler.allocate(t)
             self._check_allocation(alloc, active)
             counters.decisions += 1
 
@@ -688,6 +739,18 @@ class Simulator:
                                     dag.add_overhead(nd, overhead)
                             job.executing = ()
 
+            if emit is not None:
+                emit(
+                    t,
+                    "decision",
+                    None,
+                    {
+                        "jobs": len(assignment),
+                        "procs": allocated_procs,
+                        "active": len(active),
+                    },
+                )
+
             # ---- choose chunk length dt (the event-jump distance) --------
             # Minimum over the four event sources: next pending arrival,
             # next effective-deadline expiry, earliest node completion
@@ -742,6 +805,8 @@ class Simulator:
                     break
 
             # ---- execute the chunk ---------------------------------------
+            if prof_exec is not None:
+                _p0 = perf()
             completions: list[ActiveJob] = []
             amount = speed * dt
             finished_any: list[tuple[ActiveJob, DAGJob]] = []
@@ -786,6 +851,8 @@ class Simulator:
             counters.steps += dt
             counters.allocated_steps += allocated_procs * dt
             counters.busy_steps += executing_procs * dt
+            if prof_exec is not None:
+                prof_exec.observe(perf() - _p0)
             if trace:
                 trace.slice(
                     t,
@@ -795,6 +862,13 @@ class Simulator:
                         for job, nodes, k, _dag in assignment
                     ),
                 )
+            if emit is not None:
+                # the assignment list is rebuilt fresh at every decision
+                # and its node lists are replaced (never mutated), so the
+                # slice payload can be captured by reference and rendered
+                # lazily when the trace is read -- per-entry rendering
+                # here was the single largest cost of tracing
+                emit(t, "slice", None, SliceData(t + dt, assignment))
             t += dt
             state.t = t
 
@@ -813,6 +887,13 @@ class Simulator:
                 counters.completions += 1
                 if trace:
                     trace.event(t, EventKind.COMPLETION, job.job_id)
+                if emit is not None:
+                    emit(
+                        t,
+                        "completion",
+                        job.job_id,
+                        {"profit": job.earned_profit},
+                    )
                 if debug_log:
                     logger.debug(
                         "t=%d completion job=%d profit=%.6g",
@@ -870,6 +951,8 @@ class Simulator:
             raise AllocationError(f"allocation uses {total} > m={self.m} processors")
 
     def _abandon_all(self, state: _RunState) -> None:
+        rec = self.recorder
+        emit = rec.event if (rec is not None and rec.enabled) else None
         for job_id, job in list(state.active.items()):
             job.abandoned = True
             job.dag.mark_preempted(job.executing)
@@ -879,6 +962,8 @@ class Simulator:
             state.counters.abandons += 1
             if state.trace:
                 state.trace.event(state.t, EventKind.ABANDON, job_id)
+            if emit is not None:
+                emit(state.t, "abandon", job_id)
             del state.active[job_id]
 
     def _validate_state(self, active: dict[int, ActiveJob]) -> None:

@@ -1,0 +1,238 @@
+"""Property tests of the trace layer: spans, intervals, histograms.
+
+The invariants pinned here hold for *every* recorded trace, whatever
+the workload:
+
+* every submitted job reaches **exactly one** terminal event
+  (completed / missed / shed / abandoned), and no terminal is orphaned;
+* per-machine execution intervals derived from slices never overlap --
+  a machine runs one node at a time -- and each job's slices fall
+  inside its lifecycle span;
+* the profit recomputed from completion events in trace order is
+  **bit-equal** to the engine-reported total profit;
+* :class:`~repro.observability.RingHistogram` summaries agree with a
+  brute-force recomputation over any observation sequence (hypothesis).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import GlobalEDF
+from repro.core import SNSScheduler
+from repro.observability import (
+    EVENT_KINDS,
+    TERMINAL_KINDS,
+    Profiler,
+    RingHistogram,
+    TraceRecorder,
+    build_spans,
+    event_data,
+    machine_intervals,
+    recompute_profit,
+    submitted_ids,
+    to_jsonl,
+    validate_trace,
+)
+from repro.service import SchedulingService, make_shed_policy
+from repro.sim import Simulator
+from repro.workloads import WorkloadConfig, generate_workload
+
+
+def traced_engine_run(n_jobs=60, m=8, family="mixed", seed=0, load=2.5,
+                      scheduler=None):
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=load, family=family,
+            epsilon=1.0, seed=seed,
+        )
+    )
+    tracer = TraceRecorder()
+    result = Simulator(
+        m=m,
+        scheduler=scheduler or SNSScheduler(epsilon=1.0),
+        recorder=tracer,
+    ).run(specs)
+    return tracer, result, specs
+
+
+class TestTraceInvariants:
+    @pytest.mark.parametrize("family", ["chain", "fork_join", "mixed"])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_engine_trace_is_valid(self, family, seed):
+        tracer, _result, _specs = traced_engine_run(family=family, seed=seed)
+        assert validate_trace(tracer.events) == []
+
+    def test_baseline_scheduler_trace_is_valid(self):
+        tracer, _result, _specs = traced_engine_run(scheduler=GlobalEDF())
+        assert validate_trace(tracer.events) == []
+
+    def test_every_kind_is_registered(self):
+        tracer, _result, _specs = traced_engine_run()
+        assert {ev[3] for ev in tracer.events} <= set(EVENT_KINDS)
+
+    def test_exactly_one_terminal_per_submitted_job(self):
+        tracer, result, specs = traced_engine_run(load=3.0)
+        spans = build_spans(tracer.events)
+        submitted = submitted_ids(tracer.events)
+        assert submitted == {sp.job_id for sp in specs}
+        for job_id in submitted:
+            assert len(spans[job_id].terminal_events) == 1
+        terminals = {s.terminal for s in spans.values()}
+        assert terminals <= set(TERMINAL_KINDS.values())
+
+    def test_recomputed_profit_bit_equal(self):
+        tracer, result, _specs = traced_engine_run(seed=5)
+        assert recompute_profit(tracer.events) == result.total_profit
+
+    def test_machine_intervals_never_overlap_and_respect_m(self):
+        m = 8
+        tracer, _result, _specs = traced_engine_run(m=m, seed=2)
+        lanes = machine_intervals(tracer.events)
+        assert lanes
+        assert all(0 <= lane < m for _shard, lane in lanes)
+        for intervals in lanes.values():
+            prev_end = None
+            for t0, t1, _job in intervals:
+                assert t0 < t1
+                if prev_end is not None:
+                    assert t0 >= prev_end
+                prev_end = t1
+
+    def test_slices_fall_inside_job_spans(self):
+        tracer, _result, _specs = traced_engine_run(seed=4)
+        spans = build_spans(tracer.events)
+        for ev in tracer.events:
+            if ev[3] != "slice":
+                continue
+            data = event_data(ev)
+            for job_id, _k, _nodes in data["entries"]:
+                span = spans[job_id]
+                assert span.start <= ev[2]
+                assert span.end is None or data["t1"] <= span.end
+
+    def test_service_trace_with_shedding_is_valid(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=80, m=4, load=4.0, epsilon=1.0, seed=6)
+        )
+        tracer = TraceRecorder()
+        service = SchedulingService(
+            4,
+            SNSScheduler(epsilon=1.0),
+            capacity=8,
+            shed_policy=make_shed_policy("reject-lowest-density"),
+            max_in_flight=4,
+            tracer=tracer,
+        )
+        result = service.run_stream(specs)
+        assert validate_trace(tracer.events) == []
+        spans = build_spans(tracer.events)
+        shed = [s for s in spans.values() if s.terminal == "shed"]
+        assert len(shed) == result.num_shed
+        assert recompute_profit(tracer.events) == result.result.total_profit
+
+    def test_validator_flags_violations(self):
+        """The validator actually fires on malformed traces."""
+        # submitted but never terminated
+        assert validate_trace([(0, None, 1, "submit", 42, None)])
+        # duplicate terminals
+        dup = [
+            (0, None, 1, "submit", 7, None),
+            (1, None, 2, "completion", 7, {"profit": 1.0}),
+            (2, None, 3, "completion", 7, {"profit": 1.0}),
+        ]
+        assert any("terminal" in p for p in validate_trace(dup))
+        # orphaned terminal
+        orphan = [(0, None, 2, "expiry", 9, None)]
+        assert any("orphan" in p for p in validate_trace(orphan))
+        # overlapping machine intervals
+        overlap = [
+            (0, None, 0, "submit", 1, None),
+            (1, None, 0, "submit", 2, None),
+            (2, None, 0, "slice", None,
+             {"t1": 4, "entries": [(1, 1, 1), (2, 1, 1)]}),
+            (3, None, 2, "slice", None, {"t1": 5, "entries": [(1, 2, 1)]}),
+            (4, None, 5, "completion", 1, {"profit": 1.0}),
+            (5, None, 5, "completion", 2, {"profit": 1.0}),
+        ]
+        assert any("overlap" in p for p in validate_trace(overlap))
+
+    def test_jsonl_round_trip_preserves_invariants(self):
+        """The span helpers accept exported dicts, and a trace keeps its
+        invariants (and bit-equal profit) across the JSONL round-trip."""
+        import json
+
+        tracer, result, _specs = traced_engine_run(seed=8)
+        lines = to_jsonl(tracer.events).strip().splitlines()
+        back = [json.loads(line) for line in lines]
+        assert len(back) == len(tracer.events)
+        assert validate_trace(back) == []
+        assert recompute_profit(back) == result.total_profit
+        assert submitted_ids(back) == submitted_ids(tracer.events)
+
+
+class TestRingHistogram:
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-1e9, max_value=1e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+            max_size=200,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_summary_matches_bruteforce(self, values, capacity):
+        hist = RingHistogram("h", capacity=capacity)
+        for v in values:
+            hist.observe(v)
+        assert len(hist) == min(len(values), capacity)
+        assert hist.count == len(values)
+        if values:
+            assert hist.min == min(values)
+            assert hist.max == max(values)
+            assert hist.total == pytest.approx(sum(values))
+            # the retained window is exactly the most recent values,
+            # oldest first
+            assert list(hist.window()) == values[-capacity:]
+            window = sorted(values[-capacity:])
+            assert hist.quantile(0.5) == window[
+                min(len(window) - 1, int(0.5 * len(window)))
+            ]
+        else:
+            assert hist.summary()["count"] == 0
+
+    def test_quantile_bounds(self):
+        hist = RingHistogram("h", capacity=8)
+        for v in [5.0, 1.0, 3.0]:
+            hist.observe(v)
+        assert hist.quantile(0.0) == 1.0
+        assert hist.quantile(1.0) == 5.0
+
+
+class TestProfiler:
+    def test_sections_time_and_summarize(self):
+        prof = Profiler()
+        with prof.time("alpha"):
+            pass
+        with prof.time("alpha"):
+            pass
+        with prof.time("beta"):
+            pass
+        summary = prof.summary()
+        assert summary["alpha"]["count"] == 2
+        assert summary["beta"]["count"] == 1
+        assert all(entry["total"] >= 0.0 for entry in summary.values())
+
+    def test_engine_profiler_sections_populated(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=30, m=4, load=2.0, epsilon=1.0, seed=1)
+        )
+        prof = Profiler()
+        result = Simulator(
+            m=4, scheduler=SNSScheduler(epsilon=1.0), profiler=prof
+        ).run(specs)
+        summary = prof.summary()
+        assert summary["allocate"]["count"] == result.counters.decisions
+        assert summary["execute"]["count"] == result.counters.decisions

@@ -2,8 +2,24 @@
 
 import pytest
 
+from repro.cluster import ShardConfig
 from repro.errors import ClusterError
-from repro.resilience import ChaosEvent, ChaosSchedule, run_chaos
+from repro.observability import (
+    TraceRecorder,
+    from_chrome,
+    read_jsonl,
+    to_chrome,
+    to_jsonl,
+    validate_trace,
+    write_jsonl,
+)
+from repro.resilience import (
+    ChaosEvent,
+    ChaosSchedule,
+    ResilientClusterService,
+    SupervisorConfig,
+    run_chaos,
+)
 from repro.resilience.chaos import FAULT_KINDS
 from repro.workloads import WorkloadConfig, generate_workload
 
@@ -112,3 +128,72 @@ class TestMultiFault:
             "schedule", "mode", "clean_profit", "chaos_profit",
             "identical_records", "lost_jobs", "recoveries",
         }
+
+
+class TestChaosUnderTracing:
+    """Crash recovery with a live tracer: exactly-once spans.
+
+    Shard recovery truncates the crashed shard's trace back to its
+    checkpoint mark and the deterministic log-tail replay regenerates
+    the dropped events exactly once -- so a chaos-run trace must pass
+    every completeness invariant, carry no duplicate submissions, and
+    the traced run must stay bit-identical to the untraced one.
+    """
+
+    CFG = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    def _run_with_crash(self, specs, fault_t, tracer=None):
+        cluster = ResilientClusterService(
+            8, 2, config=self.CFG, mode="inprocess",
+            supervisor=SupervisorConfig(
+                heartbeat_every=4, backoff_base=0.0, backoff_max=0.0,
+                max_restarts=5,
+            ),
+            tracer=tracer,
+        )
+        cluster.start()
+        injected = False
+        for spec in specs:
+            if spec.arrival >= fault_t and not injected:
+                cluster.inject_crash(0)
+                injected = True
+            cluster.submit(spec, t=spec.arrival)
+        return cluster, cluster.finish()
+
+    def _traced_chaos_run(self):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        tracer = TraceRecorder()
+        cluster, result = self._run_with_crash(
+            specs, mid_time(specs), tracer=tracer
+        )
+        assert cluster.supervisor.events, "the crash was never detected"
+        return specs, tracer, result
+
+    def test_recovered_trace_has_exactly_once_spans(self):
+        specs, tracer, result = self._traced_chaos_run()
+        assert any(ev[3] == "recovery" for ev in tracer.events)
+        assert validate_trace(tracer.events) == []
+        # replayed submissions did not duplicate routing: every job was
+        # routed exactly once in the surviving trace
+        routed = sorted(ev[4] for ev in tracer.events if ev[3] == "route")
+        assert routed == sorted(sp.job_id for sp in specs)
+
+    def test_traced_chaos_run_is_bit_identical(self):
+        specs = sorted(workload(), key=lambda sp: (sp.arrival, sp.job_id))
+        fault_t = mid_time(specs)
+        _cluster, untraced = self._run_with_crash(specs, fault_t)
+        _cluster, traced = self._run_with_crash(
+            specs, fault_t, tracer=TraceRecorder()
+        )
+        assert traced.records == untraced.records
+        assert traced.total_profit == untraced.total_profit
+        assert traced.end_time == untraced.end_time
+
+    def test_chaos_trace_round_trips_through_chrome(self, tmp_path):
+        """JSONL -> Chrome -> JSONL is bit-identical on a recovery trace."""
+        _specs, tracer, _result = self._traced_chaos_run()
+        jsonl_path = tmp_path / "chaos.jsonl"
+        write_jsonl(tracer.events, str(jsonl_path))
+        recovered = from_chrome(to_chrome(read_jsonl(str(jsonl_path))))
+        assert to_jsonl(recovered) == jsonl_path.read_text()
+        assert validate_trace(recovered) == []

@@ -150,11 +150,81 @@ class TestMergeRegistries:
             "utilization": 0.5,
         }
 
+    def test_mean_gauges_iterator_not_exhausted(self):
+        """Regression: a single-use iterator as ``mean_gauges``.
+
+        ``merge_from`` materializes ``mean_gauges`` per call, so before
+        the fix an iterator was drained by the first registry's merge
+        and every later registry's ratio gauge was *summed* instead of
+        averaged (0.5 + 1.0 + 0.9 instead of their mean).
+        """
+        from repro.service.telemetry import merge_registries
+
+        shards = [
+            self._shardlike(3, 0.5),
+            self._shardlike(4, 1.0),
+            self._shardlike(5, 0.9),
+        ]
+        merged = merge_registries(shards, mean_gauges=iter(["utilization"]))
+        values = merged.values()
+        assert values["completed_total"] == 12.0
+        assert values["utilization"] == pytest.approx((0.5 + 1.0 + 0.9) / 3)
+
+    def test_mean_gauge_defined_on_single_shard_survives(self):
+        """A ratio gauge only one registry defines is not averaged away
+        (count 1 means no division)."""
+        from repro.service.telemetry import merge_registries
+
+        plain = MetricsRegistry()
+        plain.counter("completed_total").inc(2)
+        merged = merge_registries([plain, self._shardlike(3, 0.8)])
+        assert merged.values()["utilization"] == pytest.approx(0.8)
+
     def test_merge_from_accumulates(self):
         target = MetricsRegistry()
         target.merge_from(self._shardlike(1, 0.2))
         target.merge_from(self._shardlike(2, 0.4))
         assert target.values()["completed_total"] == 3.0
+
+
+class TestRegistryHistograms:
+    def test_histogram_lazily_created_and_shared(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("decision_seconds")
+        assert reg.histogram("decision_seconds") is hist
+        hist.observe(0.25)
+        hist.observe(0.75)
+        summary = reg.histograms()["decision_seconds"]
+        assert summary["count"] == 2
+        assert summary["mean"] == pytest.approx(0.5)
+
+    def test_histograms_stay_out_of_values_and_samples(self):
+        """Observing a histogram must not perturb samples, values or
+        checkpoints -- they stay bit-identical with observability on."""
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        before_values = reg.values()
+        before_state = reg.state_to_dict()
+        reg.histogram("queue_depth").observe(7.0)
+        assert reg.values() == before_values
+        assert reg.state_to_dict() == before_state
+        assert reg.sample(5) == {"t": 5, "n": 3.0}
+
+    def test_service_populates_queue_depth_histogram(self):
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=60, m=4, load=3.0, seed=2)
+        )
+        service = SchedulingService(
+            4,
+            SNSScheduler(epsilon=1.0),
+            capacity=8,
+            shed_policy=make_shed_policy("reject-lowest-density"),
+            max_in_flight=4,
+        )
+        service.run_stream(specs)
+        summary = service.metrics.histograms()["queue_depth"]
+        assert summary["count"] > 0
+        assert summary["max"] >= summary["min"] >= 0.0
 
 
 class TestServiceTelemetry:
