@@ -37,6 +37,15 @@ at all, with the disabled :data:`~repro.observability.NULL_RECORDER`
 ``--check`` the disabled path must cost < 2% over no recorder and full
 tracing < 10%, and all three runs must stay bit-identical.
 
+A fifth snapshot, ``BENCH_gateway.json``, covers the real-time gateway
+(:mod:`repro.gateway`) under a :class:`~repro.gateway.VirtualClock`:
+open-loop Poisson load at 0.8x/1.0x/1.2x saturation against a fixed
+4-shard cluster (gated at or below saturation on p99 admission latency
+<= 50 steps and near-zero shed), autoscaled profit on a flash-crowd
+trace vs every fixed shard count (gated at >= 95% of the best fixed k
+in full mode), and fingerprint bit-identity of two repeated seeded
+runs across an autoscaler up/down cycle.
+
 Timing methodology: each timed subject runs ``repeats`` times with the
 competing subjects interleaved round-robin (so machine-load drift hits
 all subjects equally) and garbage collection frozen around each run;
@@ -527,6 +536,162 @@ def bench_resilience_degraded(quick: bool) -> dict:
     }
 
 
+def _gateway_run(
+    n_jobs: int,
+    load: float,
+    *,
+    k_initial: int = 4,
+    autoscale: bool = False,
+    process: str = "poisson",
+    seed: int = 7,
+):
+    """One virtual-clock gateway run on the bench's canonical cluster:
+    m=8 split into 4 shard units, SNS per shard, least-loaded routing."""
+    from repro.cluster import ElasticCluster
+    from repro.gateway import (
+        Autoscaler,
+        Gateway,
+        LoadConfig,
+        LoadGenerator,
+        VirtualClock,
+    )
+
+    generator = LoadGenerator(
+        LoadConfig(n_jobs=n_jobs, m=8, load=load, seed=seed, process=process)
+    )
+    cluster = ElasticCluster(
+        m=8,
+        k_max=4,
+        k_initial=k_initial,
+        config=ShardConfig(
+            m=1,
+            scheduler="sns",
+            scheduler_kwargs={"epsilon": 1.0},
+            capacity=64,
+            max_in_flight=8,
+        ),
+        router="least-loaded",
+    )
+    autoscaler = Autoscaler(k_min=1, k_max=4) if autoscale else None
+    gateway = Gateway(
+        cluster,
+        generator,
+        clock=VirtualClock(),
+        tick_seconds=0.01,
+        steps_per_tick=10,
+        autoscaler=autoscaler,
+    )
+    start = time.perf_counter()
+    result = gateway.run()
+    return result, time.perf_counter() - start
+
+
+def bench_gateway_sustained(quick: bool) -> list[dict]:
+    """Open-loop Poisson load at 0.8x/1.0x/1.2x saturation, fixed k=4.
+
+    The gated rows are 0.8 and 1.0: at or below saturation the gateway
+    must keep p99 admission latency bounded (<= 50 simulated steps, 5
+    ticks of buffer wait) and shed almost nothing (<= 5% below
+    saturation, <= 10% at saturation).  The 1.2x row is reported for
+    context -- above saturation shedding is the *correct* response, so
+    it carries no bound.
+    """
+    n_jobs = 300 if quick else 1200
+    rows = []
+    for load in (0.8, 1.0, 1.2):
+        result, wall = _gateway_run(n_jobs, load)
+        summary = result.summary()
+        shed_total = summary["shed"] + summary["gateway_shed"]
+        shed_fraction = shed_total / max(summary["generated"], 1)
+        p99 = summary["admission_latency_p99"] or 0.0
+        gated = load <= 1.0
+        rows.append(
+            {
+                "load": load,
+                "n_jobs": n_jobs,
+                "ticks": summary["ticks"],
+                "sim_end": summary["sim_end"],
+                "bench_seconds": wall,
+                "jobs_per_sec": summary["generated"] / wall,
+                "admission_latency_p50": summary["admission_latency_p50"],
+                "admission_latency_p99": summary["admission_latency_p99"],
+                "shed_fraction": shed_fraction,
+                "total_profit": summary["total_profit"],
+                "gated": gated,
+                "latency_ok": (not gated) or p99 <= 50.0,
+                "shed_ok": (not gated)
+                or shed_fraction <= (0.10 if load >= 1.0 else 0.05),
+            }
+        )
+        print(
+            f"gateway load={load:.1f} n={n_jobs}: "
+            f"p99={p99:.1f} steps, shed={shed_fraction:.1%}, "
+            f"{rows[-1]['jobs_per_sec']:.0f} jobs/sec"
+        )
+    return rows
+
+
+def bench_gateway_autoscale(quick: bool) -> dict:
+    """Autoscaled profit vs every fixed shard count on one trace.
+
+    A flash-crowd trace at 1.2x saturation; the autoscaler starts at
+    k=1 and must earn >= 95% of the best fixed k's profit (gated in
+    full mode only -- the quick trace is too short for the hysteresis
+    windows to be meaningful).
+    """
+    n_jobs = 300 if quick else 1200
+    fixed = {}
+    for k in (1, 2, 3, 4):
+        result, _ = _gateway_run(n_jobs, 1.2, k_initial=k, process="flash-crowd")
+        fixed[k] = result.total_profit
+    auto, _ = _gateway_run(
+        n_jobs, 1.2, k_initial=1, autoscale=True, process="flash-crowd"
+    )
+    best_k = max(fixed, key=lambda k: fixed[k])
+    ratio = auto.total_profit / fixed[best_k] if fixed[best_k] > 0 else 1.0
+    row = {
+        "n_jobs": n_jobs,
+        "process": "flash-crowd",
+        "load": 1.2,
+        "fixed_profits": {str(k): p for k, p in fixed.items()},
+        "best_fixed_k": best_k,
+        "best_fixed_profit": fixed[best_k],
+        "autoscaled_profit": auto.total_profit,
+        "ratio": ratio,
+        "scale_path": [e.k_after for e in auto.scale_events],
+        "scale_events": len(auto.scale_events),
+        "ratio_ok": ratio >= 0.95,
+    }
+    print(
+        f"gateway autoscale: {auto.total_profit:.1f} vs best fixed "
+        f"k={best_k} {fixed[best_k]:.1f} ({ratio:.1%}), "
+        f"path {row['scale_path']}"
+    )
+    return row
+
+
+def bench_gateway_determinism(quick: bool) -> dict:
+    """Two identical seeded virtual-clock runs, fingerprint-equal.
+
+    Covers an autoscaler up/down cycle: the fingerprint hashes the
+    submission order and placement, front-door drops, scheduler sheds,
+    per-job profits (exact bit patterns) and the scale trajectory.
+    """
+    n_jobs = 300 if quick else 400
+    a, _ = _gateway_run(
+        n_jobs, 1.2, k_initial=1, autoscale=True, process="flash-crowd"
+    )
+    b, _ = _gateway_run(
+        n_jobs, 1.2, k_initial=1, autoscale=True, process="flash-crowd"
+    )
+    return {
+        "n_jobs": n_jobs,
+        "fingerprint": a.fingerprint()[:16],
+        "scale_events": len(a.scale_events),
+        "identical": a.fingerprint() == b.fingerprint(),
+    }
+
+
 def bench_observability(
     quick: bool, repeats: int, trace_path: str | None = None
 ) -> dict:
@@ -668,6 +833,16 @@ def main(argv=None) -> int:
         "BENCH_observability.json)",
     )
     parser.add_argument(
+        "--gateway-output",
+        default=str(Path(__file__).resolve().parent / "BENCH_gateway.json"),
+        help="where to write the gateway JSON snapshot",
+    )
+    parser.add_argument(
+        "--skip-gateway",
+        action="store_true",
+        help="skip the repro.gateway sections (and BENCH_gateway.json)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -794,6 +969,39 @@ def main(argv=None) -> int:
         ok = ok and overhead["profit_recomputed_ok"]
         ok = ok and overhead["disabled_ok"]
         ok = ok and overhead["enabled_ok"]
+
+    if not args.skip_gateway:
+        gateway_snapshot = {
+            "meta": snapshot["meta"],
+            "sustained": bench_gateway_sustained(args.quick),
+            "autoscale": bench_gateway_autoscale(args.quick),
+            "determinism": bench_gateway_determinism(args.quick),
+        }
+        gateway_out = Path(args.gateway_output)
+        gateway_out.write_text(json.dumps(gateway_snapshot, indent=2) + "\n")
+        print(f"wrote {gateway_out}")
+
+        autoscale = gateway_snapshot["autoscale"]
+        determinism = gateway_snapshot["determinism"]
+        saturated = next(
+            row
+            for row in gateway_snapshot["sustained"]
+            if row["load"] == 1.0
+        )
+        print(
+            f"gateway: p99 at saturation "
+            f"{(saturated['admission_latency_p99'] or 0.0):.1f} steps, "
+            f"shed {saturated['shed_fraction']:.1%}, autoscaled/best-fixed "
+            f"{autoscale['ratio']:.1%}, deterministic="
+            f"{determinism['identical']}"
+        )
+        for row in gateway_snapshot["sustained"]:
+            ok = ok and row["latency_ok"] and row["shed_ok"]
+        ok = ok and determinism["identical"]
+        # the hysteresis windows need the full trace length to settle,
+        # so the profit-ratio gate only applies at full scale
+        if not args.quick:
+            ok = ok and autoscale["ratio_ok"]
 
     if args.check and not ok:
         print("FAILED: output mismatch between timed subjects", file=sys.stderr)

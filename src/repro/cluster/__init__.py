@@ -17,6 +17,9 @@ Package map
 * :mod:`repro.cluster.service` -- the :class:`ClusterService` facade and
   merged :class:`ClusterResult`.
 * :mod:`repro.cluster.faults` -- kill/recover fault-injection harness.
+* :mod:`repro.cluster.elastic` -- :class:`ElasticCluster`, a cluster
+  whose active shard count grows and shrinks live (the gateway's
+  autoscaling substrate).
 """
 
 from repro.cluster.config import (
@@ -25,6 +28,7 @@ from repro.cluster.config import (
     make_scheduler,
     partition_machines,
 )
+from repro.cluster.elastic import ElasticCluster, ScaleEvent
 from repro.cluster.faults import FaultInjector, FaultPlan, RecoveryEvent
 from repro.cluster.migration import MigrationMove, MigrationPolicy, QueueBalancer
 from repro.cluster.router import (
@@ -51,6 +55,7 @@ __all__ = [
     "ClusterService",
     "ConsistentHashRouter",
     "DensityAwareRouter",
+    "ElasticCluster",
     "FaultInjector",
     "FaultPlan",
     "InProcessShard",
@@ -63,6 +68,7 @@ __all__ = [
     "RecoveryEvent",
     "RoundRobinRouter",
     "Router",
+    "ScaleEvent",
     "SCHEDULER_REGISTRY",
     "SHARD_ENV_FLAG",
     "ShardConfig",

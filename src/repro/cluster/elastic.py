@@ -1,0 +1,304 @@
+"""Elastic sharding: grow and shrink the active shard count live.
+
+:class:`ElasticCluster` serves the same routed-admission interface as
+:class:`~repro.cluster.service.ClusterService`, but the shard count is
+a *dial*, not a constructor constant.  The cluster is built over
+``k_max`` fixed-size shard units (``m`` must split evenly, so a shard's
+machine count -- and with it S's per-pool allotments and densities --
+never changes as the cluster resizes); at any moment the first
+``k_active`` units form the *active prefix* that the router places new
+jobs on.  Scaling reuses the PR 3 machinery rather than inventing a
+parallel path:
+
+* **scale-up** brings the next unit up through the shard *restore* path
+  (an empty checkpoint -- exactly how fault recovery restarts a shard)
+  and immediately *splits* the deepest active ingest queue into it with
+  the migration primitives (``take_queued`` + deliver), so the new
+  capacity absorbs backlog on its first tick;
+* **scale-down** *drains* the highest active unit: it stops receiving
+  submissions, its queued-but-unstarted jobs are re-routed across the
+  remaining prefix, and its in-flight jobs finish where they are -- the
+  shard keeps advancing as a lame duck until the run ends (or it is
+  reactivated by a later scale-up, inheriting its lame-duck state).
+
+Keeping the active set a *prefix* keeps every shipped router correct
+unchanged: routers see stats for exactly the active units, and
+positional and index-valued routing agree.  All decisions are pure
+functions of shard stats at decision points, so a seeded run through an
+autoscaled cluster is bit-reproducible -- the property the gateway
+determinism tests pin down.
+
+Fault injection and background migration policies are deliberately
+rejected here: submission-log replay against a moving shard set has no
+well-defined owner for a replayed job, and the scale-up split already
+does the rebalancing work.  Use ``ClusterService`` when you need those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cluster.config import ShardConfig
+from repro.cluster.router import Router, ShardStats
+from repro.cluster.service import ClusterResult, ClusterService
+from repro.errors import ClusterError
+from repro.service.telemetry import MetricsRegistry, merge_registries
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One applied resize step (a single +1 or -1 of the active count)."""
+
+    #: simulated time the step was applied
+    time: int
+    #: ``"up"`` or ``"down"``
+    direction: str
+    k_before: int
+    k_after: int
+    #: shard unit that was activated or drained
+    shard: int
+    #: queued jobs moved by the split (up) or the drain (down)
+    moved: int
+
+
+class ElasticCluster(ClusterService):
+    """Sharded serving with a live-resizable active shard prefix.
+
+    Parameters
+    ----------
+    m:
+        Total machines.  Must be divisible by ``k_max`` so every shard
+        unit has the same machine count (resizing must not change any
+        unit's pool size -- S's allotments depend on it).
+    k_max:
+        Number of shard units built (the scale-up ceiling).
+    k_initial:
+        Active units at start (default ``k_max``).
+    config, router, mode, stats_refresh, tracer:
+        As for :class:`~repro.cluster.service.ClusterService`.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k_max: int,
+        *,
+        k_initial: Optional[int] = None,
+        config: Optional[ShardConfig] = None,
+        router: Union[Router, str] = "least-loaded",
+        mode: str = "inprocess",
+        stats_refresh: int = 32,
+        tracer=None,
+    ) -> None:
+        if k_max < 1:
+            raise ClusterError("k_max must be >= 1")
+        if m % k_max != 0:
+            raise ClusterError(
+                f"m={m} must divide evenly into k_max={k_max} shard units "
+                "(elastic shards are fixed-size)"
+            )
+        k_initial = k_max if k_initial is None else int(k_initial)
+        if not 1 <= k_initial <= k_max:
+            raise ClusterError("k_initial must be in [1, k_max]")
+        super().__init__(
+            m,
+            k_max,
+            config=config,
+            router=router,
+            mode=mode,
+            stats_refresh=stats_refresh,
+            tracer=tracer,
+        )
+        #: machines per shard unit (constant across resizes)
+        self.unit_m = m // k_max
+        self.k_active = k_initial
+        #: applied resize steps, in order
+        self.scale_events: list[ScaleEvent] = []
+        self.cluster_metrics.gauge("active_shards").set(self.k_active)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring up the active prefix only (idempotent); units beyond
+        ``k_active`` stay dormant until a scale-up activates them."""
+        if self._started:
+            return
+        self.router.reset()
+        for shard in self.shards[: self.k_active]:
+            shard.start()
+        self._started = True
+
+    def finish(self) -> ClusterResult:
+        """Drain every live shard (active and lame-duck) and merge.
+
+        Dormant units that were never activated contribute nothing.
+        """
+        self.start()
+        results = [shard.finish() for shard in self.shards if shard.alive]
+        self._started = False
+        result = ClusterResult(
+            shard_results=results,
+            cluster_metrics=self.cluster_metrics,
+            recoveries=[],
+        )
+        result.extra["scale_events"] = list(self.scale_events)
+        return result
+
+    # ------------------------------------------------------------------
+    # Scaling
+    # ------------------------------------------------------------------
+    def scale_to(self, k: int, t: Optional[int] = None) -> list[ScaleEvent]:
+        """Resize the active prefix to ``k`` units, one step at a time.
+
+        Returns the applied :class:`ScaleEvent` steps (empty when ``k``
+        equals the current active count).
+        """
+        if not 1 <= k <= self.k:
+            raise ClusterError(f"k must be in [1, {self.k}]")
+        self.start()
+        t = self._now if t is None else max(int(t), self._now)
+        applied: list[ScaleEvent] = []
+        while self.k_active < k:
+            applied.append(self._scale_up_one(t))
+        while self.k_active > k:
+            applied.append(self._scale_down_one(t))
+        if applied:
+            self._stats_cache = None
+            self.cluster_metrics.gauge("active_shards").set(self.k_active)
+        return applied
+
+    def _scale_up_one(self, t: int) -> ScaleEvent:
+        """Activate the next unit and split the deepest queue into it."""
+        index = self.k_active
+        shard = self.shards[index]
+        if not shard.alive:
+            # the recovery bring-up path with an empty checkpoint
+            shard.restore(None)
+            shard.advance_to(t)
+        stats = self._prefix_stats(self.k_active)
+        donor = max(stats, key=lambda s: (s.queue_depth, -s.index))
+        moved = 0
+        if donor.queue_depth >= 2:
+            for spec in self.shards[donor.index].take_queued(
+                donor.queue_depth // 2
+            ):
+                self._deliver(index, spec, t)
+                moved += 1
+        self.k_active = index + 1
+        self.cluster_metrics.counter("scale_up_total").inc()
+        if moved:
+            self.cluster_metrics.counter("migrations_total").inc(moved)
+        event = ScaleEvent(
+            time=t,
+            direction="up",
+            k_before=index,
+            k_after=self.k_active,
+            shard=index,
+            moved=moved,
+        )
+        self.scale_events.append(event)
+        self._emit_scale(event)
+        return event
+
+    def _scale_down_one(self, t: int) -> ScaleEvent:
+        """Drain the highest active unit back into the shrunken prefix."""
+        if self.k_active <= 1:
+            raise ClusterError("cannot scale below one active shard")
+        index = self.k_active - 1
+        self.k_active = index
+        victim = self.shards[index]
+        stats = self._prefix_stats(self.k_active)
+        moved = 0
+        depth = victim.stats().queue_depth
+        if depth:
+            for spec in victim.take_queued(depth):
+                dst = self.router.route(spec, stats)
+                if not 0 <= dst < self.k_active:
+                    raise ClusterError(
+                        f"router returned shard {dst} (active={self.k_active})"
+                    )
+                self._deliver(dst, spec, t)
+                stats[dst].queue_depth += 1
+                moved += 1
+        self.cluster_metrics.counter("scale_down_total").inc()
+        if moved:
+            self.cluster_metrics.counter("migrations_total").inc(moved)
+        event = ScaleEvent(
+            time=t,
+            direction="down",
+            k_before=index + 1,
+            k_after=index,
+            shard=index,
+            moved=moved,
+        )
+        self.scale_events.append(event)
+        self._emit_scale(event)
+        return event
+
+    def _emit_scale(self, event: ScaleEvent) -> None:
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.event(
+                event.time,
+                "migrate",
+                None,
+                {
+                    "scale": event.direction,
+                    "shard": event.shard,
+                    "k": event.k_after,
+                    "moved": event.moved,
+                },
+            )
+
+    # ------------------------------------------------------------------
+    # Stats and live telemetry
+    # ------------------------------------------------------------------
+    def _prefix_stats(self, k: int) -> list[ShardStats]:
+        return [
+            shard.stats()
+            if shard.alive
+            else ShardStats(index=shard.index, m=shard.config.m, alive=False)
+            for shard in self.shards[:k]
+        ]
+
+    def active_stats(self) -> list[ShardStats]:
+        """Live stats for the active prefix (the autoscaler's input)."""
+        self.start()
+        return self._prefix_stats(self.k_active)
+
+    def _router_stats(self) -> list[ShardStats]:
+        """Routers only ever see the active prefix."""
+        needs_stats = getattr(self.router, "needs_stats", True)
+        if self.mode == "inprocess" or not needs_stats:
+            if self.mode == "inprocess":
+                return self._prefix_stats(self.k_active)
+            return [
+                ShardStats(index=s.index, m=s.config.m, alive=s.alive)
+                for s in self.shards[: self.k_active]
+            ]
+        if (
+            self._stats_cache is None
+            or self._submits_since_stats >= self.stats_refresh
+        ):
+            self._stats_cache = self._prefix_stats(self.k_active)
+            self._submits_since_stats = 0
+        return self._stats_cache
+
+    def live_metrics(self) -> MetricsRegistry:
+        """Mid-run cluster telemetry roll-up (in-process shards only).
+
+        Merges every live in-process shard's registry -- counters,
+        gauges *and* histograms, so p99 admission latency comes from the
+        same :class:`~repro.service.telemetry.MetricsRegistry` path the
+        final result uses -- with the cluster-level counters.  Process-
+        mode shards keep their registries worker-side and are skipped;
+        their totals appear in the final :class:`ClusterResult` instead.
+        """
+        registries = [
+            shard.service.metrics
+            for shard in self.shards
+            if shard.alive and getattr(shard, "service", None) is not None
+        ]
+        return merge_registries(registries + [self.cluster_metrics])

@@ -94,6 +94,10 @@ class RestartBudgetExhausted(ClusterError):
         }
 
 
+class GatewayError(ReproError):
+    """A gateway configuration or pacing-loop operation is invalid."""
+
+
 class WALError(ReproError):
     """A write-ahead log file is unusable (bad magic, wrong version)."""
 

@@ -1,0 +1,76 @@
+"""Wall-clock pacing behind a swappable clock protocol.
+
+The gateway loop never calls ``time.time`` or ``time.sleep`` directly:
+it asks a :class:`Clock` what time it is and asks it to sleep until the
+next tick boundary.  :class:`WallClock` binds those to the monotonic
+wall clock for real-time serving; :class:`VirtualClock` advances a
+counter instantly, so the *same* gateway loop -- same tick boundaries,
+same submission batches, same autoscaling decisions -- runs in tests
+and benchmarks at full CPU speed and is bit-reproducible.  This is the
+seam that makes a real-time system testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """What the gateway needs from a time source."""
+
+    def now(self) -> float:
+        """Current time in seconds (monotonic within one run)."""
+        ...  # pragma: no cover - protocol
+
+    def sleep_until(self, deadline: float) -> None:
+        """Block until ``now() >= deadline`` (never raises on the past)."""
+        ...  # pragma: no cover - protocol
+
+
+class WallClock:
+    """Real time: ``time.monotonic`` plus real ``time.sleep``.
+
+    ``time.monotonic`` (not ``time.time``) so NTP step adjustments
+    mid-run cannot make tick deadlines jump backwards or pile up.
+    """
+
+    def now(self) -> float:
+        """Seconds on the monotonic wall clock."""
+        return time.monotonic()
+
+    def sleep_until(self, deadline: float) -> None:
+        """Sleep off the remaining time to ``deadline``, if any."""
+        remaining = deadline - time.monotonic()
+        if remaining > 0:
+            time.sleep(remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "WallClock()"
+
+
+class VirtualClock:
+    """Deterministic clock: sleeping *is* advancing.
+
+    ``sleep_until`` sets the current time to the deadline instantly, so
+    a paced gateway run takes CPU time only, while every piece of logic
+    that reads the clock sees exactly the timeline a wall-clock run at
+    the same tick length would have seen.  Starting time defaults to 0
+    for readable timestamps in tests and KPI feeds.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def sleep_until(self, deadline: float) -> None:
+        """Jump the virtual clock forward (never backward)."""
+        if deadline > self._now:
+            self._now = float(deadline)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now:.3f})"

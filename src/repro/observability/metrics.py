@@ -23,7 +23,9 @@ from typing import Any, Optional
 class RingHistogram:
     """Fixed-capacity ring of observations with running aggregates."""
 
-    __slots__ = ("name", "capacity", "count", "total", "min", "max", "_ring")
+    __slots__ = (
+        "name", "capacity", "count", "total", "min", "max", "_ring", "_pos"
+    )
 
     def __init__(self, name: str, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -39,6 +41,10 @@ class RingHistogram:
         #: lifetime maximum (None until the first observation)
         self.max: Optional[float] = None
         self._ring: list[float] = []
+        # next overwrite slot once full == index of the oldest retained
+        # observation (an explicit cursor, not count % capacity, so a
+        # merge can normalize the ring without faking a lifetime count)
+        self._pos = 0
 
     def observe(self, value: float) -> None:
         """Record one observation (overwrites the oldest when full)."""
@@ -47,7 +53,10 @@ class RingHistogram:
         if len(ring) < self.capacity:
             ring.append(value)
         else:
-            ring[self.count % self.capacity] = value
+            ring[self._pos] = value
+            self._pos += 1
+            if self._pos == self.capacity:
+                self._pos = 0
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -55,12 +64,35 @@ class RingHistogram:
         if self.max is None or value > self.max:
             self.max = value
 
+    def merge_from(self, other: "RingHistogram") -> None:
+        """Fold another histogram into this one (``other`` unchanged).
+
+        Lifetime aggregates (count, total, min, max) combine exactly.
+        The window keeps the newest ``capacity`` observations treating
+        ``other``'s window as more recent than this one's -- the
+        convention :func:`repro.service.telemetry.merge_registries`
+        relies on when rolling per-shard histograms into a cluster
+        view, where cross-shard observation order is not defined
+        anyway; windowed quantiles over the merged window are the
+        cluster-level approximation.
+        """
+        if other.count == 0:
+            return
+        merged = self.window() + other.window()
+        self._ring = merged[-self.capacity:]
+        self._pos = 0
+        self.count += other.count
+        self.total += other.total
+        if self.min is None or (other.min is not None and other.min < self.min):
+            self.min = other.min
+        if self.max is None or (other.max is not None and other.max > self.max):
+            self.max = other.max
+
     def window(self) -> list[float]:
         """Retained observations, oldest first."""
-        if self.count <= self.capacity:
+        if len(self._ring) < self.capacity:
             return list(self._ring)
-        pos = self.count % self.capacity
-        return self._ring[pos:] + self._ring[:pos]
+        return self._ring[self._pos:] + self._ring[: self._pos]
 
     def quantile(self, q: float) -> Optional[float]:
         """Windowed quantile ``q`` in [0, 1] (None when empty)."""

@@ -323,6 +323,12 @@ class SchedulingService:
             entry = self.queue.pop()
             now = self.sim.now
             spec = entry.spec
+            # admission latency: intended arrival -> release into the
+            # engine, covering both queue waiting and (under a paced
+            # gateway) delivery quantization; 0 in pass-through mode
+            self.metrics.histogram("admission_latency").observe(
+                max(0, now - spec.arrival)
+            )
             if spec.arrival < now:
                 # The job waited in the queue past its arrival: it
                 # re-enters the world now, with whatever slack is left.

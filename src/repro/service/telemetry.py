@@ -196,7 +196,12 @@ class MetricsRegistry:
         and completion totals across shards are naturally additive --
         except the names in ``mean_gauges`` (ratios/rates), which are
         accumulated so that :func:`merge_registries` can average them.
-        Samples are log output, not state, and are not merged.
+        Histograms merge exactly in their lifetime aggregates and keep
+        the newest ``capacity`` windowed observations (see
+        :meth:`~repro.observability.metrics.RingHistogram.merge_from`),
+        so a cluster roll-up can report p50/p99 admission latency and
+        queue depth without a parallel metrics path.  Samples are log
+        output, not state, and are not merged.
         """
         mean = set(mean_gauges)
         for name, counter in other._counters.items():
@@ -204,6 +209,8 @@ class MetricsRegistry:
         for name, gauge in other._gauges.items():
             mine = self.gauge(name)
             mine.set(mine.value + gauge.value)
+        for name, hist in other._histograms.items():
+            self.histogram(name, capacity=hist.capacity).merge_from(hist)
         # remember how many registries fed each mean gauge so the final
         # averaging in merge_registries can divide correctly
         for name in mean:

@@ -3,9 +3,11 @@
 from repro.workloads.arrivals import (
     batch_arrivals,
     bursty_arrivals,
+    diurnal_arrivals,
     mmpp_arrivals,
     periodic_arrivals,
     poisson_arrivals,
+    session_arrivals,
     spike_arrivals,
 )
 from repro.workloads.dag_families import DAGFamily, FAMILIES, make_family, mixture
@@ -52,9 +54,11 @@ from repro.workloads.suite import (
 __all__ = [
     "batch_arrivals",
     "bursty_arrivals",
+    "diurnal_arrivals",
     "mmpp_arrivals",
     "periodic_arrivals",
     "poisson_arrivals",
+    "session_arrivals",
     "spike_arrivals",
     "DAGFamily",
     "FAMILIES",

@@ -6,6 +6,8 @@ discrete) and take an explicit :class:`numpy.random.Generator`.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.errors import WorkloadError
@@ -93,6 +95,92 @@ def mmpp_arrivals(
         if rng.random() < switch_prob:
             state = 1 - state
     return times
+
+
+def diurnal_arrivals(
+    n: int,
+    base_rate: float,
+    rng: np.random.Generator,
+    *,
+    amplitude: float = 0.5,
+    period: int = 1000,
+    phase: float = 0.0,
+    start: int = 0,
+) -> np.ndarray:
+    """``n`` arrivals from a sinusoidal-rate Poisson process (thinning).
+
+    The instantaneous rate is ``base_rate * (1 + amplitude *
+    sin(2*pi*(t + phase)/period))`` -- the day/night traffic shape an
+    open-loop gateway has to ride.  Candidates are drawn from a
+    homogeneous Poisson process at the peak rate and accepted with
+    probability ``rate(t)/peak`` (Lewis-Shedler thinning), which is
+    exact for any bounded rate function.  The long-run mean rate is
+    ``base_rate`` (the sinusoid integrates out over whole periods).
+    """
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if base_rate <= 0:
+        raise WorkloadError("base_rate must be positive")
+    if not 0.0 <= amplitude <= 1.0:
+        raise WorkloadError("amplitude must be in [0, 1]")
+    if period < 1:
+        raise WorkloadError("period must be >= 1")
+    peak = base_rate * (1.0 + amplitude)
+    omega = 2.0 * math.pi / period
+    t = float(start)
+    times = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        t += rng.exponential(1.0 / peak)
+        rate_t = base_rate * (1.0 + amplitude * math.sin(omega * (t + phase)))
+        if rng.random() * peak <= rate_t:
+            times[filled] = int(t)
+            filled += 1
+    return times
+
+
+def session_arrivals(
+    n: int,
+    session_rate: float,
+    rng: np.random.Generator,
+    *,
+    alpha: float = 1.5,
+    within_rate: float = 1.0,
+    max_session_jobs: int = 1000,
+    start: int = 0,
+) -> np.ndarray:
+    """``n`` arrivals from heavy-tailed user sessions.
+
+    Sessions open as a Poisson process at ``session_rate`` sessions per
+    step; each session issues a *train* of jobs -- a burst of
+    ``ceil(Pareto(alpha))`` jobs (capped at ``max_session_jobs``) with
+    exponential(1/within_rate) gaps between consecutive jobs of the same
+    session.  With ``alpha`` in (1, 2] the session-length distribution
+    has finite mean ``alpha/(alpha-1)`` but infinite variance, so a few
+    enormous sessions dominate -- the self-similar load millions of real
+    users produce, and the pattern that defeats admission control tuned
+    on memoryless arrivals.  Trains from concurrent sessions interleave;
+    the returned times are sorted.
+    """
+    if n < 0:
+        raise WorkloadError("n must be non-negative")
+    if session_rate <= 0 or within_rate <= 0:
+        raise WorkloadError("rates must be positive")
+    if alpha <= 1.0:
+        raise WorkloadError("alpha must be > 1 (finite mean session length)")
+    if max_session_jobs < 1:
+        raise WorkloadError("max_session_jobs must be >= 1")
+    times: list[int] = []
+    t = float(start)
+    while len(times) < n:
+        t += rng.exponential(1.0 / session_rate)
+        length = min(int(math.ceil(rng.pareto(alpha) + 1.0)), max_session_jobs)
+        when = t
+        times.append(int(when))
+        for _ in range(length - 1):
+            when += rng.exponential(1.0 / within_rate)
+            times.append(int(when))
+    return np.sort(np.asarray(times[:n], dtype=np.int64))
 
 
 def spike_arrivals(

@@ -65,6 +65,14 @@ class TestExamples:
         assert "Comparison" in out
         assert "Speed needed" in out
 
+    def test_realtime_gateway(self):
+        out = run_example("realtime_gateway.py")
+        assert "Flash crowd" in out
+        assert "Autoscaler timeline" in out
+        assert "scale path: 1 ->" in out
+        assert "fingerprint match: True" in out
+        assert "done" in out
+
     def test_sharded_cluster(self):
         out = run_example("sharded_cluster.py")
         assert "Routers vs single service" in out

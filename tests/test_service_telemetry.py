@@ -210,6 +210,59 @@ class TestRegistryHistograms:
         assert reg.state_to_dict() == before_state
         assert reg.sample(5) == {"t": 5, "n": 3.0}
 
+    def test_merge_from_combines_histograms(self):
+        from repro.service.telemetry import merge_registries
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            a.histogram("admission_latency").observe(v)
+        for v in (10.0, 20.0):
+            b.histogram("admission_latency").observe(v)
+        merged = merge_registries([a, b])
+        summary = merged.histograms()["admission_latency"]
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 20.0
+        assert summary["mean"] == pytest.approx(36.0 / 5)
+
+    def test_merge_histograms_inputs_untouched(self):
+        from repro.service.telemetry import merge_registries
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(5.0)
+        merge_registries([a, b])
+        assert a.histograms()["h"]["count"] == 1
+        assert b.histograms()["h"]["count"] == 1
+
+    def test_merge_histogram_window_keeps_newest(self):
+        """The merged window holds the newest ``capacity`` observations
+        (lifetime aggregates stay exact beyond it)."""
+        from repro.service.telemetry import merge_registries
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in range(6):
+            a.histogram("h", capacity=4).observe(float(v))
+        b.histogram("h", capacity=4).observe(100.0)
+        merged = merge_registries([a, b])
+        hist = merged.histogram("h", capacity=4)
+        assert hist.count == 7
+        assert hist.total == pytest.approx(sum(range(6)) + 100.0)
+        # a's own window holds its newest 4 (2..5); merging b's 100 on
+        # top keeps the newest 4 of the concatenation
+        assert hist.window() == [3.0, 4.0, 5.0, 100.0]
+        assert hist.summary()["max"] == 100.0
+
+    def test_histogram_only_registry_merges(self):
+        """A registry with histograms but no counters/gauges still
+        contributes (regression guard for the merge loop ordering)."""
+        from repro.service.telemetry import merge_registries
+
+        a = MetricsRegistry()
+        a.histogram("h").observe(2.0)
+        merged = merge_registries([a, MetricsRegistry()])
+        assert merged.histograms()["h"]["count"] == 1
+
     def test_service_populates_queue_depth_histogram(self):
         specs = generate_workload(
             WorkloadConfig(n_jobs=60, m=4, load=3.0, seed=2)
@@ -225,6 +278,26 @@ class TestRegistryHistograms:
         summary = service.metrics.histograms()["queue_depth"]
         assert summary["count"] > 0
         assert summary["max"] >= summary["min"] >= 0.0
+
+    def test_service_records_admission_latency(self):
+        """Backpressured releases record queue-wait in the
+        ``admission_latency`` histogram; pass-through admits are 0."""
+        specs = generate_workload(
+            WorkloadConfig(n_jobs=80, m=4, load=3.0, seed=3)
+        )
+        service = SchedulingService(
+            4,
+            SNSScheduler(epsilon=1.0),
+            capacity=16,
+            shed_policy=make_shed_policy("reject-lowest-density"),
+            max_in_flight=2,
+        )
+        service.run_stream(specs)
+        summary = service.metrics.histograms()["admission_latency"]
+        assert summary["count"] > 0
+        assert summary["min"] >= 0.0
+        # with in-flight capped at 2 under 3x load, some job waited
+        assert summary["max"] > 0.0
 
 
 class TestServiceTelemetry:
