@@ -82,6 +82,7 @@ from repro.cluster import (  # noqa: E402
     QueueBalancer,
     Router,
     ShardConfig,
+    coordinate,
 )
 from repro.core import SNSScheduler  # noqa: E402
 from repro.experiments.e03_thm2 import _thm2_value  # noqa: E402
@@ -309,6 +310,104 @@ def bench_cluster_scaling(quick: bool, repeats: int) -> list[dict]:
             f"{rows[-1]['speedup_vs_1']:.2f}x vs k=1)"
         )
     return rows
+
+
+#: Coordinator settings the coordination bench (and the CLI defaults)
+#: stand behind; tuned on the full 12k-job workload -- see
+#: docs/SCHEDULING.md for the sweep.
+COORDINATION_SETTINGS = {
+    "refresh_every": 64,
+    "steal_batch": 64,
+    "steal_margin": 3.0,
+    "max_displaced": 3,
+    "max_moves_per_job": 2,
+}
+
+
+def bench_cluster_coordination(quick: bool, repeats: int) -> dict:
+    """Coordinated k=4 vs k=1 profit and wall time, in-process mode.
+
+    In-process shards are the substrate the elastic cluster and the
+    gateway actually run on, and the mode where the coordinator's
+    refresh/steal round trips are function calls instead of IPC fences;
+    process-mode parallel scaling keeps its own section (``scaling``),
+    whose k=4 speedup gate is unchanged by coordination (the coordinated
+    fleet uses the same shards).  Profits are deterministic, so they are
+    measured once; wall times use the interleaved best-of protocol.
+    """
+    m, specs = _cluster_workload(quick)
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    def build(coordinated: bool, k: int) -> ClusterService:
+        cluster = ClusterService(
+            m,
+            k,
+            config=config,
+            router="band-aware" if coordinated else "consistent-hash",
+            mode="inprocess",
+        )
+        if coordinated:
+            coordinate(cluster, **COORDINATION_SETTINGS)
+        return cluster
+
+    def runner(coordinated: bool, k: int):
+        def run():
+            return build(coordinated, k).run_stream(specs)
+
+        return run
+
+    profits = {
+        "k1": runner(False, 1)().total_profit,
+        "k4_uncoordinated": runner(False, 4)().total_profit,
+    }
+    coordinated_cluster = build(True, 4)
+    profits["k4_coordinated"] = coordinated_cluster.run_stream(
+        specs
+    ).total_profit
+    counters = coordinated_cluster.cluster_metrics.values()
+
+    best = _interleaved(
+        {name: runner("coordinated" in name, 1 if name == "k1" else 4)
+         for name in profits},
+        repeats,
+    )
+    rows = {}
+    for name, profit in profits.items():
+        seconds = best[name]
+        rows[name] = {
+            "shards": 1 if name == "k1" else 4,
+            "seconds": seconds,
+            "jobs_per_sec": len(specs) / seconds,
+            "total_profit": profit,
+            "profit_vs_k1": profit / profits["k1"],
+        }
+        print(
+            f"coordination {name}: {seconds:.2f}s "
+            f"profit {profit:.1f} ({rows[name]['profit_vs_k1']:.1%} of k=1)"
+        )
+    coordinated = rows["k4_coordinated"]
+    return {
+        "mode": "inprocess",
+        "n_jobs": len(specs),
+        "m": m,
+        "settings": dict(COORDINATION_SETTINGS),
+        "rows": rows,
+        "steals": int(counters.get("steals_total", 0)),
+        "steals_displaced": int(counters.get("steals_displaced_total", 0)),
+        "profit_gate": 0.95,
+        # full workload: coordinated k=4 recovers >=95% of the k=1
+        # profit that plain sharding sheds; quick sizes (m=16 -> 4
+        # machines/shard) clamp allotments too hard to reach the bar,
+        # so quick mode gates improvement over uncoordinated only
+        "profit_ok": coordinated["profit_vs_k1"] >= 0.95,
+        "improves_uncoordinated": coordinated["total_profit"]
+        >= rows["k4_uncoordinated"]["total_profit"],
+        # wall-clock no-regression floor (generous: the host timing
+        # noise on k=1 swings ~2x between runs; profit is the signal,
+        # this just pins that coordination is not a slowdown cliff)
+        "throughput_ok": coordinated["seconds"]
+        <= 1.5 * rows["k1"]["seconds"],
+    }
 
 
 def bench_cluster_migration(quick: bool) -> dict:
@@ -897,6 +996,9 @@ def main(argv=None) -> int:
         cluster_snapshot = {
             "meta": snapshot["meta"],
             "scaling": bench_cluster_scaling(args.quick, args.repeats),
+            "coordination": bench_cluster_coordination(
+                args.quick, args.repeats
+            ),
             "migration": bench_cluster_migration(args.quick),
             "recovery": bench_cluster_recovery(args.quick),
         }
@@ -909,18 +1011,29 @@ def main(argv=None) -> int:
             for row in cluster_snapshot["scaling"]
             if row["shards"] == 4
         )
+        coordination = cluster_snapshot["coordination"]
+        coordinated_row = coordination["rows"]["k4_coordinated"]
         print(
             f"cluster k=4: {at4['speedup_vs_1']:.2f}x vs k=1, "
+            f"coordinated profit {coordinated_row['profit_vs_k1']:.1%} of k=1 "
+            f"({coordination['steals']} steals), "
             f"migration improved={cluster_snapshot['migration']['improved']}, "
             f"recovery {cluster_snapshot['recovery']['recovery_seconds'] * 1e3:.1f} ms "
             f"identical={cluster_snapshot['recovery']['identical']}"
         )
         ok = ok and cluster_snapshot["recovery"]["identical"]
         ok = ok and cluster_snapshot["migration"]["improved"]
-        # throughput scaling only gates in full mode: the quick sizes
-        # are too small for the sharding win to clear the IPC floor
+        # coordination must beat plain sharding at every size (profits
+        # are deterministic, so this gate never flakes)
+        ok = ok and coordination["improves_uncoordinated"]
+        # throughput scaling and the 95%-of-k=1 profit bar only gate in
+        # full mode: the quick sizes are too small for the sharding win
+        # to clear the IPC floor, and 4-machine shards clamp allotments
+        # too hard for coordination to close the whole gap
         if not args.quick:
             ok = ok and at4["speedup_vs_1"] > 1.5
+            ok = ok and coordination["profit_ok"]
+            ok = ok and coordination["throughput_ok"]
 
     if not args.skip_resilience:
         resilience_snapshot = {

@@ -20,6 +20,11 @@ Package map
 * :mod:`repro.cluster.elastic` -- :class:`ElasticCluster`, a cluster
   whose active shard count grows and shrinks live (the gateway's
   autoscaling substrate).
+* :mod:`repro.cluster.coordinator` -- cluster-wide band-aware
+  scheduling: the :class:`BandLedger` merged admission view, density-
+  aware work-stealing of parked/starved *running* jobs
+  (:class:`StealPlanner`), and Albers--Hellwig parallel candidate
+  schedules (:class:`CandidateTrial`).  See ``docs/SCHEDULING.md``.
 """
 
 from repro.cluster.config import (
@@ -28,10 +33,20 @@ from repro.cluster.config import (
     make_scheduler,
     partition_machines,
 )
+from repro.cluster.coordinator import (
+    BandLedger,
+    CandidateReport,
+    CandidateTrial,
+    Coordinator,
+    StealMove,
+    StealPlanner,
+    coordinate,
+)
 from repro.cluster.elastic import ElasticCluster, ScaleEvent
 from repro.cluster.faults import FaultInjector, FaultPlan, RecoveryEvent
 from repro.cluster.migration import MigrationMove, MigrationPolicy, QueueBalancer
 from repro.cluster.router import (
+    BandAwareRouter,
     ConsistentHashRouter,
     DensityAwareRouter,
     LeastLoadedRouter,
@@ -51,9 +66,14 @@ from repro.cluster.shard import (
 )
 
 __all__ = [
+    "BandAwareRouter",
+    "BandLedger",
+    "CandidateReport",
+    "CandidateTrial",
     "ClusterResult",
     "ClusterService",
     "ConsistentHashRouter",
+    "Coordinator",
     "DensityAwareRouter",
     "ElasticCluster",
     "FaultInjector",
@@ -74,6 +94,9 @@ __all__ = [
     "ShardConfig",
     "ShardHandle",
     "ShardStats",
+    "StealMove",
+    "StealPlanner",
+    "coordinate",
     "make_router",
     "make_scheduler",
     "make_shard",

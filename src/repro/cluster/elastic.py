@@ -166,6 +166,9 @@ class ElasticCluster(ClusterService):
             applied.append(self._scale_down_one(t))
         if applied:
             self._stats_cache = None
+            if self.coordinator is not None:
+                # the active prefix changed under the band ledger
+                self.coordinator.invalidate()
             self.cluster_metrics.gauge("active_shards").set(self.k_active)
         return applied
 

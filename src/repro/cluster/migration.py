@@ -5,16 +5,23 @@ had; load evolves afterwards, so a statically balanced placement can
 still leave one shard with a deep ingest queue while another sits idle.
 The migration layer corrects this at decision points: a
 :class:`MigrationPolicy` looks at per-shard stats and plans moves of
-*queued* jobs only -- jobs already inside a shard's engine have
-scheduler state (allotments, queue positions in S) and are never moved,
-which keeps migration invisible to the per-shard scheduler and
-preserves the paper's per-pool analysis.
+*queued* jobs -- they have no scheduler state yet, so moving them is
+invisible to the per-shard scheduler and preserves the paper's
+per-pool analysis.
 
 Moved jobs re-enter the destination shard as fresh submissions at the
 migration time: their density is recomputed against the destination's
 machine count (S's allotment depends on the pool size) and a job whose
 deadline has passed while queued is shed on release, exactly as if it
 had waited in the destination queue all along.
+
+Jobs already inside a shard's engine *can* move too, but not through
+this layer: the cluster coordinator's
+:class:`~repro.cluster.coordinator.StealPlanner` extends the greedy
+pairing here to *running* jobs (parked or starved inside S), migrating
+them through the engine's checkpoint-grade extract/inject path when a
+donor shard's marginal band pressure exceeds a receiver's -- see
+:mod:`repro.cluster.coordinator`.
 """
 
 from __future__ import annotations

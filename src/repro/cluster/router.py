@@ -195,12 +195,62 @@ class ConsistentHashRouter(Router):
         return ring[lo % len(ring)][1]
 
 
+class BandAwareRouter(Router):
+    """Anchored band-condition routing (coordinator-fed).
+
+    The cluster coordinator binds a
+    :class:`~repro.cluster.coordinator.BandLedger` to this router.
+    Every job gets a stable *anchor* shard from an internal
+    :class:`ConsistentHashRouter`; the anchor wins unless the ledger
+    says the anchor would **not** start the job (not delta-good there,
+    or its band is full per the merged cluster-wide view) *and* some
+    other shard would -- only then does the job divert, to the ledger's
+    best admitting shard.  No ledger bound, or no shard admitting,
+    falls back to the anchor.
+
+    Anchoring matters: always chasing the globally-best band (or worse,
+    the least-loaded shard) funnels similar-density jobs onto whichever
+    shard currently looks best, collapsing the per-shard density
+    diversity that hash partitioning preserves -- measured on the
+    cluster bench it *loses* profit versus plain consistent hashing.
+    Diverting only jobs their anchor would strand keeps the hash
+    partition's diversity and spends the merged band view exactly where
+    it helps.
+    """
+
+    name = "band-aware"
+    needs_stats = True
+
+    def __init__(self) -> None:
+        self._anchor = ConsistentHashRouter()
+        self._ledger = None
+
+    def bind(self, ledger) -> None:
+        """Attach the coordinator's band ledger (``None`` detaches)."""
+        self._ledger = ledger
+
+    def route(self, spec: JobSpec, stats: Sequence[ShardStats]) -> int:
+        """The anchor shard, unless it strands the job and another
+        shard admits it."""
+        anchor = self._anchor.route(spec, stats)
+        ledger = self._ledger
+        if ledger is None or ledger.admits(spec, anchor):
+            return anchor
+        choice = ledger.place(spec, stats)
+        return anchor if choice is None else choice
+
+    def reset(self) -> None:
+        """Reset the anchor ring (new stream)."""
+        self._anchor = ConsistentHashRouter()
+
+
 #: Router registry by name, for CLI flags and benchmarks.
 ROUTERS: dict[str, type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastLoadedRouter.name: LeastLoadedRouter,
     DensityAwareRouter.name: DensityAwareRouter,
     ConsistentHashRouter.name: ConsistentHashRouter,
+    BandAwareRouter.name: BandAwareRouter,
 }
 
 

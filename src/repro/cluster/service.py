@@ -203,6 +203,9 @@ class ClusterService:
                 shard.attach_tracer(tracer.for_shard(shard.index))
         self.cluster_metrics = MetricsRegistry()
         self.recoveries: list[RecoveryEvent] = []
+        #: optional :class:`~repro.cluster.coordinator.Coordinator`;
+        #: set by constructing one over this cluster (never directly)
+        self.coordinator: Optional[Any] = None
         self._now = 0
         self._started = False
         self._last_checkpoint_t: Optional[int] = None
@@ -242,6 +245,9 @@ class ClusterService:
         t = self._now if t is None else max(int(t), self._now)
         self._now = t
         self._hooks(t)
+        coordinator = self.coordinator
+        if coordinator is not None:
+            coordinator.before_route(t)
         index = self.router.route(spec, self._router_stats())
         if not 0 <= index < self.k:
             raise ClusterError(
@@ -255,6 +261,8 @@ class ClusterService:
             entry_index = self.logs[index].record(t, spec)
             key = self._submit_key(index, entry_index)
         self._deliver(index, spec, t, key=key)
+        if coordinator is not None:
+            coordinator.note_route(index, spec, t)
         self.cluster_metrics.counter("routed_total").inc()
         self.cluster_metrics.counter(f"routed_shard_{index}").inc()
         self._submits_since_stats += 1
@@ -307,6 +315,25 @@ class ClusterService:
             cluster_metrics=self.cluster_metrics,
             recoveries=list(self.recoveries),
         )
+
+    def profit_so_far(self) -> float:
+        """Realized profit across live shards, mid-run.
+
+        The candidate-trial commit decision
+        (:class:`~repro.cluster.coordinator.CandidateTrial`) reads this
+        to compare shadow schedules on actual outcomes.  In-process
+        only: a process-mode read would add one fence per shard for a
+        number that shadow execution never needs there.
+        """
+        if self.mode != "inprocess":
+            raise ClusterError(
+                "profit_so_far requires an in-process cluster"
+            )
+        total = 0.0
+        for shard in self.shards:
+            if shard.alive and shard.service.sim is not None:
+                total += shard.service.sim.profit_so_far()
+        return total
 
     def run_stream(self, specs: Iterable[JobSpec]) -> ClusterResult:
         """Drive a whole arrival sequence through the cluster.
@@ -382,6 +409,8 @@ class ClusterService:
         """Crash one shard: live engine/queue/scheduler state is lost."""
         self.shards[index].kill()
         self._stats_cache = None
+        if self.coordinator is not None:
+            self.coordinator.invalidate()
         self.cluster_metrics.counter("faults_total").inc()
 
     def recover_shard(self, index: int, t: int) -> RecoveryEvent:
@@ -408,6 +437,8 @@ class ClusterService:
         for offset, (entry_t, spec) in enumerate(tail, start=log_index):
             shard.submit(spec, entry_t, key=self._submit_key(index, offset))
         self._stats_cache = None
+        if self.coordinator is not None:
+            self.coordinator.invalidate()
         self.cluster_metrics.counter("recoveries_total").inc()
         if tracer is not None and tracer.enabled:
             tracer.event(

@@ -49,7 +49,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.cluster.config import ShardConfig
 from repro.cluster.router import ShardStats
@@ -147,6 +147,41 @@ class ShardHandle:
 
     def take_queued(self, n: int) -> list[JobSpec]:
         """Pop up to ``n`` newest queued-but-unstarted jobs (migration)."""
+        raise NotImplementedError
+
+    def coordination_view(
+        self, limit: Optional[int] = None
+    ) -> Optional[dict[str, Any]]:
+        """Band/queue state for the cluster coordinator (synchronous).
+
+        ``limit`` caps the parked/starved victim lists to the highest-
+        density entries; ``None`` when the shard's scheduler exposes no
+        band state."""
+        raise NotImplementedError
+
+    def extract_running(self, job_id: int) -> Optional[dict[str, Any]]:
+        """Pull a live job out of the shard's engine (steal donor side).
+
+        Synchronous; returns the migration payload, or ``None`` when the
+        job is no longer live on this shard."""
+        raise NotImplementedError
+
+    def inject_running(self, payload: dict[str, Any], t: int) -> None:
+        """Install an extracted job into this shard's engine at ``t``
+        (steal receiver side; synchronous)."""
+        raise NotImplementedError
+
+    def extract_many(
+        self, job_ids: Sequence[int]
+    ) -> list[Optional[dict[str, Any]]]:
+        """Pull several live jobs out in one exchange (one round trip
+        in process mode), in the given order."""
+        raise NotImplementedError
+
+    def inject_many(
+        self, payloads: Sequence[dict[str, Any]], t: int
+    ) -> None:
+        """Install several extracted jobs in order, in one exchange."""
         raise NotImplementedError
 
     def snapshot(self) -> dict[str, Any]:
@@ -268,6 +303,39 @@ class InProcessShard(ShardHandle):
         self._require_alive()
         return [entry.spec for entry in self.service.queue.take_newest(n)]
 
+    def coordination_view(
+        self, limit: Optional[int] = None
+    ) -> Optional[dict[str, Any]]:
+        """Exact live band/queue state."""
+        self._require_alive()
+        return self.service.coordination_view(limit)
+
+    def extract_running(self, job_id: int) -> Optional[dict[str, Any]]:
+        """Pull a live job straight out of the service."""
+        self._require_alive()
+        return self.service.extract_running(job_id)
+
+    def inject_running(self, payload: dict[str, Any], t: int) -> None:
+        """Install an extracted job into the service."""
+        self._require_alive()
+        self.service.inject_running(payload, t=max(t, self.service.now))
+
+    def extract_many(
+        self, job_ids: Sequence[int]
+    ) -> list[Optional[dict[str, Any]]]:
+        """Pull several live jobs straight out of the service."""
+        self._require_alive()
+        return [self.service.extract_running(j) for j in job_ids]
+
+    def inject_many(
+        self, payloads: Sequence[dict[str, Any]], t: int
+    ) -> None:
+        """Install several extracted jobs in submission order."""
+        self._require_alive()
+        t = max(t, self.service.now)
+        for payload in payloads:
+            self.service.inject_running(payload, t=t)
+
     def snapshot(self) -> dict[str, Any]:
         """Serialize the whole service."""
         self._require_alive()
@@ -379,6 +447,23 @@ def _shard_worker(conn, config: ShardConfig) -> None:
         if op == "take":
             taken = service.queue.take_newest(command[1])
             return [entry.spec for entry in taken]
+        if op == "coord":
+            limit = command[1] if len(command) > 1 else None
+            return service.coordination_view(limit)
+        if op == "extract":
+            return service.extract_running(command[1])
+        if op == "extract_many":
+            return [service.extract_running(j) for j in command[1]]
+        if op == "inject":
+            service.inject_running(
+                command[1], t=max(command[2], service.now)
+            )
+            return True
+        if op == "inject_many":
+            t = max(command[2], service.now)
+            for payload in command[1]:
+                service.inject_running(payload, t=t)
+            return True
         if op == "snapshot":
             return service_to_dict(service)
         if op == "ping":
@@ -668,6 +753,32 @@ class ProcessShard(ShardHandle):
     def take_queued(self, n: int) -> list[JobSpec]:
         """Round-trip migration pop."""
         return list(self._call(("take", n)))
+
+    def coordination_view(
+        self, limit: Optional[int] = None
+    ) -> Optional[dict[str, Any]]:
+        """Round-trip band/queue state (a deterministic sync fence)."""
+        return self._call(("coord", limit))
+
+    def extract_running(self, job_id: int) -> Optional[dict[str, Any]]:
+        """Round-trip steal extraction."""
+        return self._call(("extract", job_id))
+
+    def inject_running(self, payload: dict[str, Any], t: int) -> None:
+        """Round-trip steal injection."""
+        self._call(("inject", payload, t))
+
+    def extract_many(
+        self, job_ids: Sequence[int]
+    ) -> list[Optional[dict[str, Any]]]:
+        """Batch steal extraction: one round trip for all ids."""
+        return self._call(("extract_many", list(job_ids)))
+
+    def inject_many(
+        self, payloads: Sequence[dict[str, Any]], t: int
+    ) -> None:
+        """Batch steal injection: one round trip for all payloads."""
+        self._call(("inject_many", list(payloads), t))
 
     def snapshot(self) -> dict[str, Any]:
         """Round-trip service checkpoint."""

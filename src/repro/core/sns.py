@@ -410,6 +410,28 @@ class SNSScheduler(SchedulerBase):
         """States of jobs currently in P, density-descending."""
         return self.queue_parked.by_density_desc()
 
+    def starved_states(self) -> list[SNSJobState]:
+        """States of Q jobs the current allotment scan leaves unserved.
+
+        Mirrors :meth:`allocate`'s density-descending scan read-only
+        (no cache is touched): condition (2) caps each *band* at
+        ``b*m``, but Q's total allotment across several bands can
+        exceed ``m``, so the scan's tail receives zero processors.
+        Such jobs hold band capacity while earning at zero rate --
+        they are the cluster coordinator's preferred steal victims.
+        """
+        free = self.m
+        starved: list[SNSJobState] = []
+        for state in self.queue_started.by_density_desc():
+            if free <= 0:
+                starved.append(state)
+                continue
+            if state.allotment <= free:
+                free -= state.allotment
+            else:
+                starved.append(state)
+        return starved
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SNSScheduler(eps={self.constants.epsilon:g}, "

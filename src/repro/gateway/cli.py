@@ -120,8 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument(
         "--router",
         choices=sorted(ROUTERS),
-        default="least-loaded",
-        help="shard placement policy",
+        default=None,
+        help="shard placement policy (default: least-loaded, or "
+        "band-aware when --coordinate is on)",
+    )
+    cl.add_argument(
+        "--coordinate", action="store_true",
+        help="attach the cluster-wide band-aware coordinator to the "
+        "elastic cluster (see docs/SCHEDULING.md); scale events "
+        "invalidate its ledger automatically",
     )
     cl.add_argument(
         "--scheduler",
@@ -223,8 +230,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             shed_policy=args.policy,
             max_in_flight=args.max_in_flight,
         ),
-        router=args.router,
+        router=args.router
+        or ("band-aware" if args.coordinate else "least-loaded"),
     )
+    if args.coordinate:
+        from repro.cluster import coordinate
+
+        coordinate(cluster)
     autoscaler = None
     if args.autoscale:
         autoscaler = Autoscaler(

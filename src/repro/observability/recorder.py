@@ -64,6 +64,8 @@ EVENT_KINDS: tuple[str, ...] = (
     "supervision",      # the supervisor handled a shard failure
     "migrate",          # queued job moved between shards
     "cluster-shed",     # no healthy shard could admit the job
+    "steal",            # running job stolen between shards (coordinator)
+    "candidate-commit", # candidate trial committed to its best schedule
 )
 
 

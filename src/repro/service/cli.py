@@ -107,8 +107,37 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument(
         "--router",
         choices=sorted(ROUTERS),
-        default="consistent-hash",
-        help="shard placement policy",
+        default=None,
+        help="shard placement policy (default: consistent-hash, or "
+        "band-aware when --coordinate is on)",
+    )
+    cl.add_argument(
+        "--coordinate", action="store_true",
+        help="attach the cluster-wide band-aware coordinator: ledger-fed "
+        "routing plus density-aware steals of parked/starved jobs "
+        "(see docs/SCHEDULING.md)",
+    )
+    cl.add_argument(
+        "--coordinate-every", type=int, default=64, metavar="N",
+        help="submissions between coordinator ledger refreshes and "
+        "steal ticks",
+    )
+    cl.add_argument(
+        "--steal-batch", type=int, default=64, metavar="N",
+        help="max steals per coordinator tick",
+    )
+    cl.add_argument(
+        "--steal-margin", type=float, default=3.0, metavar="X",
+        help="density advantage a victim needs over each receiver job "
+        "it displaces (> 1)",
+    )
+    cl.add_argument(
+        "--max-displaced", type=int, default=3, metavar="N",
+        help="receiver jobs displaced per steal (0 disables displacement)",
+    )
+    cl.add_argument(
+        "--max-moves-per-job", type=int, default=2, metavar="N",
+        help="lifetime cap on coordinator migrations of any one job",
     )
     cl.add_argument(
         "--cluster-mode",
@@ -325,6 +354,9 @@ def _main_cluster(
     scheduler_kwargs = (
         {"epsilon": args.epsilon} if args.scheduler == "sns" else {}
     )
+    router = args.router or (
+        "band-aware" if args.coordinate else "consistent-hash"
+    )
     resilient = args.supervise or args.chaos is not None
     injector = None
     if args.chaos is not None:
@@ -362,7 +394,7 @@ def _main_cluster(
             m=args.m,
             k=args.shards,
             config=config,
-            router=args.router,
+            router=router,
             mode=args.cluster_mode,
             migration=QueueBalancer() if args.migrate_every else None,
             migrate_every=args.migrate_every,
@@ -383,7 +415,7 @@ def _main_cluster(
             m=args.m,
             k=args.shards,
             config=config,
-            router=args.router,
+            router=router,
             mode=args.cluster_mode,
             migration=QueueBalancer() if args.migrate_every else None,
             migrate_every=args.migrate_every,
@@ -391,12 +423,24 @@ def _main_cluster(
             checkpoint_every=args.checkpoint_every if injector else None,
             tracer=tracer,
         )
+    if args.coordinate:
+        from repro.cluster import coordinate
+
+        coordinate(
+            cluster,
+            refresh_every=args.coordinate_every,
+            steal_batch=args.steal_batch,
+            steal_margin=args.steal_margin,
+            max_displaced=args.max_displaced,
+            max_moves_per_job=args.max_moves_per_job,
+        )
     cluster.start()
     print(
         f"repro-serve: {args.n_jobs} jobs, m={args.m}, shards={args.shards}, "
-        f"mode={args.cluster_mode}, router={args.router}, "
+        f"mode={args.cluster_mode}, router={router}, "
         f"scheduler={args.scheduler}, migrate_every={args.migrate_every}, "
         f"fault_at={args.fault_at}, "
+        f"coordinate={'yes' if args.coordinate else 'no'}, "
         f"resilient={'yes' if resilient else 'no'}",
         flush=True,
     )
@@ -439,6 +483,12 @@ def _main_cluster(
     print(f"expired:         {int(values.get('expired_total', 0))}")
     print(f"shed:            {result.num_shed}")
     print(f"migrated:        {int(values.get('migrations_total', 0))}")
+    if args.coordinate:
+        print(f"steals:          {int(values.get('steals_total', 0))}")
+        print(
+            f"displaced:       "
+            f"{int(values.get('steals_displaced_total', 0))}"
+        )
     print(f"total_profit:    {result.total_profit:.4f}")
     for event in result.recoveries:
         print(

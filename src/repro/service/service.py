@@ -27,6 +27,7 @@ arrival sequence -- the property the equivalence tests pin down.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable, Optional, Sequence
 
@@ -291,6 +292,98 @@ class SchedulingService:
         return ServiceResult(
             result=result, shed=list(self.shed_log), metrics=self.metrics
         )
+
+    # ------------------------------------------------------------------
+    # Cluster coordination (work-stealing + band ledger)
+    # ------------------------------------------------------------------
+    def extract_running(self, job_id: int) -> Optional[dict]:
+        """Pull a live job out of the engine for migration elsewhere.
+
+        The cluster steal path: the job is preempted, forgotten by this
+        service's scheduler, and returned as a JSON-compatible payload
+        for :meth:`inject_running` on the receiving service.  Returns
+        ``None`` when the job is not live inside this engine.
+        """
+        self.start()
+        payload = self.sim.extract_active(job_id)
+        if payload is not None:
+            self.metrics.counter("stolen_out_total").inc()
+        return payload
+
+    def inject_running(self, payload: dict, t: Optional[int] = None) -> None:
+        """Install a job another service's :meth:`extract_running` produced.
+
+        Bypasses the ingest queue: a stolen job was already admitted
+        cluster-wide, so it goes straight into the engine (the engine
+        re-stamps deadline-job arrivals to *now*, judging the job by
+        remaining slack).
+        """
+        self.start()
+        if t is not None and t > self.sim.now:
+            self.advance_to(t)
+        self.sim.inject_active(payload)
+        # no telemetry sample here: injection is a coordinator action,
+        # not a stream event, and mid-run profit reads are O(finished)
+        self.metrics.counter("stolen_in_total").inc()
+
+    def coordination_view(self, limit: Optional[int] = None) -> Optional[dict]:
+        """Band/queue state for the cluster coordinator's ledger.
+
+        Returns ``None`` when the scheduler does not expose band state
+        (baselines).  Otherwise a JSON-compatible dict: started-job band
+        entries, parked jobs, and starved started jobs (the allotment
+        scan's unserved tail), each with enough static job data
+        (``W``/``L``/deadline/profit) to re-evaluate admission on any
+        other shard.
+
+        ``limit`` caps the parked/starved entry lists to the ``limit``
+        highest-density jobs each (ties to the lower job id).  The steal
+        planner consumes victims highest-density-first and plans at most
+        a batch per tick, so a cap at the batch size loses nothing while
+        keeping the per-refresh encode cost flat in overload -- where
+        the parked set is exactly what grows without bound.
+        """
+        self.start()
+        sched = self.sim.scheduler
+        if not (
+            hasattr(sched, "started_states")
+            and hasattr(sched, "parked_states")
+            and hasattr(sched, "starved_states")
+        ):
+            return None
+
+        def encode(state: Any) -> dict:
+            view = state.view
+            return {
+                "job_id": state.job_id,
+                "density": state.density,
+                "allotment": state.allotment,
+                "x": state.x,
+                "work": view.work,
+                "span": view.span,
+                "deadline": state.deadline,
+                "profit": view.profit,
+            }
+
+        def top(states: Iterable[Any]) -> list[dict]:
+            if limit is None:
+                return [encode(s) for s in states]
+            best = heapq.nsmallest(
+                limit, states, key=lambda s: (-s.density, s.job_id)
+            )
+            return [encode(s) for s in best]
+
+        return {
+            "m": self.sim.m,
+            "now": self.sim.now,
+            "queue_depth": self.queue.depth,
+            "started": [
+                [s.job_id, s.density, s.allotment]
+                for s in sched.started_states()
+            ],
+            "parked": top(sched.parked_states()),
+            "starved": top(sched.starved_states()),
+        }
 
     def run_stream(self, specs: Iterable[JobSpec]) -> ServiceResult:
         """Drive a whole arrival sequence through the service.

@@ -473,6 +473,134 @@ class Simulator:
         return {job_id: job.view for job_id, job in state.active.items()}
 
     # ------------------------------------------------------------------
+    # Live-job migration (cluster work-stealing)
+    # ------------------------------------------------------------------
+    def extract_active(self, job_id: int) -> Optional[dict[str, Any]]:
+        """Remove a live job from the open session for migration.
+
+        The job is preempted (its executing nodes return to ready with
+        their residue intact), detached from the engine's bookkeeping,
+        and forgotten by the scheduler via ``on_expiry`` -- the one hook
+        every scheduler already treats as "this job is no longer mine"
+        (queues, bands and allocation caches are cleaned, no completion
+        is recorded).  The returned payload is the same JSON-compatible
+        per-job dict :meth:`snapshot_state` uses; feed it to another
+        simulator's :meth:`inject_active`.  No terminal record is
+        written here: the job's single completion/expiry is expected on
+        the receiving engine, which keeps cluster traces valid (one
+        terminal event per submitted job).
+
+        Returns ``None`` when ``job_id`` is not a live active job (not
+        yet released, already finished, or never seen).
+        """
+        state = self._require_session()
+        job = state.active.get(job_id)
+        if job is None or not job.is_live():
+            return None
+        job.dag.mark_preempted(job.executing)
+        job.executing = ()
+        state.prev_running.pop(job_id, None)
+        del state.active[job_id]
+        # Free the id so a later bounce-back to this shard is legal; any
+        # deadline_heap entry goes stale and the expiry loop skips it.
+        state.ids.discard(job_id)
+        self.scheduler.on_expiry(job.view, state.t)
+        return self._active_to_dict(job)
+
+    def inject_active(self, data: dict[str, Any], t: Optional[int] = None) -> JobView:
+        """Install a job extracted from another engine into this session.
+
+        ``data`` is the payload :meth:`extract_active` returned.  For
+        deadline (throughput-setting) jobs the arrival is re-stamped to
+        *now*, exactly like the queued-migration release path: the job
+        re-enters the world with whatever slack is left, so the
+        receiving scheduler judges delta-goodness and density against
+        remaining time (its ``W``/``L`` stay the originals -- a
+        conservative bound for a partially executed DAG).  General-
+        profit jobs keep their original arrival (profit decays from it)
+        and any previously assigned deadline.  The scheduler sees a
+        normal ``on_arrival``.
+
+        A job whose effective deadline already passed (it expired in
+        transit between extraction and injection) is recorded as an
+        immediate expiry instead of entering the engine, so every
+        submission keeps a completion record.  Raises
+        :class:`~repro.errors.SimulationError` if the job id is already
+        known here.
+        """
+        state = self._require_session()
+        if t is not None:
+            if t < state.t:
+                raise SimulationError(
+                    f"injection time {t} is in the past (now={state.t})"
+                )
+            if t > state.t:
+                self.advance_to(t)
+        if state.done:
+            raise SimulationError("session is done; cannot inject a job")
+        spec_data = data["spec"]
+        if (
+            spec_data.get("profit_fn") is None
+            and spec_data.get("deadline") is not None
+            and spec_data["deadline"] > state.t
+        ):
+            spec_data = dict(spec_data)
+            spec_data["arrival"] = state.t
+            data = dict(data)
+            data["spec"] = spec_data
+        job = self._active_from_dict(data)
+        job_id = job.job_id
+        if job_id in state.ids or job_id in state.active:
+            raise SimulationError(f"job {job_id} is already known to this engine")
+        eff = job.effective_deadline()
+        if eff is not None and eff <= state.t:
+            # expired in transit (extracted on one shard, deadline
+            # passed before injection here): record the expiry rather
+            # than reject, so the job keeps a completion record and
+            # coordinated runs account for every submission
+            state.ids.add(job_id)
+            job.expired = True
+            job.dag.mark_preempted(job.executing)
+            job.executing = ()
+            state.finished[job_id] = _finish_record(job)
+            state.counters.expiries += 1
+            if state.trace:
+                state.trace.event(state.t, EventKind.ARRIVAL, job_id)
+                state.trace.event(state.t, EventKind.EXPIRY, job_id)
+            rec = self.recorder
+            if rec is not None and rec.enabled:
+                rec.event(state.t, "arrival", job_id)
+                rec.event(state.t, "expiry", job_id)
+            return job.view
+        state.ids.add(job_id)
+        state.active[job_id] = job
+        state.arrival_seen = True
+        if eff is not None:
+            heapq.heappush(state.deadline_heap, (eff, job_id))
+        if state.trace:
+            state.trace.event(state.t, EventKind.ARRIVAL, job_id)
+        rec = self.recorder
+        emit = rec.event if (rec is not None and rec.enabled) else None
+        if emit is not None:
+            emit(state.t, "arrival", job_id)
+        self.scheduler.on_arrival(job.view, state.t)
+        if job.effective_deadline() is None:
+            assigned = self.scheduler.assign_deadline(job.view, state.t)
+            if assigned is not None:
+                if assigned <= state.t:
+                    raise SimulationError(
+                        f"scheduler assigned past deadline {assigned} <= {state.t}"
+                    )
+                job.assigned_deadline = int(assigned)
+                heapq.heappush(state.deadline_heap, (job.assigned_deadline, job_id))
+        if emit is not None:
+            info = scheduler_admission(self.scheduler, job_id) or {}
+            if job.assigned_deadline is not None:
+                info["assigned_deadline"] = job.assigned_deadline
+            emit(state.t, "admission", job_id, info or None)
+        return job.view
+
+    # ------------------------------------------------------------------
     # The event loop
     # ------------------------------------------------------------------
     def _require_session(self) -> _RunState:

@@ -109,6 +109,7 @@ class TestRouters:
 
     def test_registry_complete(self):
         assert sorted(ROUTERS) == [
+            "band-aware",
             "consistent-hash",
             "density-aware",
             "least-loaded",

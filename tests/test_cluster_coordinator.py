@@ -1,0 +1,428 @@
+"""Tests for repro.cluster.coordinator: the band ledger, the steal
+planner, coordinated cluster runs, and candidate trials.
+
+The load-bearing pins:
+
+* **profit superset** -- on adversarial overload traces (the paper's
+  Figure 1/2 DAG shapes under sustained overload), a coordinated
+  k-shard cluster recovers at least the profit-weighted admissions of
+  the uncoordinated partition, per seed and strictly in aggregate;
+* **determinism** -- seeded coordinated runs are bit-identical across
+  repeats and across inprocess/process modes, including runs that
+  steal *running* jobs (displacement evictions move jobs that have
+  executed work);
+* **commit purity** -- a candidate trial's winner produces exactly the
+  result of running the winning configuration alone over the stream.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BandLedger,
+    CandidateTrial,
+    ClusterService,
+    Coordinator,
+    ShardConfig,
+    ShardStats,
+    StealPlanner,
+    coordinate,
+)
+from repro.core import SNSScheduler
+from repro.core.theory import Constants
+from repro.errors import ClusterError
+from repro.service import SchedulingService
+from repro.sim.jobs import JobSpec
+from repro.workloads import WorkloadConfig, generate_workload
+from repro.workloads.adversarial import fig1_jobs, fig2_jobs, overload_stream
+
+SNS_CFG = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+CONSTS = Constants.from_epsilon(1.0)
+
+#: the defaults the bench and the CLIs stand behind
+SETTINGS = dict(
+    refresh_every=16,
+    steal_batch=16,
+    steal_margin=3.0,
+    max_displaced=3,
+    max_moves_per_job=2,
+)
+
+
+def mixed_workload(n_jobs=400, m=16, load=4.0, seed=7):
+    return generate_workload(
+        WorkloadConfig(
+            n_jobs=n_jobs, m=m, load=load, family="mixed", epsilon=1.0,
+            seed=seed,
+        )
+    )
+
+
+def adversarial_trace(m, seed, n_stream=150):
+    """Sustained overload spiced with Figure 1/2 DAG jobs.
+
+    The fig1/fig2 shapes (wide block behind a long chain, and the
+    reverse) are the paper's lower-bound instances; re-timed copies at
+    tight-but-feasible deadlines make admission genuinely contested.
+    """
+    rng = np.random.default_rng(seed)
+    specs = overload_stream(m, 1.0, n_stream, 3.0, rng)
+    next_id = max(s.job_id for s in specs) + 1
+    horizon = max(s.arrival for s in specs)
+    per_shard_m = max(2, m // 4)
+    for i in range(12):
+        base = fig1_jobs(per_shard_m, deadline_factor=3.0)[0] if i % 2 else (
+            fig2_jobs(per_shard_m, 96.0, 12.0, deadline_factor=3.0)[0]
+        )
+        arrival = int(rng.integers(0, horizon + 1))
+        rel = base.deadline - base.arrival
+        specs.append(
+            JobSpec(
+                next_id + i,
+                base.structure,
+                arrival=arrival,
+                deadline=arrival + rel,
+                profit=float(1.0 + rng.pareto(1.5)),
+            )
+        )
+    return specs
+
+
+def build_cluster(m, k, coordinated, mode="inprocess", **overrides):
+    cluster = ClusterService(
+        m,
+        k,
+        config=SNS_CFG,
+        router="band-aware" if coordinated else "consistent-hash",
+        mode=mode,
+    )
+    coordinator = None
+    if coordinated:
+        coordinator = coordinate(cluster, **{**SETTINGS, **overrides})
+    return cluster, coordinator
+
+
+def feasible_entry(job_id, m, profit, d_rem, work=8.0, span=1.0):
+    """A victim dict that is delta-good on an ``m``-machine shard."""
+    n = CONSTS.allotment(work, span, d_rem, m)
+    x = CONSTS.execution_bound(work, span, n)
+    assert CONSTS.is_delta_good(d_rem, x)
+    return {
+        "job_id": job_id,
+        "density": CONSTS.density(profit, x, n),
+        "allotment": n,
+        "x": x,
+        "work": work,
+        "span": span,
+        "deadline": d_rem,  # plan() is called with t=0
+        "profit": profit,
+    }
+
+
+def view(m, started=(), parked=(), starved=()):
+    return {
+        "m": m,
+        "now": 0,
+        "queue_depth": 0,
+        "started": [list(s) for s in started],
+        "parked": list(parked),
+        "starved": list(starved),
+    }
+
+
+class TestBandLedger:
+    def test_admits_against_merged_band_state(self):
+        ledger = BandLedger(CONSTS)
+        spec = JobSpec(
+            99, fig1_jobs(4)[0].structure, arrival=0, deadline=200,
+            profit=50.0,
+        )
+        # shard 0 empty, shard 1's band around the spec's density is full
+        state = ledger.shard_state
+        ledger.refresh({0: view(8), 1: view(8)})
+        n, _x, v, good = ledger.shard_state(spec, 1)
+        assert good and v > 0
+        full = [[i, v, 2] for i in range(4)]  # 8 allotment >= b*8 = 6.93
+        ledger.refresh({0: view(8), 1: view(8, started=full)})
+        assert ledger.admits(spec, 0)
+        assert not ledger.admits(spec, 1)
+        assert ledger.merged_band_load(v) == pytest.approx(8.0)
+
+    def test_place_prefers_processor_room(self):
+        ledger = BandLedger(CONSTS)
+        spec = JobSpec(
+            99, fig1_jobs(4)[0].structure, arrival=0, deadline=200,
+            profit=50.0,
+        )
+        _n, _x, v, _good = (
+            ledger.refresh({0: view(8)}) or ledger.shard_state(spec, 0)
+        )
+        # shard 0 committed (low-density jobs hog processors, band free);
+        # shard 1 wide open -> place() picks 1 despite the lower index
+        hogs = [[i, v / 1000.0, 3] for i in range(3)]
+        ledger.refresh({0: view(8, started=hogs), 1: view(8)})
+        stats = [ShardStats(index=0, m=8), ShardStats(index=1, m=8)]
+        assert ledger.admits(spec, 0)  # band admits; processors full
+        assert ledger.place(spec, stats) == 1
+
+    def test_note_admit_updates_mirror(self):
+        ledger = BandLedger(CONSTS)
+        ledger.refresh({0: view(4)})
+        spec = JobSpec(
+            7, fig1_jobs(4)[0].structure, arrival=0, deadline=200,
+            profit=50.0,
+        )
+        before = ledger.shard_state(spec, 0)
+        ledger.note_admit(spec, 0)
+        v = before[2]
+        assert ledger.merged_band_load(v) > 0
+
+    def test_unknown_shard_and_profit_fn_jobs(self):
+        ledger = BandLedger(CONSTS)
+        spec = JobSpec(
+            1, fig1_jobs(4)[0].structure, arrival=0, deadline=100,
+        )
+        assert ledger.shard_state(spec, 5) is None
+        assert not ledger.admits(spec, 5)
+
+
+class TestStealPlanner:
+    def test_plain_steal_into_open_room(self):
+        planner = StealPlanner(CONSTS, batch=4)
+        victim = feasible_entry(10, 8, profit=80.0, d_rem=13)
+        moves = planner.plan(
+            {0: view(8, parked=[victim]), 1: view(8)}, t=0
+        )
+        assert [
+            (mv.src, mv.dst, mv.job_id, mv.kind, mv.displaced)
+            for mv in moves
+        ] == [(0, 1, 10, "parked", ())]
+
+    def test_displacement_evicts_weak_started_jobs(self):
+        planner = StealPlanner(CONSTS, margin=1.5, max_displaced=2)
+        victim = feasible_entry(10, 8, profit=80.0, d_rem=13)
+        weak = [[i, 0.5, 2] for i in range(1, 5)]  # room = 8 - 8 = 0
+        moves = planner.plan(
+            {0: view(8, parked=[victim]), 1: view(8, started=weak)}, t=0
+        )
+        assert len(moves) == 1
+        # two evictions: the first frees processor room, but the band
+        # anchored at the weak jobs' density (which contains the victim)
+        # only drops under b*m once a second entry leaves
+        assert moves[0].displaced == (1, 2)
+
+    def test_margin_blocks_near_peer_displacement(self):
+        planner = StealPlanner(CONSTS, margin=1.5, max_displaced=2)
+        victim = feasible_entry(10, 8, profit=80.0, d_rem=13)
+        v = victim["density"]
+        strong = [[i, v / 1.2, 2] for i in range(1, 5)]  # within margin
+        moves = planner.plan(
+            {0: view(8, parked=[victim]), 1: view(8, started=strong)}, t=0
+        )
+        assert moves == []
+
+    def test_move_cap_stops_ping_pong(self):
+        planner = StealPlanner(CONSTS, batch=4)
+        victim = feasible_entry(10, 8, profit=80.0, d_rem=13)
+        views = {0: view(8, parked=[victim]), 1: view(8)}
+        assert planner.plan(views, 0, {10: 2}, 2) == []
+        assert len(planner.plan(views, 0, {10: 1}, 2)) == 1
+
+    def test_expired_and_batch_limits(self):
+        planner = StealPlanner(CONSTS, batch=1)
+        a = feasible_entry(10, 8, profit=80.0, d_rem=13)
+        b = feasible_entry(11, 8, profit=60.0, d_rem=13)
+        dead = dict(feasible_entry(12, 8, profit=99.0, d_rem=13), deadline=0)
+        moves = planner.plan(
+            {0: view(8, parked=[a, b, dead]), 1: view(8)}, t=0
+        )
+        assert [mv.job_id for mv in moves] == [10]  # batch=1, densest first
+
+    def test_plan_is_deterministic(self):
+        planner = StealPlanner(CONSTS, batch=8, max_displaced=2)
+        victims = [
+            feasible_entry(10 + i, 8, profit=40.0 + i, d_rem=13)
+            for i in range(4)
+        ]
+        weak = [[100 + i, 0.4, 2] for i in range(4)]
+        # starved victims are started jobs, so they appear in the
+        # donor's band mirror too (the invariant coordination_view keeps)
+        starved_band = [
+            [e["job_id"], e["density"], e["allotment"]] for e in victims[2:]
+        ]
+        views = {
+            0: view(8, parked=victims[:2], starved=victims[2:],
+                    started=starved_band),
+            1: view(8, started=weak),
+            2: view(8),
+        }
+        first = planner.plan(views, t=0)
+        assert first and first == planner.plan(views, t=0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StealPlanner(CONSTS, batch=0)
+        with pytest.raises(ValueError):
+            StealPlanner(CONSTS, margin=1.0)
+        with pytest.raises(ValueError):
+            StealPlanner(CONSTS, max_displaced=-1)
+
+
+class TestCoordinatedCluster:
+    @pytest.mark.parametrize("seed", [3, 23, 41])
+    def test_profit_superset_on_adversarial_traces(self, seed):
+        """On these fixed traces the coordinated cluster admits (and
+        completes) a profit-weighted superset of the uncoordinated
+        partition's jobs.  This is a regression pin on seeded traces,
+        not a dominance theorem: coordination is an online heuristic
+        and *can* lose on an adversarial stream (diverting a job its
+        anchor would park consumes band room a future local arrival
+        wanted -- the aggregate test below includes such seeds)."""
+        specs = adversarial_trace(16, seed)
+        plain, _ = build_cluster(16, 4, coordinated=False)
+        coord, _ = build_cluster(16, 4, coordinated=True)
+        assert (
+            coord.run_stream(specs).total_profit
+            >= plain.run_stream(specs).total_profit
+        )
+
+    def test_coordination_strictly_improves_in_aggregate(self):
+        """Across a seed family that includes per-trace losses (11 and
+        57 lose as of this pin), coordination still comes out ahead."""
+        gain = 0.0
+        for seed in (3, 11, 23, 41, 57):
+            specs = adversarial_trace(16, seed)
+            plain, _ = build_cluster(16, 4, coordinated=False)
+            coord, _ = build_cluster(16, 4, coordinated=True)
+            gain += (
+                coord.run_stream(specs).total_profit
+                - plain.run_stream(specs).total_profit
+            )
+        assert gain > 0
+
+    def test_bit_identical_repeats_with_running_job_steal(self):
+        specs = mixed_workload()
+
+        def run():
+            cluster, coordinator = build_cluster(16, 4, coordinated=True)
+            return cluster.run_stream(specs), coordinator, cluster
+
+        first, c1, cl1 = run()
+        second, c2, _ = run()
+        assert first.records == second.records
+        assert first.total_profit == second.total_profit
+        assert c1.steals == c2.steals
+        # at least one steal displaced receiver jobs: those jobs were
+        # *running* (started, executing work) when they were extracted
+        assert any(mv.displaced for mv in c1.steals)
+        counters = cl1.cluster_metrics.values()
+        assert counters["steals_total"] == len(c1.steals)
+        assert counters["steals_displaced_total"] >= 1
+
+    def test_process_mode_matches_inprocess(self):
+        specs = mixed_workload(n_jobs=200)
+        inproc, ci = build_cluster(16, 4, coordinated=True)
+        proc, cp = build_cluster(16, 4, coordinated=True, mode="process")
+        a = inproc.run_stream(specs)
+        b = proc.run_stream(specs)
+        assert a.records == b.records
+        assert a.total_profit == b.total_profit
+        assert ci.steals == cp.steals
+
+    def test_coordinator_validation(self):
+        cluster, _ = build_cluster(16, 4, coordinated=False)
+        with pytest.raises(ClusterError):
+            Coordinator(cluster, refresh_every=0)
+        with pytest.raises(ClusterError):
+            Coordinator(cluster, steal_every=0)
+        with pytest.raises(ClusterError):
+            Coordinator(cluster, max_moves_per_job=0)
+
+    def test_coordinate_binds_band_aware_router(self):
+        cluster, coordinator = build_cluster(16, 4, coordinated=True)
+        assert cluster.coordinator is coordinator
+        assert cluster.router._ledger is coordinator.ledger
+
+
+class TestCoordinationView:
+    def test_limit_keeps_top_density_victims(self):
+        service = SchedulingService(4, SNSScheduler(epsilon=1.0))
+        rng = np.random.default_rng(5)
+        for spec in overload_stream(4, 1.0, 60, 4.0, rng):
+            service.submit(spec, t=spec.arrival)
+        full = service.coordination_view()
+        capped = service.coordination_view(limit=3)
+        assert len(capped["parked"]) <= 3
+        assert len(capped["starved"]) <= 3
+        for kind in ("parked", "starved"):
+            want = sorted(
+                full[kind], key=lambda e: (-e["density"], e["job_id"])
+            )[: len(capped[kind])]
+            assert capped[kind] == want
+        assert capped["started"] == full["started"]
+
+
+class TestCandidateTrial:
+    def make_candidates(self):
+        return [
+            ("k1", lambda: ClusterService(
+                16, 1, config=SNS_CFG, router="consistent-hash"
+            )),
+            ("k4", lambda: ClusterService(
+                16, 4, config=SNS_CFG, router="consistent-hash"
+            )),
+        ]
+
+    def test_commit_matches_standalone_winner(self):
+        specs = mixed_workload(n_jobs=200)
+        trial = CandidateTrial(self.make_candidates(), trial_jobs=64)
+        result = trial.run_stream(specs)
+        assert trial.committed
+        assert sum(r.committed for r in trial.reports) == 1
+        rebuilt = dict(self.make_candidates())[trial.winner_name]()
+        alone = rebuilt.run_stream(specs)
+        assert result.records == alone.records
+        assert result.total_profit == alone.total_profit
+        names = [r["name"] for r in result.extra["candidate_trial"]]
+        assert names == ["k1", "k4"]
+
+    def test_commit_is_deterministic(self):
+        specs = mixed_workload(n_jobs=200)
+        winners = set()
+        for _ in range(2):
+            trial = CandidateTrial(self.make_candidates(), trial_jobs=64)
+            trial.run_stream(specs)
+            winners.add(trial.winner_name)
+        assert len(winners) == 1
+
+    def test_short_stream_commits_at_finish(self):
+        specs = mixed_workload(n_jobs=20)
+        trial = CandidateTrial(self.make_candidates(), trial_jobs=500)
+        trial.run_stream(specs)
+        assert trial.committed
+
+    def test_validation(self):
+        candidates = self.make_candidates()
+        with pytest.raises(ClusterError):
+            CandidateTrial(candidates[:1])
+        with pytest.raises(ClusterError):
+            CandidateTrial(candidates, trial_jobs=0)
+        bad = [
+            ("p", lambda: ClusterService(
+                16, 2, config=SNS_CFG, mode="process"
+            )),
+            ("q", lambda: ClusterService(16, 2, config=SNS_CFG)),
+        ]
+        with pytest.raises(ClusterError):
+            CandidateTrial(bad)
+
+
+def test_module_docstring_promises_hold():
+    """The math the module docstring quotes: fig1/fig2 jobs exist and
+    the epsilon=1 constants match the documented band capacity."""
+    assert CONSTS.band_capacity(16) == pytest.approx(16 * CONSTS.b)
+    assert math.isclose(CONSTS.delta, 0.25)
+    assert fig1_jobs(4)[0].deadline >= 1
+    assert fig2_jobs(4, 96.0, 12.0)[0].deadline >= 1

@@ -78,3 +78,11 @@ class TestExamples:
         assert "Routers vs single service" in out
         assert "migration=on" in out
         assert "bit-identical to fault-free run: True" in out
+
+    def test_coordinated_cluster(self):
+        out = run_example("coordinated_cluster.py")
+        assert "Coordinated cluster vs the sharding profit gap" in out
+        assert "% of k=1" in out
+        assert "Candidate trial" in out
+        assert "(committed)" in out
+        assert "done" in out
