@@ -14,6 +14,11 @@ docs/PERFORMANCE.md):
 * ``service`` -- streaming pass-through overhead of
   :class:`repro.service.SchedulingService` relative to batch
   ``Simulator.run`` on the same workload.
+* ``scenario_overhead`` -- spec-driven construction through
+  :mod:`repro.scenarios` (canonical spec -> registry -> builder) vs
+  hand-wiring the identical batch run on the engine acceptance config,
+  gated at <= 2% wall-clock overhead and fingerprint bit-identity
+  under ``--check``.
 
 A second snapshot, ``BENCH_cluster.json``, covers the sharded cluster
 (:mod:`repro.cluster`): process-mode throughput at shard counts
@@ -247,6 +252,64 @@ def bench_service(quick: bool, repeats: int) -> dict:
         "batch_seconds": best["batch"],
         "stream_seconds": best["stream"],
         "passthrough_overhead": best["stream"] / best["batch"],
+    }
+
+
+def bench_scenario_overhead(quick: bool, repeats: int) -> dict:
+    """Spec-driven construction overhead on the engine acceptance config.
+
+    The declarative path (parse the canonical spec, registry lookups,
+    :class:`~repro.scenarios.ScenarioBuilder` assembly) must price in
+    at <= 2% wall-clock over hand-wiring the identical batch run, and
+    both paths must agree on the result fingerprint.  Both subjects
+    include workload generation -- the builder regenerates from the
+    spec's seed, so the direct subject must too.
+    """
+    from repro.scenarios import ScenarioBuilder, ScenarioSpec
+    from repro.scenarios.builder import result_fingerprint
+
+    n_jobs, m = (QUICK_SCALE_CONFIGS if quick else SCALE_CONFIGS)[-1]
+    doc = {
+        "scenario": {"mode": "batch", "seed": n_jobs},
+        "workload": {
+            "n_jobs": n_jobs,
+            "m": m,
+            "load": 2.0,
+            "family": "mixed",
+            "epsilon": 1.0,
+        },
+        "scheduler": {"name": "sns"},
+    }
+
+    def run_spec():
+        return ScenarioBuilder(ScenarioSpec.from_dict(doc)).execute()
+
+    def run_direct():
+        specs = generate_workload(
+            WorkloadConfig(
+                n_jobs=n_jobs,
+                m=m,
+                load=2.0,
+                family="mixed",
+                epsilon=1.0,
+                seed=n_jobs,
+            )
+        )
+        specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+        return Simulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+
+    res_spec, res_direct = run_spec(), run_direct()
+    best = _interleaved({"spec": run_spec, "direct": run_direct}, repeats)
+    slack = 0.005
+    return {
+        "n_jobs": n_jobs,
+        "m": m,
+        "identical": res_spec.fingerprint()
+        == result_fingerprint("batch", res_direct),
+        "direct_seconds": best["direct"],
+        "spec_seconds": best["spec"],
+        "construction_overhead": best["spec"] / best["direct"],
+        "overhead_ok": best["spec"] <= best["direct"] * 1.02 + slack,
     }
 
 
@@ -973,6 +1036,7 @@ def main(argv=None) -> int:
         "engine_scale": bench_engine_scale(args.quick, args.repeats),
         "sweep": bench_sweep(args.quick, args.repeats),
         "service": bench_service(args.quick, args.repeats),
+        "scenario_overhead": bench_scenario_overhead(args.quick, args.repeats),
     }
 
     out = Path(args.output)
@@ -983,6 +1047,8 @@ def main(argv=None) -> int:
         all(row["identical"] for row in snapshot["engine_scale"])
         and snapshot["sweep"]["identical"]
         and snapshot["service"]["identical_profit"]
+        and snapshot["scenario_overhead"]["identical"]
+        and snapshot["scenario_overhead"]["overhead_ok"]
     )
     largest = snapshot["engine_scale"][-1]
     print(

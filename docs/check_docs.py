@@ -18,6 +18,10 @@ report if any is broken:
 3. **Repo-relative paths** — markdown link targets and backticked
    ``docs/...``, ``src/...``, ``tests/...``, ``benchmarks/...``,
    ``examples/...`` paths must exist on disk.
+4. **Component names** — rows of catalog tables whose header is
+   ``| kind | name | ... |`` (docs/SCENARIOS.md), and backticked
+   ``kind:name`` tokens anywhere (e.g. `` `scheduler:sns` ``), must
+   name components registered in the shared component registry.
 
 The point is to fail CI when a doc names a module, symbol, or file that
 a refactor renamed — the docs are checked against the code, not against
@@ -127,6 +131,55 @@ def check_paths(text: str, doc_path: pathlib.Path, errors):
             errors.append(f"{doc}: path `{token}` missing")
 
 
+TABLE_ROW_RE = re.compile(r"^\|(.+)\|\s*$")
+COMPONENT_TOKEN_RE = re.compile(r"^([a-z][a-z-]*):([A-Za-z0-9_.-]+)$")
+
+
+def _component_registry():
+    from repro.scenarios.components import install_default_components
+    from repro.scenarios.registry import REGISTRY
+
+    install_default_components()
+    return REGISTRY
+
+
+def check_components(text: str, doc: str, errors):
+    """Validate doc-referenced component names against the registry."""
+    registry = _component_registry()
+    kinds = set(registry.kinds())
+
+    def verify(kind, name, where):
+        if not registry.has(kind, name):
+            hint = registry.suggest(kind, name)
+            extra = f" (did you mean {hint[0]!r}?)" if hint else ""
+            errors.append(
+                f"{doc}: {where} names unregistered {kind} "
+                f"{name!r}{extra}"
+            )
+
+    # catalog tables: | kind | name | ... | rows under that header
+    in_catalog = False
+    for line in text.splitlines():
+        match = TABLE_ROW_RE.match(line.strip())
+        if not match:
+            in_catalog = False
+            continue
+        cells = [c.strip().strip("`") for c in match.group(1).split("|")]
+        if len(cells) >= 2 and cells[0] == "kind" and cells[1] == "name":
+            in_catalog = True
+            continue
+        if not in_catalog or set(cells[0]) <= {"-", " "}:
+            continue
+        if cells[0] in kinds:
+            verify(cells[0], cells[1], "catalog row")
+
+    # backticked kind:name tokens in prose
+    for token in BACKTICK_RE.findall(strip_fences(text)):
+        match = COMPONENT_TOKEN_RE.match(token)
+        if match and match.group(1) in kinds:
+            verify(match.group(1), match.group(2), f"`{token}`")
+
+
 def main(argv=None) -> int:
     argparse.ArgumentParser(description=__doc__).parse_args(argv)
     errors = []
@@ -136,6 +189,7 @@ def main(argv=None) -> int:
         check_code_fences(text, doc, errors)
         check_dotted_names(text, doc, errors)
         check_paths(text, path, errors)
+        check_components(text, doc, errors)
     if errors:
         print(f"docs-consistency: {len(errors)} broken reference(s)")
         for err in errors:

@@ -15,44 +15,65 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ScenarioError
 from repro.service.queue import SHED_POLICIES, make_shed_policy
 from repro.service.service import SchedulingService
 from repro.service.telemetry import MetricsRegistry
 from repro.sim.scheduler import Scheduler
 
+class _SchedulerRegistryView:
+    """Lazy ``{name: factory}`` view over the shared component registry.
+
+    Kept for compatibility with older call sites that iterate
+    ``SCHEDULER_REGISTRY`` for the scheduler name list; resolution
+    itself goes through :data:`repro.scenarios.registry.REGISTRY`, so
+    every registered scheduler (S, the baselines, the ablations) is
+    buildable in a shard worker process by name.
+    """
+
+    def _registry(self):
+        # deferred so repro.cluster does not import the scheduler stack
+        # at module-import time in worker processes that never use it
+        from repro.scenarios.components import install_default_components
+        from repro.scenarios.registry import REGISTRY
+
+        install_default_components()
+        return REGISTRY
+
+    def __getitem__(self, name: str) -> Callable[..., Scheduler]:
+        try:
+            return self._registry().get("scheduler", name).factory
+        except ScenarioError:
+            raise KeyError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return self._registry().has("scheduler", str(name))
+
+    def __iter__(self):
+        return iter(self._registry().names("scheduler"))
+
+    def __len__(self) -> int:
+        return len(self._registry().names("scheduler"))
+
+    def keys(self):
+        return self._registry().names("scheduler")
+
+
 #: Scheduler factories buildable from a ``(name, kwargs)`` recipe in a
 #: shard worker process.  Keys match ``repro-serve --scheduler``.
-SCHEDULER_REGISTRY: dict[str, Callable[..., Scheduler]] = {}
-
-
-def _register_schedulers() -> None:
-    # deferred so repro.cluster does not import the scheduler stack at
-    # module-import time in worker processes that never use it
-    from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
-    from repro.core.sns import SNSScheduler
-
-    SCHEDULER_REGISTRY.update(
-        {
-            "sns": SNSScheduler,
-            "fifo": FIFOScheduler,
-            "edf": GlobalEDF,
-            "greedy": GreedyDensity,
-        }
-    )
+SCHEDULER_REGISTRY = _SchedulerRegistryView()
 
 
 def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
     """Build a scheduler from its registry name and constructor kwargs."""
-    if not SCHEDULER_REGISTRY:
-        _register_schedulers()
+    from repro.scenarios.components import install_default_components
+    from repro.scenarios.registry import REGISTRY
+
+    install_default_components()
     try:
-        factory = SCHEDULER_REGISTRY[name]
-    except KeyError:
-        raise ClusterError(
-            f"unknown scheduler {name!r}; known: {sorted(SCHEDULER_REGISTRY)}"
-        ) from None
-    return factory(**kwargs)
+        return REGISTRY.create("scheduler", name, **kwargs)
+    except ScenarioError as exc:
+        raise ClusterError(str(exc)) from None
 
 
 @dataclass(frozen=True)

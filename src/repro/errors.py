@@ -102,6 +102,31 @@ class WALError(ReproError):
     """A write-ahead log file is unusable (bad magic, wrong version)."""
 
 
+class ScenarioError(ReproError):
+    """A scenario spec is invalid or names an unknown component.
+
+    Attributes
+    ----------
+    location:
+        Dotted spec location of the offending entry (e.g.
+        ``"scheduler.name"``), or ``None`` for spec-level failures.
+    suggestions:
+        Nearest registered names when an unknown component/key was
+        named (what the CLI's "did you mean" line prints).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        location: str = None,
+        suggestions: list = None,
+    ) -> None:
+        super().__init__(message)
+        self.location = location
+        self.suggestions = list(suggestions) if suggestions else []
+
+
 class SweepError(ReproError):
     """A sweep failed; carries the failing cell for diagnosis.
 

@@ -2,6 +2,14 @@
 
 ``repro-experiments all`` regenerates every table of the reproduction;
 ``repro-experiments E1 E7 --quick`` runs a subset at reduced size.
+
+The experiments live in the shared component registry
+(:data:`repro.scenarios.registry.REGISTRY`, kind ``"experiment"``)
+alongside schedulers, routers and the rest of the pluggable surface;
+:data:`EXPERIMENTS` is a read-only mapping view over that kind, so
+existing ``for key in EXPERIMENTS`` / ``EXPERIMENTS[key]`` call sites
+keep working while registration, duplicate detection and typo
+suggestions are the registry's.
 """
 
 from __future__ import annotations
@@ -9,8 +17,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable
+from collections.abc import Mapping
+from typing import Callable, Iterator
 
+from repro.errors import ScenarioError
 from repro.experiments import (
     e01_fig1,
     e02_fig2,
@@ -29,35 +39,73 @@ from repro.experiments import (
     e15_cluster,
 )
 from repro.experiments.common import ExperimentResult
+from repro.scenarios.registry import REGISTRY
 
-EXPERIMENTS: dict[str, Callable[[bool], ExperimentResult]] = {
-    "E1": e01_fig1.run,
-    "E2": e02_fig2.run,
-    "E3": e03_thm2.run,
-    "E4": e04_cor1.run,
-    "E5": e05_cor2.run,
-    "E6": e06_thm3.run,
-    "E7": e07_baselines.run,
-    "E8": e08_invariants.run,
-    "E9": e09_ablations.run,
-    "E10": e10_constants.run,
-    "E11": e11_engine.run,
-    "E12": e12_extensions.run,
-    "E13": e13_preemption_cost.run,
-    "E14": e14_small_exact.run,
-    "E15": e15_cluster.run,
-}
+
+class RegistryView(Mapping):
+    """Read-only ``{name: factory}`` view over one registry kind."""
+
+    def __init__(self, registry, kind: str) -> None:
+        self._registry = registry
+        self._kind = kind
+
+    def __getitem__(self, name: str) -> Callable:
+        try:
+            return self._registry.get(self._kind, name).factory
+        except ScenarioError:
+            raise KeyError(name) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names(self._kind))
+
+    def __len__(self) -> int:
+        return len(self._registry.names(self._kind))
+
+
+def _install_experiments() -> None:
+    """Register E1..E15 (idempotent across re-imports)."""
+    modules = [
+        ("E1", e01_fig1),
+        ("E2", e02_fig2),
+        ("E3", e03_thm2),
+        ("E4", e04_cor1),
+        ("E5", e05_cor2),
+        ("E6", e06_thm3),
+        ("E7", e07_baselines),
+        ("E8", e08_invariants),
+        ("E9", e09_ablations),
+        ("E10", e10_constants),
+        ("E11", e11_engine),
+        ("E12", e12_extensions),
+        ("E13", e13_preemption_cost),
+        ("E14", e14_small_exact),
+        ("E15", e15_cluster),
+    ]
+    for key, module in modules:
+        if not REGISTRY.has("experiment", key):
+            REGISTRY.register(
+                "experiment",
+                key,
+                module.run,
+                summary=(module.__doc__ or "").strip().split("\n")[0],
+            )
+
+
+_install_experiments()
+
+#: Mapping view over the registry's ``experiment`` kind (E1..E15).
+EXPERIMENTS: Mapping[str, Callable[[bool], ExperimentResult]] = RegistryView(
+    REGISTRY, "experiment"
+)
 
 
 def run_experiment(key: str, quick: bool = False) -> ExperimentResult:
     """Run one experiment by key (``"E1"`` .. ``"E15"``)."""
     try:
-        runner = EXPERIMENTS[key.upper()]
-    except KeyError:
-        raise KeyError(
-            f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
-        ) from None
-    return runner(quick)
+        component = REGISTRY.get("experiment", key.upper())
+    except ScenarioError as exc:
+        raise KeyError(str(exc)) from None
+    return component.create(quick)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -79,9 +127,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    keys = list(EXPERIMENTS) if args.experiments == ["all"] or args.experiments == [] else [
-        k.upper() for k in args.experiments
-    ]
+    if args.experiments in (["all"], []):
+        keys = sorted(EXPERIMENTS, key=lambda k: int(k[1:]))
+    else:
+        keys = [k.upper() for k in args.experiments]
     for key in keys:
         t0 = time.perf_counter()
         result = run_experiment(key, quick=args.quick)

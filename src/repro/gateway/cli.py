@@ -25,9 +25,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.cluster.config import SCHEDULER_REGISTRY, ShardConfig
+from repro.cluster.config import ShardConfig
 from repro.cluster.elastic import ElasticCluster
-from repro.cluster.router import ROUTERS
+from repro.errors import ScenarioError
 from repro.gateway.autoscale import Autoscaler
 from repro.gateway.clock import VirtualClock, WallClock
 from repro.gateway.gateway import Gateway
@@ -119,7 +119,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cl.add_argument(
         "--router",
-        choices=sorted(ROUTERS),
         default=None,
         help="shard placement policy (default: least-loaded, or "
         "band-aware when --coordinate is on)",
@@ -132,9 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cl.add_argument(
         "--scheduler",
-        choices=sorted(SCHEDULER_REGISTRY),
         default="sns",
-        help="per-shard scheduling policy",
+        help="per-shard scheduling policy (any registered scheduler)",
     )
     cl.add_argument(
         "--capacity", type=int, default=128,
@@ -194,12 +192,103 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-every", type=int, default=0, metavar="N",
         help="print a progress line every N ticks (0 = quiet)",
     )
+
+    spec = parser.add_argument_group("scenario")
+    spec.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="run this scenario spec (.toml/.json) instead of the flags",
+    )
+    spec.add_argument(
+        "--dump-scenario", action="store_true",
+        help="print the flags as a canonical scenario TOML and exit",
+    )
     return parser
+
+
+def _registry():
+    """The shared component registry, fully populated."""
+    from repro.scenarios.components import install_default_components
+    from repro.scenarios.registry import REGISTRY
+
+    install_default_components()
+    return REGISTRY
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Map the flag namespace onto an equivalent :class:`ScenarioSpec`."""
+    from repro.scenarios.spec import ScenarioSpec
+
+    return ScenarioSpec.from_dict(
+        {
+            "scenario": {
+                "name": "repro-gateway",
+                "mode": "gateway",
+                "seed": args.seed,
+            },
+            "workload": {
+                "kind": "open-loop",
+                "n_jobs": args.n_jobs,
+                "m": args.m,
+                "load": args.load,
+                "family": args.family,
+                "epsilon": args.epsilon,
+                "process": args.process,
+                "period": args.period,
+                "amplitude": args.amplitude,
+                "spike_fraction": args.spike_fraction,
+                "session_alpha": args.session_alpha,
+            },
+            "scheduler": {"name": args.scheduler},
+            "service": {
+                "capacity": args.capacity,
+                "shed_policy": args.policy,
+                "max_in_flight": args.max_in_flight or 0,
+            },
+            "cluster": {
+                "router": args.router or "",
+                "mode": "inprocess",  # ElasticCluster's default; no flag
+                "coordinate": args.coordinate,
+            },
+            "gateway": {
+                "clock": args.clock,
+                "tick": args.tick,
+                "steps_per_tick": args.steps_per_tick,
+                "buffer": args.buffer,
+                "max_dispatch": args.max_dispatch or 0,
+                "max_ticks": args.max_ticks or 0,
+                "shards_max": args.shards_max,
+                "shards_initial": args.shards_initial or 0,
+                "kpi_every": args.kpi_every,
+            },
+            "autoscale": {
+                "enabled": args.autoscale,
+                "shards_min": args.shards_min,
+                "high_water": args.high_water,
+                "up_patience": args.up_patience,
+                "down_patience": args.down_patience,
+                "cooldown": args.cooldown,
+            },
+        }
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-gateway`` console script."""
     args = build_parser().parse_args(argv)
+    if args.scenario:
+        from repro.scenarios.cli import main as scenario_main
+
+        return scenario_main(["run", args.scenario])
+    try:
+        if args.dump_scenario:
+            sys.stdout.write(_spec_from_args(args).to_toml())
+            return 0
+        _registry().get("scheduler", args.scheduler)
+        if args.router is not None:
+            _registry().get("router", args.router)
+    except ScenarioError as exc:
+        print(f"repro-gateway: {exc}", file=sys.stderr)
+        return 2
     load = LoadGenerator(
         LoadConfig(
             n_jobs=args.n_jobs,
@@ -215,8 +304,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             session_alpha=args.session_alpha,
         )
     )
+    component = _registry().get("scheduler", args.scheduler)
     scheduler_kwargs = (
-        {"epsilon": args.epsilon} if args.scheduler == "sns" else {}
+        {"epsilon": args.epsilon}
+        if component.meta.get("accepts_epsilon")
+        else {}
     )
     cluster = ElasticCluster(
         m=args.m,
@@ -309,7 +401,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(f"scale_events:    {summary['scale_events']} ({scale_path})")
     print(f"late_ticks:      {summary['late_ticks']}")
-    print(f"fingerprint:     {summary['fingerprint'][:16]}")
+    print(f"fingerprint:     {summary['fingerprint']}")
     if args.kpi:
         feed.write_jsonl(args.kpi)
         print(f"kpi written:     {args.kpi} ({len(feed.history())} snapshots)")

@@ -347,7 +347,49 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--schedule", default=None, help="explicit kind:shard:at,... spec"
     )
     parser.add_argument("--out", default=None, help="write the report JSON here")
+    parser.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="run this scenario spec (.toml/.json) instead of the flags",
+    )
+    parser.add_argument(
+        "--dump-scenario", action="store_true",
+        help="print the chaos-injected run as a canonical scenario TOML "
+        "and exit (the clean reference run is this CLI's own job)",
+    )
     args = parser.parse_args(argv)
+    if args.scenario:
+        from repro.scenarios.cli import main as scenario_main
+
+        return scenario_main(["run", args.scenario])
+    if args.dump_scenario:
+        from repro.scenarios.spec import ScenarioSpec
+
+        spec = ScenarioSpec.from_dict(
+            {
+                "scenario": {
+                    "name": "chaos-smoke",
+                    "mode": "cluster",
+                    "seed": args.seed,
+                },
+                "workload": {
+                    "n_jobs": args.n_jobs,
+                    "m": args.m,
+                    "load": 2.0,
+                    "epsilon": 1.0,
+                },
+                "cluster": {
+                    "shards": args.shards,
+                    "mode": args.mode,
+                    "supervise": True,
+                },
+                "faults": {
+                    "kind": "chaos",
+                    "chaos": args.schedule or f"seed:{args.seed}",
+                },
+            }
+        )
+        sys.stdout.write(spec.to_toml())
+        return 0
 
     from repro.workloads import WorkloadConfig, generate_workload
 

@@ -1,0 +1,56 @@
+"""Declarative scenarios: specs, a component registry, and a builder.
+
+The subsystem has four layers:
+
+- :mod:`repro.scenarios.registry` -- ``(kind, name) -> factory`` with
+  typo-tolerant lookup; :data:`REGISTRY` is the shared instance.
+- :mod:`repro.scenarios.components` -- shims adopting every
+  pre-existing pluggable piece into the registry.
+- :mod:`repro.scenarios.spec` -- :class:`ScenarioSpec`, a validated,
+  canonically-serializable (TOML/JSON) description of one run.
+- :mod:`repro.scenarios.builder` -- :class:`ScenarioBuilder`, the
+  setup/run/collect/teardown lifecycle that assembles the batch
+  simulator, the scheduling service, a (resilient) cluster, or the
+  gateway from a spec and returns a uniform :class:`ScenarioResult`.
+
+``repro-scenario`` (:mod:`repro.scenarios.cli`) exposes run /
+validate / list / matrix on top.
+"""
+
+from repro.errors import ScenarioError
+from repro.scenarios.builder import (
+    ScenarioBuilder,
+    ScenarioResult,
+    build_workload,
+    run_scenario,
+)
+from repro.scenarios.components import KINDS, install_default_components
+from repro.scenarios.matrix import (
+    AXIS_SHORTHANDS,
+    MatrixResult,
+    expand_matrix,
+    run_matrix,
+)
+from repro.scenarios.registry import REGISTRY, Component, ComponentRegistry, register
+from repro.scenarios.spec import ScenarioSpec, load_spec, loads_spec
+
+__all__ = [
+    "AXIS_SHORTHANDS",
+    "Component",
+    "ComponentRegistry",
+    "KINDS",
+    "MatrixResult",
+    "REGISTRY",
+    "ScenarioBuilder",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_workload",
+    "expand_matrix",
+    "install_default_components",
+    "load_spec",
+    "loads_spec",
+    "register",
+    "run_matrix",
+    "run_scenario",
+]

@@ -1,0 +1,555 @@
+"""Scenario builder: spec -> runnable -> uniform result.
+
+:class:`ScenarioBuilder` walks the lifecycle ``setup -> run -> collect
+-> teardown`` and hides which of the four run shapes is underneath:
+
+* ``batch`` -- a bare engine (:class:`~repro.sim.engine.Simulator` or
+  the frozen legacy oracle) over the materialized workload.
+* ``service`` -- a :class:`~repro.service.service.SchedulingService`
+  with admission control, driven in arrival order.
+* ``cluster`` -- a :class:`~repro.cluster.service.ClusterService` (or
+  the resilient variant when supervision/chaos is on), in-process or
+  worker-process shards, optionally coordinated.
+* ``gateway`` -- a paced :class:`~repro.gateway.gateway.Gateway` over
+  an :class:`~repro.cluster.elastic.ElasticCluster` under a wall or
+  virtual clock.
+
+Construction mirrors the flag-driven CLIs *exactly* -- same component
+factories, same defaulting, same submission order -- which is what
+makes a spec-driven run bit-identical to the equivalent ``repro-serve``
+/ ``repro-gateway`` invocation (pinned by ``tests/test_scenarios.py``
+and the CI identity smoke).
+
+Every shape returns a :class:`ScenarioResult` whose
+:meth:`~ScenarioResult.fingerprint` is a SHA-256 over the observable
+outcome (completion records, sheds, profit bit patterns); gateway runs
+delegate to :meth:`GatewayResult.fingerprint
+<repro.gateway.gateway.GatewayResult.fingerprint>` so the scenario
+fingerprint equals the one the gateway CLI and bench already print.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import ScenarioError
+from repro.scenarios.components import install_default_components
+from repro.scenarios.registry import REGISTRY
+from repro.scenarios.spec import ScenarioSpec
+
+
+# ----------------------------------------------------------------------
+# Result
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioResult:
+    """Uniform outcome of any scenario run."""
+
+    #: the (validated) spec that produced this run
+    spec: ScenarioSpec
+    #: run shape ("batch" | "service" | "cluster" | "gateway")
+    mode: str
+    #: per-job completion records, merged across shards
+    records: dict[int, Any]
+    #: profit earned by completed-on-time jobs
+    total_profit: float
+    #: jobs dropped before release (service/cluster shed + gateway drops)
+    num_shed: int
+    #: simulated end time
+    end_time: int
+    #: the underlying result object (SimulationResult / ServiceResult /
+    #: ClusterResult / GatewayResult), for shape-specific inspection
+    raw: Any = None
+    #: merged telemetry registry, when the shape produces one
+    metrics: Any = None
+    #: recorded trace events, when tracing was enabled
+    trace_events: Optional[list] = None
+    extra: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over everything observable about the run."""
+        return result_fingerprint(self.mode, self.raw)
+
+    def summary(self) -> dict[str, Any]:
+        """Flat reporting surface (what ``repro-scenario run`` prints)."""
+        completed = sum(
+            1 for r in self.records.values() if r.completion_time is not None
+        )
+        expired = sum(1 for r in self.records.values() if r.expired)
+        return {
+            "scenario": self.spec.name,
+            "mode": self.mode,
+            "seed": self.spec.seed,
+            "jobs": len(self.records),
+            "completed": completed,
+            "expired": expired,
+            "shed": self.num_shed,
+            "end_time": self.end_time,
+            "total_profit": self.total_profit,
+            "spec_fingerprint": self.spec.fingerprint(),
+            "fingerprint": self.fingerprint(),
+        }
+
+
+def result_fingerprint(mode: str, raw: Any) -> str:
+    """Digest a run outcome; the CLIs print the same value.
+
+    Gateway results keep their own richer fingerprint (submission
+    placement, drops, scale trajectory) so scenario runs, ``repro-
+    gateway`` and ``BENCH_gateway.json`` all agree on what "the same
+    run" means.
+    """
+    if mode == "gateway":
+        return raw.fingerprint()
+    records = _records_of(raw)
+    shed = getattr(raw, "shed", []) or []
+    payload = {
+        "records": [
+            (
+                rec.job_id,
+                rec.arrival,
+                rec.deadline,
+                rec.completion_time,
+                repr(rec.profit),
+                rec.expired,
+                rec.abandoned,
+            )
+            for rec in (records[job_id] for job_id in sorted(records))
+        ],
+        "shed": [
+            (rec.job_id, rec.time, rec.reason, repr(rec.profit))
+            for rec in shed
+        ],
+        "profit": repr(_profit_of(raw)),
+        "end_time": _end_time_of(raw),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _records_of(raw: Any) -> dict[int, Any]:
+    if hasattr(raw, "records"):
+        return raw.records
+    return raw.result.records  # ServiceResult
+
+
+def _profit_of(raw: Any) -> float:
+    return raw.total_profit
+
+
+def _end_time_of(raw: Any) -> int:
+    if hasattr(raw, "end_time"):
+        return raw.end_time
+    return raw.result.end_time
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+class ScenarioBuilder:
+    """Assemble and drive one scenario through its lifecycle.
+
+    Either call the phases explicitly (``setup() -> run() -> collect()
+    -> teardown()``), or use :meth:`execute` / :func:`run_scenario`
+    which chain them with teardown guaranteed.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        install_default_components()
+        spec.validate()
+        self.spec = spec
+        #: materialized workload, set by setup()
+        self.specs: Optional[list] = None
+        #: the runnable (engine/service/cluster/gateway), set by setup()
+        self.runnable: Any = None
+        #: trace recorder when tracing is enabled
+        self.tracer: Any = None
+        self._raw: Any = None
+        self._load: Any = None
+        self._gateway_parts: Optional[dict] = None
+        self._torn_down = False
+
+    # -- lifecycle ------------------------------------------------------
+    def setup(self) -> "ScenarioBuilder":
+        """Materialize the workload and build the runnable."""
+        spec = self.spec
+        if spec.tracing.enabled:
+            from repro.observability import TraceRecorder
+
+            self.tracer = TraceRecorder()
+        if spec.mode == "gateway":
+            # the gateway paces the generator itself; materialize once
+            self._load = _load_generator(spec)
+            self.specs = self._load.specs()
+        else:
+            self.specs = build_workload(spec)
+        build = {
+            "batch": self._setup_batch,
+            "service": self._setup_service,
+            "cluster": self._setup_cluster,
+            "gateway": self._setup_gateway,
+        }[spec.mode]
+        build()
+        return self
+
+    def run(self) -> Any:
+        """Drive the runnable over the workload; returns the raw result."""
+        if self.runnable is None:
+            self.setup()
+        run = {
+            "batch": self._run_batch,
+            "service": self._run_stream,
+            "cluster": self._run_stream,
+            "gateway": self._run_gateway,
+        }[self.spec.mode]
+        self._raw = run()
+        return self._raw
+
+    def collect(self) -> ScenarioResult:
+        """Fold the raw result into a uniform :class:`ScenarioResult`."""
+        if self._raw is None:
+            raise ScenarioError("collect() before run(); nothing to collect")
+        raw = self._raw
+        mode = self.spec.mode
+        num_shed = getattr(raw, "num_shed", 0)
+        extra: dict[str, Any] = {}
+        if mode == "gateway":
+            num_shed = raw.cluster.num_shed + raw.gateway_shed
+            extra["scale_events"] = raw.scale_events
+            extra["generated"] = raw.generated
+            extra["delivered"] = raw.delivered
+            extra["ticks"] = raw.ticks
+            records = raw.cluster.records
+            metrics = raw.cluster.metrics
+            end_time = raw.sim_end
+        else:
+            records = _records_of(raw)
+            metrics = getattr(raw, "metrics", None)
+            end_time = _end_time_of(raw)
+        recoveries = getattr(raw, "recoveries", None) or getattr(
+            getattr(raw, "cluster", None), "recoveries", None
+        )
+        if recoveries:
+            extra["recoveries"] = recoveries
+        return ScenarioResult(
+            spec=self.spec,
+            mode=mode,
+            records=records,
+            total_profit=raw.total_profit,
+            num_shed=num_shed,
+            end_time=end_time,
+            raw=raw,
+            metrics=metrics,
+            trace_events=(
+                list(self.tracer.events) if self.tracer is not None else None
+            ),
+            extra=extra,
+        )
+
+    def teardown(self) -> None:
+        """Release resources (worker-process shards, open sinks)."""
+        if self._torn_down:
+            return
+        self._torn_down = True
+        runnable = self.runnable
+        if runnable is None or self._raw is not None:
+            return
+        # a run that never finished may hold worker-process shards;
+        # finish() is the reap path and is safe on started clusters
+        if getattr(runnable, "shards", None) and getattr(
+            runnable, "_started", False
+        ):
+            try:
+                runnable.finish()
+            except Exception:
+                pass
+
+    def execute(self) -> ScenarioResult:
+        """setup -> run -> collect, with teardown guaranteed."""
+        try:
+            self.setup()
+            self.run()
+            return self.collect()
+        finally:
+            self.teardown()
+
+    # -- per-mode construction (mirrors the CLIs) -----------------------
+    def _scheduler_kwargs(self) -> dict:
+        """The CLI's epsilon threading: S-family schedulers get the
+        workload's epsilon unless kwargs name their own."""
+        spec = self.spec
+        kwargs = dict(spec.scheduler.kwargs)
+        component = REGISTRY.get("scheduler", spec.scheduler.name)
+        if component.meta.get("accepts_epsilon") and "epsilon" not in kwargs:
+            kwargs["epsilon"] = spec.workload.epsilon
+        return kwargs
+
+    def make_scheduler(self) -> Any:
+        """Fresh scheduler instance from the spec's recipe."""
+        return REGISTRY.create(
+            "scheduler", self.spec.scheduler.name, **self._scheduler_kwargs()
+        )
+
+    def _make_picker(self) -> Any:
+        spec = self.spec
+        if spec.engine.picker == "fifo":
+            return None  # the engines' default; keeps construction identical
+        from repro.sim.picker import make_picker
+
+        return make_picker(spec.engine.picker, rng=self.spec.seed)
+
+    def _setup_batch(self) -> None:
+        spec = self.spec
+        engine_cls = REGISTRY.get("engine", spec.engine.backend).factory
+        self.runnable = engine_cls(
+            m=spec.workload.m,
+            scheduler=self.make_scheduler(),
+            picker=self._make_picker(),
+            speed=spec.engine.speed,
+            horizon=spec.engine.horizon or None,
+            preemption_overhead=spec.engine.preemption_overhead,
+        )
+
+    def _setup_service(self) -> None:
+        from repro.service.queue import make_shed_policy
+        from repro.service.replay import SubmissionLog
+        from repro.service.service import SchedulingService
+        from repro.service.telemetry import MetricsRegistry
+
+        spec = self.spec
+        if spec.engine.backend != "event":
+            raise ScenarioError(
+                "service mode runs on the event engine; set engine.backend"
+                " = 'event'",
+                location="engine.backend",
+            )
+        self.runnable = SchedulingService(
+            m=spec.workload.m,
+            scheduler=self.make_scheduler(),
+            capacity=spec.service.capacity,
+            shed_policy=make_shed_policy(spec.service.shed_policy),
+            max_in_flight=spec.service.max_in_flight or None,
+            speed=spec.engine.speed,
+            picker=self._make_picker(),
+            horizon=spec.engine.horizon or None,
+            preemption_overhead=spec.engine.preemption_overhead,
+            metrics=MetricsRegistry(keep_samples=False),
+            sample_every=spec.service.sample_every or None,
+            recorder=SubmissionLog(),
+            tracer=self.tracer,
+        )
+
+    def _shard_config(self) -> Any:
+        from repro.cluster import ShardConfig
+
+        spec = self.spec
+        return ShardConfig(
+            m=1,  # overridden per shard by the machine partition
+            scheduler=spec.scheduler.name,
+            scheduler_kwargs=self._scheduler_kwargs(),
+            capacity=spec.service.capacity,
+            shed_policy=spec.service.shed_policy,
+            max_in_flight=spec.service.max_in_flight or None,
+            speed=spec.engine.speed,
+            sample_every=spec.service.sample_every or None,
+        )
+
+    def _fault_injector(self) -> Any:
+        spec = self.spec
+        if spec.faults.kind == "none":
+            return None
+        if spec.faults.kind == "kill":
+            from repro.cluster import FaultInjector
+
+            return FaultInjector().add(
+                shard=spec.faults.shard, at=spec.faults.at
+            )
+        from repro.resilience.chaos import ChaosInjector, ChaosSchedule
+
+        if spec.faults.chaos.startswith("seed:"):
+            horizon = (
+                max(sp.arrival for sp in self.specs) or 1 if self.specs else 1
+            )
+            schedule = ChaosSchedule.generate(
+                int(spec.faults.chaos.split(":", 1)[1]),
+                k=spec.cluster.shards,
+                horizon=horizon,
+            )
+        else:
+            schedule = ChaosSchedule.parse(spec.faults.chaos)
+        return ChaosInjector(schedule)
+
+    def _setup_cluster(self) -> None:
+        from repro.cluster import ClusterService, QueueBalancer, coordinate
+
+        spec = self.spec
+        injector = self._fault_injector()
+        resilient = spec.cluster.supervise or spec.faults.kind == "chaos"
+        config = self._shard_config()
+        common = dict(
+            m=spec.workload.m,
+            k=spec.cluster.shards,
+            config=config,
+            router=self.spec.router_name(),
+            mode=spec.cluster.mode,
+            migration=QueueBalancer() if spec.cluster.migrate_every else None,
+            migrate_every=spec.cluster.migrate_every,
+            fault_injector=injector,
+            stats_refresh=spec.cluster.stats_refresh,
+            tracer=self.tracer,
+        )
+        if resilient:
+            from repro.resilience import (
+                ResilientClusterService,
+                SupervisorConfig,
+            )
+
+            self.runnable = ResilientClusterService(
+                checkpoint_every=spec.cluster.checkpoint_every,
+                supervisor=SupervisorConfig(),
+                **common,
+            )
+        else:
+            self.runnable = ClusterService(
+                checkpoint_every=(
+                    spec.cluster.checkpoint_every if injector else None
+                ),
+                **common,
+            )
+        if spec.cluster.coordinate:
+            coordinate(
+                self.runnable,
+                refresh_every=spec.cluster.coordinate_every,
+                steal_batch=spec.cluster.steal_batch,
+                steal_margin=spec.cluster.steal_margin,
+                max_displaced=spec.cluster.max_displaced,
+                max_moves_per_job=spec.cluster.max_moves_per_job,
+            )
+
+    def _setup_gateway(self) -> None:
+        from repro.cluster import coordinate
+        from repro.cluster.elastic import ElasticCluster
+        from repro.gateway.gateway import Gateway
+        from repro.gateway.kpi import KpiFeed
+
+        spec = self.spec
+        cluster = ElasticCluster(
+            m=spec.workload.m,
+            k_max=spec.gateway.shards_max,
+            k_initial=spec.gateway.shards_initial or None,
+            config=self._shard_config(),
+            router=self.spec.router_name(),
+            mode=spec.cluster.mode,
+            tracer=self.tracer,
+        )
+        if spec.cluster.coordinate:
+            coordinate(cluster)
+        autoscaler = None
+        if spec.autoscale.enabled:
+            autoscaler = REGISTRY.create(
+                "autoscaler",
+                "hysteresis",
+                k_min=spec.autoscale.shards_min,
+                k_max=spec.gateway.shards_max,
+                high_water=spec.autoscale.high_water,
+                up_patience=spec.autoscale.up_patience,
+                down_patience=spec.autoscale.down_patience,
+                cooldown=spec.autoscale.cooldown,
+            )
+        feed = KpiFeed()
+        clock = REGISTRY.create("clock", spec.gateway.clock)
+        load = self._load if self._load is not None else _load_generator(spec)
+        self.runnable = Gateway(
+            cluster,
+            load,
+            clock=clock,
+            tick_seconds=spec.gateway.tick,
+            steps_per_tick=spec.gateway.steps_per_tick,
+            buffer_capacity=spec.gateway.buffer,
+            max_dispatch_per_tick=spec.gateway.max_dispatch or None,
+            autoscaler=autoscaler,
+            feed=feed,
+            kpi_every=spec.gateway.kpi_every,
+        )
+        self._gateway_parts = {"cluster": cluster, "feed": feed}
+
+    # -- per-mode driving ----------------------------------------------
+    def _run_batch(self) -> Any:
+        return self.runnable.run(self.specs)
+
+    def _run_stream(self) -> Any:
+        runnable = self.runnable
+        runnable.start()
+        for job in self.specs:
+            runnable.submit(job, t=job.arrival)
+        return runnable.finish()
+
+    def _run_gateway(self) -> Any:
+        return self.runnable.run(
+            max_ticks=self.spec.gateway.max_ticks or None
+        )
+
+
+# ----------------------------------------------------------------------
+# Workload materialization
+# ----------------------------------------------------------------------
+def _load_generator(spec: ScenarioSpec) -> Any:
+    from repro.gateway.load import LoadConfig, LoadGenerator
+
+    w = spec.workload
+    return LoadGenerator(
+        LoadConfig(
+            n_jobs=w.n_jobs,
+            m=w.m,
+            load=w.load,
+            family=w.family,
+            epsilon=w.epsilon,
+            seed=spec.workload_seed(),
+            process=w.process,
+            period=w.period,
+            amplitude=w.amplitude,
+            spike_fraction=w.spike_fraction,
+            session_alpha=w.session_alpha,
+        )
+    )
+
+
+def build_workload(spec: ScenarioSpec) -> list:
+    """Materialize the job list a scenario serves, in submission order.
+
+    ``generated`` workloads reproduce the experiment/CLI path
+    (:func:`~repro.workloads.suite.generate_workload`, sorted by
+    arrival); ``open-loop`` workloads materialize the gateway's seeded
+    :class:`~repro.gateway.load.LoadGenerator` stream, which already
+    yields in arrival order.
+    """
+    kind = spec.workload_kind()
+    if kind == "open-loop":
+        return list(_load_generator(spec))
+    from repro.workloads.suite import WorkloadConfig, generate_workload
+
+    w = spec.workload
+    specs = generate_workload(
+        WorkloadConfig(
+            n_jobs=w.n_jobs,
+            m=w.m,
+            load=w.load,
+            family=w.family,
+            epsilon=w.epsilon,
+            deadline_policy=w.deadline_policy,
+            slack_range=(w.slack_low, w.slack_high),
+            tight_factor=w.tight_factor,
+            profit=w.profit,
+            seed=spec.workload_seed(),
+        )
+    )
+    specs.sort(key=lambda sp: (sp.arrival, sp.job_id))
+    return specs
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Build, run and collect one scenario (teardown guaranteed)."""
+    return ScenarioBuilder(spec).execute()

@@ -1,0 +1,608 @@
+"""Declarative scenario specs: one document describes a full run.
+
+A :class:`ScenarioSpec` names everything the four run shapes need --
+workload, engine backend, scheduler, service limits, cluster topology,
+faults, gateway pacing, autoscaling, tracing -- as plain data.  Specs
+load from TOML or JSON (:func:`load_spec`), validate every component
+name against the shared registry (unknown names and unknown keys raise
+:class:`~repro.errors.ScenarioError` carrying the nearest registered
+match), serialize canonically (:meth:`ScenarioSpec.to_dict` always
+materializes every field in a fixed order) and therefore fingerprint
+deterministically: two specs are the same scenario iff
+:meth:`ScenarioSpec.fingerprint` agrees.
+
+TOML has no null, so optional integers use ``0 = off/unbounded`` and
+optional strings use ``""`` -- the same convention as the CLI flag
+defaults they mirror.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+import tomllib
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+from repro.errors import ScenarioError
+from repro.scenarios.components import install_default_components
+from repro.scenarios.registry import REGISTRY
+
+#: Run shapes a scenario can build.
+MODES = ("batch", "service", "cluster", "gateway")
+
+
+# ----------------------------------------------------------------------
+# Sections
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSection:
+    """The traffic: how many jobs, shaped how, arriving how."""
+
+    #: "" = auto (open-loop for gateway mode, generated otherwise)
+    kind: str = ""
+    #: named workload-preset applied under explicit keys ("" = none)
+    preset: str = ""
+    n_jobs: int = 1000
+    m: int = 8
+    load: float = 2.0
+    family: str = "mixed"
+    epsilon: float = 1.0
+    deadline_policy: str = "slack"
+    slack_low: float = 1.0
+    slack_high: float = 2.0
+    tight_factor: float = 1.0
+    profit: str = "uniform"
+    #: -1 = inherit the scenario seed
+    seed: int = -1
+    process: str = "poisson"
+    period: int = 400
+    amplitude: float = 0.6
+    spike_fraction: float = 0.2
+    session_alpha: float = 1.5
+
+
+@dataclass(frozen=True)
+class EngineSection:
+    """The simulation core under the run."""
+
+    backend: str = "event"
+    speed: float = 1.0
+    picker: str = "fifo"
+    #: 0 = no horizon
+    horizon: int = 0
+    preemption_overhead: float = 0.0
+
+
+@dataclass(frozen=True)
+class SchedulerSection:
+    """Which policy decides, and its constructor kwargs."""
+
+    name: str = "sns"
+    kwargs: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ServiceSection:
+    """Admission-control limits around the engine."""
+
+    capacity: int = 128
+    shed_policy: str = "reject-lowest-density"
+    #: 0 = unbounded
+    max_in_flight: int = 0
+    #: 0 = sample at every decision point
+    sample_every: int = 0
+
+
+@dataclass(frozen=True)
+class ClusterSection:
+    """Sharded topology (used by cluster and gateway modes)."""
+
+    shards: int = 1
+    #: "" = mode default (consistent-hash, least-loaded for gateway,
+    #: band-aware when coordinated)
+    router: str = ""
+    mode: str = "process"
+    migrate_every: int = 0
+    coordinate: bool = False
+    coordinate_every: int = 64
+    steal_batch: int = 64
+    steal_margin: float = 3.0
+    max_displaced: int = 3
+    max_moves_per_job: int = 2
+    checkpoint_every: int = 64
+    supervise: bool = False
+    stats_refresh: int = 32
+
+
+@dataclass(frozen=True)
+class FaultsSection:
+    """Injected failures ("none", a single "kill", or "chaos")."""
+
+    kind: str = "none"
+    shard: int = 0
+    at: int = 0
+    #: chaos spec string ("kind:shard:at,..." or "seed:N")
+    chaos: str = ""
+
+
+@dataclass(frozen=True)
+class GatewaySection:
+    """Real-time pacing (gateway mode only)."""
+
+    clock: str = "virtual"
+    tick: float = 0.05
+    steps_per_tick: int = 20
+    buffer: int = 4096
+    #: 0 = drain all buffered work every tick
+    max_dispatch: int = 0
+    #: 0 = run until the stream drains
+    max_ticks: int = 0
+    shards_max: int = 4
+    #: 0 = start with shards_max active
+    shards_initial: int = 0
+    kpi_every: int = 1
+
+
+@dataclass(frozen=True)
+class AutoscaleSection:
+    """Hysteresis autoscaler knobs (gateway mode only)."""
+
+    enabled: bool = False
+    shards_min: int = 1
+    high_water: float = 2.0
+    up_patience: int = 1
+    down_patience: int = 60
+    cooldown: int = 20
+
+
+@dataclass(frozen=True)
+class TracingSection:
+    """Structured decision tracing."""
+
+    enabled: bool = False
+    path: str = ""
+
+
+#: Section name -> dataclass, in canonical document order.
+SECTIONS: dict[str, type] = {
+    "workload": WorkloadSection,
+    "engine": EngineSection,
+    "scheduler": SchedulerSection,
+    "service": ServiceSection,
+    "cluster": ClusterSection,
+    "faults": FaultsSection,
+    "gateway": GatewaySection,
+    "autoscale": AutoscaleSection,
+    "tracing": TracingSection,
+}
+
+#: Keys allowed in the [scenario] header.
+_HEADER_KEYS = ("name", "mode", "seed")
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative scenario: header plus the nine sections."""
+
+    name: str = "scenario"
+    mode: str = "service"
+    seed: int = 0
+    workload: WorkloadSection = field(default_factory=WorkloadSection)
+    engine: EngineSection = field(default_factory=EngineSection)
+    scheduler: SchedulerSection = field(default_factory=SchedulerSection)
+    service: ServiceSection = field(default_factory=ServiceSection)
+    cluster: ClusterSection = field(default_factory=ClusterSection)
+    faults: FaultsSection = field(default_factory=FaultsSection)
+    gateway: GatewaySection = field(default_factory=GatewaySection)
+    autoscale: AutoscaleSection = field(default_factory=AutoscaleSection)
+    tracing: TracingSection = field(default_factory=TracingSection)
+
+    # -- derived values -------------------------------------------------
+    def workload_seed(self) -> int:
+        """The workload's effective seed (scenario seed unless overridden)."""
+        return self.workload.seed if self.workload.seed >= 0 else self.seed
+
+    def workload_kind(self) -> str:
+        """Resolve the ``""`` auto workload kind for this mode."""
+        if self.workload.kind:
+            return self.workload.kind
+        return "open-loop" if self.mode == "gateway" else "generated"
+
+    def router_name(self) -> str:
+        """Resolve the ``""`` auto router for this mode."""
+        if self.cluster.router:
+            return self.cluster.router
+        if self.cluster.coordinate:
+            return "band-aware"
+        return "least-loaded" if self.mode == "gateway" else "consistent-hash"
+
+    # -- canonical serialization ---------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical nested dict: every field materialized, fixed order."""
+        doc: dict[str, Any] = {
+            "scenario": {
+                "name": self.name,
+                "mode": self.mode,
+                "seed": self.seed,
+            }
+        }
+        for section, cls in SECTIONS.items():
+            value = getattr(self, section)
+            doc[section] = {
+                f.name: _plain(getattr(value, f.name))
+                for f in dataclasses.fields(cls)
+            }
+        return doc
+
+    def to_json(self) -> str:
+        """Canonical JSON (the fingerprint's input)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def to_toml(self) -> str:
+        """Canonical TOML document (what ``--dump-scenario`` emits)."""
+        return dumps_toml(self.to_dict())
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical serialization.
+
+        Two specs describe the same scenario iff their fingerprints
+        match; :meth:`ScenarioResult.fingerprint
+        <repro.scenarios.builder.ScenarioResult.fingerprint>` is the
+        run-output counterpart.
+        """
+        blob = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "ScenarioSpec":
+        """Build and validate a spec from a (possibly partial) dict."""
+        install_default_components()
+        if not isinstance(doc, dict):
+            raise ScenarioError(
+                f"scenario document must be a table, got {type(doc).__name__}"
+            )
+        known = ["scenario", *SECTIONS]
+        for key in doc:
+            if key not in known:
+                raise ScenarioError(
+                    _unknown_key_message("section", key, known),
+                    location=key,
+                    suggestions=_close(key, known),
+                )
+        header = doc.get("scenario", {})
+        _check_keys("scenario", header, _HEADER_KEYS)
+        fields: dict[str, Any] = {
+            "name": _coerce("scenario.name", str, header.get("name", "scenario")),
+            "mode": _coerce("scenario.mode", str, header.get("mode", "service")),
+            "seed": _coerce("scenario.seed", int, header.get("seed", 0)),
+        }
+        for section, section_cls in SECTIONS.items():
+            data = dict(doc.get(section, {}))
+            _check_keys(
+                section,
+                data,
+                [f.name for f in dataclasses.fields(section_cls)],
+            )
+            if section == "workload" and data.get("preset"):
+                data = _apply_preset(data)
+            kwargs = {}
+            for f in dataclasses.fields(section_cls):
+                if f.name not in data:
+                    continue
+                kwargs[f.name] = _coerce(
+                    f"{section}.{f.name}", f.type, data[f.name]
+                )
+            fields[section] = section_cls(**kwargs)
+        spec = cls(**fields)
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Check mode, component names and numeric sanity.
+
+        Raises :class:`~repro.errors.ScenarioError` pointing at the
+        offending location, with nearest-name suggestions for unknown
+        components.
+        """
+        install_default_components()
+        if self.mode not in MODES:
+            raise ScenarioError(
+                f"unknown scenario mode {self.mode!r}; valid modes: "
+                f"{list(MODES)}",
+                location="scenario.mode",
+                suggestions=_close(self.mode, MODES),
+            )
+        _check_component("scheduler.name", "scheduler", self.scheduler.name)
+        _check_component("engine.backend", "engine", self.engine.backend)
+        _check_component("engine.picker", "picker", self.engine.picker)
+        _check_component("workload.family", "dag-family", self.workload.family)
+        _check_component("workload.profit", "profit", self.workload.profit)
+        _check_component(
+            "workload.process", "arrival-process", self.workload.process
+        )
+        if self.workload.preset:
+            _check_component(
+                "workload.preset", "workload-preset", self.workload.preset
+            )
+        _check_component(
+            "service.shed_policy", "shed-policy", self.service.shed_policy
+        )
+        if self.cluster.router:
+            _check_component("cluster.router", "router", self.cluster.router)
+        _check_component("faults.kind", "faults", self.faults.kind)
+        _check_component("gateway.clock", "clock", self.gateway.clock)
+        if self.workload.kind and self.workload.kind not in (
+            "generated",
+            "open-loop",
+        ):
+            raise ScenarioError(
+                f"unknown workload kind {self.workload.kind!r}; valid: "
+                "['generated', 'open-loop'] (or '' = auto)",
+                location="workload.kind",
+                suggestions=_close(
+                    self.workload.kind, ("generated", "open-loop")
+                ),
+            )
+        if self.workload.deadline_policy not in ("slack", "tight"):
+            raise ScenarioError(
+                f"unknown deadline policy "
+                f"{self.workload.deadline_policy!r}; valid: "
+                "['slack', 'tight']",
+                location="workload.deadline_policy",
+            )
+        if self.cluster.mode not in ("inprocess", "process"):
+            raise ScenarioError(
+                f"unknown cluster mode {self.cluster.mode!r}; valid: "
+                "['inprocess', 'process']",
+                location="cluster.mode",
+            )
+        if self.faults.kind == "chaos" and not self.faults.chaos:
+            raise ScenarioError(
+                "faults.kind = 'chaos' needs faults.chaos "
+                "('kind:shard:at,...' or 'seed:N')",
+                location="faults.chaos",
+            )
+        for location, value, least in [
+            ("workload.n_jobs", self.workload.n_jobs, 1),
+            ("workload.m", self.workload.m, 1),
+            ("cluster.shards", self.cluster.shards, 1),
+            ("gateway.shards_max", self.gateway.shards_max, 1),
+            ("gateway.steps_per_tick", self.gateway.steps_per_tick, 1),
+            ("gateway.kpi_every", self.gateway.kpi_every, 1),
+        ]:
+            if value < least:
+                raise ScenarioError(
+                    f"{location} must be >= {least}, got {value}",
+                    location=location,
+                )
+        if self.workload.load <= 0:
+            raise ScenarioError(
+                "workload.load must be positive", location="workload.load"
+            )
+        if self.mode == "gateway" and self.workload_kind() != "open-loop":
+            raise ScenarioError(
+                "gateway mode paces open-loop traffic; set workload.kind "
+                "= 'open-loop' (or leave it '' for auto)",
+                location="workload.kind",
+            )
+
+    def with_overrides(
+        self, overrides: dict[str, Any]
+    ) -> "ScenarioSpec":
+        """Copy with dotted-path overrides applied and re-validated.
+
+        ``{"scheduler.name": "edf", "cluster.shards": 4}`` -- the
+        mechanism under matrix axes and the CLI's ``--set``.
+
+        An explicit ``workload.preset`` override re-applies the
+        preset's keys *over* the current values: the canonical dict
+        materializes every field, so the load-time "preset fills
+        unset keys" merge would otherwise make preset overrides (and
+        ``workload=`` matrix axes) silent no-ops.
+        """
+        doc = self.to_dict()
+        for path, value in overrides.items():
+            parts = path.split(".")
+            if len(parts) == 1 and parts[0] in _HEADER_KEYS:
+                parts = ["scenario", parts[0]]
+            if parts == ["workload", "preset"] and value:
+                component = REGISTRY.get("workload-preset", value)
+                doc["workload"].update(component.create())
+                doc["workload"]["preset"] = value
+                continue
+            if len(parts) == 3 and parts[:2] == ["scheduler", "kwargs"]:
+                doc["scheduler"].setdefault("kwargs", {})[parts[2]] = value
+                continue
+            if len(parts) != 2:
+                raise ScenarioError(
+                    f"override path {path!r} must be section.key",
+                    location=path,
+                )
+            section, key = parts
+            if section not in doc:
+                raise ScenarioError(
+                    _unknown_key_message("section", section, list(doc)),
+                    location=path,
+                    suggestions=_close(section, list(doc)),
+                )
+            doc[section][key] = value
+        return ScenarioSpec.from_dict(doc)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def loads_spec(text: str, format: str = "auto") -> ScenarioSpec:
+    """Parse a spec from TOML or JSON text (``format`` = toml|json|auto)."""
+    if format not in ("auto", "toml", "json"):
+        raise ScenarioError(f"unknown spec format {format!r}")
+    if format in ("auto", "json"):
+        stripped = text.lstrip()
+        if format == "json" or stripped.startswith("{"):
+            try:
+                return ScenarioSpec.from_dict(json.loads(text))
+            except json.JSONDecodeError as exc:
+                raise ScenarioError(f"invalid JSON spec: {exc}") from exc
+    try:
+        return ScenarioSpec.from_dict(tomllib.loads(text))
+    except tomllib.TOMLDecodeError as exc:
+        raise ScenarioError(f"invalid TOML spec: {exc}") from exc
+
+
+def load_spec(path: Union[str, pathlib.Path]) -> ScenarioSpec:
+    """Load a spec file; format sniffed from suffix then content."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ScenarioError(f"cannot read scenario spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".json":
+        return loads_spec(text, format="json")
+    if path.suffix.lower() == ".toml":
+        return loads_spec(text, format="toml")
+    return loads_spec(text, format="auto")
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML emitter (stdlib tomllib is read-only)
+# ----------------------------------------------------------------------
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        # repr is shortest-exact, so tomllib parses back the same bits
+        text = repr(value)
+        return text if ("." in text or "e" in text or "n" in text) else text + ".0"
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise ScenarioError(
+        f"cannot serialize {type(value).__name__} value {value!r} to TOML"
+    )
+
+
+def dumps_toml(doc: dict[str, Any]) -> str:
+    """Serialize a (two-level, scalar-leaf) spec dict as TOML."""
+    lines: list[str] = []
+    for section, data in doc.items():
+        subtables = {
+            k: v for k, v in data.items() if isinstance(v, dict)
+        }
+        lines.append(f"[{section}]")
+        for key, value in data.items():
+            if key in subtables:
+                continue
+            lines.append(f"{key} = {_toml_value(value)}")
+        for key, sub in subtables.items():
+            if not sub:
+                continue
+            lines.append("")
+            lines.append(f"[{section}.{key}]")
+            for sub_key, sub_value in sub.items():
+                lines.append(f"{sub_key} = {_toml_value(sub_value)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _plain(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in sorted(value.items())}
+    return value
+
+
+def _close(name: str, candidates) -> list[str]:
+    import difflib
+
+    return difflib.get_close_matches(name, list(candidates), n=3, cutoff=0.4)
+
+
+def _unknown_key_message(what: str, key: str, known) -> str:
+    suggestions = _close(key, known)
+    hint = f"; did you mean {suggestions[0]!r}?" if suggestions else ""
+    return f"unknown {what} {key!r}{hint} valid: {sorted(known)}"
+
+
+def _check_keys(section: str, data: dict, known) -> None:
+    if not isinstance(data, dict):
+        raise ScenarioError(
+            f"[{section}] must be a table, got {type(data).__name__}",
+            location=section,
+        )
+    for key in data:
+        if key not in known:
+            raise ScenarioError(
+                f"[{section}] " + _unknown_key_message("key", key, known),
+                location=f"{section}.{key}",
+                suggestions=_close(key, known),
+            )
+
+
+def _check_component(location: str, kind: str, name: str) -> None:
+    try:
+        REGISTRY.get(kind, name)
+    except ScenarioError as exc:
+        raise ScenarioError(
+            f"{location}: {exc}",
+            location=location,
+            suggestions=exc.suggestions,
+        ) from None
+
+
+def _apply_preset(data: dict[str, Any]) -> dict[str, Any]:
+    """Merge a named workload preset under the explicit keys."""
+    preset = data["preset"]
+    component = None
+    try:
+        component = REGISTRY.get("workload-preset", preset)
+    except ScenarioError as exc:
+        raise ScenarioError(
+            f"workload.preset: {exc}",
+            location="workload.preset",
+            suggestions=exc.suggestions,
+        ) from None
+    overrides = component.create()
+    return {**overrides, **data}
+
+
+_TYPE_NAMES = {"int": int, "float": float, "bool": bool, "str": str, "dict": dict}
+
+
+def _coerce(location: str, annotation: Any, value: Any) -> Any:
+    """Coerce a parsed scalar to the field's type, strictly.
+
+    Ints promote to float fields; bool is never accepted as int (TOML
+    and JSON both distinguish them, and ``shards = true`` is a bug).
+    """
+    expected = annotation if isinstance(annotation, type) else _TYPE_NAMES.get(
+        str(annotation)
+    )
+    if expected is None:
+        return value
+    if expected is float and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if expected is int and isinstance(value, bool):
+        raise ScenarioError(
+            f"{location} must be an integer, got a boolean", location=location
+        )
+    if not isinstance(value, expected):
+        raise ScenarioError(
+            f"{location} must be {expected.__name__}, got "
+            f"{type(value).__name__} {value!r}",
+            location=location,
+        )
+    if expected is dict:
+        return {str(k): v for k, v in value.items()}
+    return value

@@ -30,9 +30,7 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
-from repro.cluster.router import ROUTERS
-from repro.core.sns import SNSScheduler
+from repro.errors import ScenarioError
 from repro.service.queue import SHED_POLICIES, make_shed_policy
 from repro.service.replay import SubmissionLog
 from repro.service.service import SchedulingService
@@ -41,13 +39,14 @@ from repro.service.telemetry import MetricsRegistry
 from repro.sim.scheduler import Scheduler
 from repro.workloads.suite import WorkloadConfig, generate_workload
 
-#: Scheduler factories selectable with ``--scheduler``.
-SCHEDULERS = {
-    "sns": lambda args: SNSScheduler(epsilon=args.epsilon),
-    "fifo": lambda args: FIFOScheduler(),
-    "edf": lambda args: GlobalEDF(),
-    "greedy": lambda args: GreedyDensity(),
-}
+
+def _registry():
+    """The shared component registry, fully populated."""
+    from repro.scenarios.components import install_default_components
+    from repro.scenarios.registry import REGISTRY
+
+    install_default_components()
+    return REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,9 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     srv = parser.add_argument_group("service")
     srv.add_argument(
         "--scheduler",
-        choices=sorted(SCHEDULERS),
         default="sns",
-        help="scheduling policy",
+        help="scheduling policy (any registered scheduler; see "
+        "`repro-scenario list --kind scheduler`)",
     )
     srv.add_argument(
         "--capacity", type=int, default=128, help="ingest queue capacity"
@@ -106,7 +105,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cl.add_argument(
         "--router",
-        choices=sorted(ROUTERS),
         default=None,
         help="shard placement policy (default: consistent-hash, or "
         "band-aware when --coordinate is on)",
@@ -227,11 +225,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="record a structured decision trace and write it to PATH "
         "as JSONL (inspect with repro-trace)",
     )
+
+    sc = parser.add_argument_group("scenario")
+    sc.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="run this scenario spec (.toml/.json) instead of the flags "
+        "(other flags are ignored; use --set in repro-scenario to "
+        "override spec values)",
+    )
+    sc.add_argument(
+        "--dump-scenario", action="store_true",
+        help="print the flags as a canonical scenario TOML and exit",
+    )
     return parser
 
 
 def _make_scheduler(args: argparse.Namespace) -> Scheduler:
-    return SCHEDULERS[args.scheduler](args)
+    component = _registry().get("scheduler", args.scheduler)
+    kwargs = (
+        {"epsilon": args.epsilon}
+        if component.meta.get("accepts_epsilon")
+        else {}
+    )
+    return component.create(**kwargs)
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Map the flag namespace onto an equivalent :class:`ScenarioSpec`.
+
+    The builder mirrors this CLI's construction exactly, so the
+    returned spec runs to the same result fingerprint as the flags.
+    """
+    from repro.scenarios.spec import ScenarioSpec
+
+    doc: dict = {
+        "scenario": {
+            "name": "repro-serve",
+            "mode": "cluster" if args.shards > 1 else "service",
+            "seed": args.seed,
+        },
+        "workload": {
+            "n_jobs": args.n_jobs,
+            "m": args.m,
+            "load": args.load,
+            "family": args.family,
+            "epsilon": args.epsilon,
+        },
+        "engine": {"speed": args.speed},
+        "scheduler": {"name": args.scheduler},
+        "service": {
+            "capacity": args.capacity,
+            "shed_policy": args.policy,
+            "max_in_flight": args.max_in_flight or 0,
+            "sample_every": args.sample_every or 0,
+        },
+        "tracing": {
+            "enabled": args.trace is not None,
+            "path": args.trace or "",
+        },
+    }
+    if args.shards > 1:
+        doc["cluster"] = {
+            "shards": args.shards,
+            "router": args.router or "",
+            "mode": args.cluster_mode,
+            "migrate_every": args.migrate_every,
+            "coordinate": args.coordinate,
+            "coordinate_every": args.coordinate_every,
+            "steal_batch": args.steal_batch,
+            "steal_margin": args.steal_margin,
+            "max_displaced": args.max_displaced,
+            "max_moves_per_job": args.max_moves_per_job,
+            "checkpoint_every": args.checkpoint_every,
+            "supervise": args.supervise,
+        }
+        if args.chaos is not None:
+            doc["faults"] = {"kind": "chaos", "chaos": args.chaos}
+        elif args.fault_at is not None:
+            doc["faults"] = {
+                "kind": "kill",
+                "shard": args.fault_shard,
+                "at": args.fault_at,
+            }
+    return ScenarioSpec.from_dict(doc)
+
+
+def _run_scenario_file(path: str) -> int:
+    """Shared ``--scenario SPEC`` handler for the wrapper CLIs."""
+    from repro.scenarios.cli import main as scenario_main
+
+    return scenario_main(["run", path])
 
 
 def _progress(service: SchedulingService, submitted: int, total: int) -> str:
@@ -249,6 +332,18 @@ def _progress(service: SchedulingService, submitted: int, total: int) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-serve`` console script."""
     args = build_parser().parse_args(argv)
+    if args.scenario:
+        return _run_scenario_file(args.scenario)
+    try:
+        if args.dump_scenario:
+            sys.stdout.write(_spec_from_args(args).to_toml())
+            return 0
+        _registry().get("scheduler", args.scheduler)
+        if args.router is not None:
+            _registry().get("router", args.router)
+    except ScenarioError as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr)
+        return 2
     specs = generate_workload(
         WorkloadConfig(
             n_jobs=args.n_jobs,
@@ -318,11 +413,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"total_profit:    {result.total_profit:.4f}")
     print(f"profit_shed:     {result.profit_shed:.4f}")
     print(f"decisions:       {counters.decisions}")
+    print(f"fingerprint:     {_fingerprint('service', result)}")
     if args.metrics:
         print(f"metrics written: {args.metrics}")
     if tracer is not None:
         _write_trace(tracer, args.trace)
     return 0
+
+
+def _fingerprint(mode: str, result) -> str:
+    from repro.scenarios.builder import result_fingerprint
+
+    return result_fingerprint(mode, result)
 
 
 def _write_trace(tracer, path: str) -> None:
@@ -351,8 +453,11 @@ def _main_cluster(
     )
     from repro.errors import RestartBudgetExhausted, ShardFailedError
 
+    component = _registry().get("scheduler", args.scheduler)
     scheduler_kwargs = (
-        {"epsilon": args.epsilon} if args.scheduler == "sns" else {}
+        {"epsilon": args.epsilon}
+        if component.meta.get("accepts_epsilon")
+        else {}
     )
     router = args.router or (
         "band-aware" if args.coordinate else "consistent-hash"
@@ -490,6 +595,7 @@ def _main_cluster(
             f"{int(values.get('steals_displaced_total', 0))}"
         )
     print(f"total_profit:    {result.total_profit:.4f}")
+    print(f"fingerprint:     {_fingerprint('cluster', result)}")
     for event in result.recoveries:
         print(
             f"recovery:        shard {event.shard} at t={event.time} "

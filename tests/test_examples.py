@@ -86,3 +86,36 @@ class TestExamples:
         assert "Candidate trial" in out
         assert "(committed)" in out
         assert "done" in out
+
+
+def run_scenario_cli(*args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.scenarios.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestScenarioExamples:
+    """The shipped scenario specs validate and run end to end."""
+
+    SPEC_NAMES = [
+        "overload_vs_rivals.toml",
+        "coordinated_flash_crowd.toml",
+        "chaos_under_tracing.toml",
+    ]
+
+    def test_all_specs_validate(self):
+        specs = sorted((EXAMPLES / "scenarios").glob("*.toml"))
+        assert [p.name for p in specs] == sorted(self.SPEC_NAMES)
+        out = run_scenario_cli("validate", *(str(p) for p in specs))
+        assert out.count(": ok") == len(specs)
+
+    @pytest.mark.parametrize("name", SPEC_NAMES)
+    def test_spec_runs(self, name):
+        out = run_scenario_cli("run", str(EXAMPLES / "scenarios" / name))
+        assert "result fingerprint" in out
+        assert "total_profit" in out
