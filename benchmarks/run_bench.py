@@ -31,8 +31,12 @@ a kill-and-recover cycle with its fault-free-equality check.
 A third snapshot, ``BENCH_resilience.json``, covers the supervised
 cluster (:mod:`repro.resilience`): hang detection and restart latency
 under heartbeat supervision, bit-identity of a seeded chaos schedule
-against the fault-free run, and the fraction of profit retained when
-1 of 4 shards degrades out early (gated at >= 70% under ``--check``).
+against the fault-free run, the fraction of profit retained when
+1 of 4 shards degrades out early (gated at >= 70% under ``--check``),
+and the coordinated gateway chaos gates: a seeded coordination-fault
+schedule must pass the invariant audit at >= 70% of fault-free profit,
+and the fault-free supervised gateway must fingerprint identically to
+the plain elastic one.
 
 A fourth snapshot, ``BENCH_observability.json``, prices the tracing
 layer (:mod:`repro.observability`): engine wall-clock with no recorder
@@ -698,6 +702,84 @@ def bench_resilience_degraded(quick: bool) -> dict:
     }
 
 
+def bench_resilience_coordinated(quick: bool) -> dict:
+    """Coordinated/elastic gateway chaos: audit, floor, and identity.
+
+    Two gates.  A seeded coordination-fault schedule (ledger partition,
+    interrupted steal, shard crash) over the autoscaled gateway must
+    pass the post-run invariant audit with >= 70% of the fault-free
+    profit.  And with no faults at all, the whole resilience stack --
+    supervision, journaled steals, retry queue -- must be invisible:
+    the supervised run's fingerprint must equal the plain elastic one.
+    """
+    import tempfile
+
+    from repro.cluster import ElasticCluster
+    from repro.gateway import (
+        Autoscaler,
+        Gateway,
+        LoadConfig,
+        LoadGenerator,
+        RetryQueue,
+        VirtualClock,
+    )
+    from repro.resilience import (
+        ChaosSchedule,
+        SupervisedElasticCluster,
+        run_gateway_chaos,
+    )
+
+    n_jobs = 96 if quick else 240
+    schedule = ChaosSchedule.parse(
+        "ledger-partition:2:120,steal-interrupt:0:340,crash:1:420"
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-gw-") as workdir:
+        report = run_gateway_chaos(
+            seed=5,
+            schedule=schedule,
+            n_jobs=n_jobs,
+            m=8,
+            k_max=4,
+            workdir=workdir,
+        )
+
+    config = ShardConfig(m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0})
+
+    def clean_fingerprint(supervised: bool) -> str:
+        if supervised:
+            cluster = SupervisedElasticCluster(
+                8, 4, config=config, router="least-loaded"
+            )
+        else:
+            cluster = ElasticCluster(8, 4, config=config, router="least-loaded")
+        gateway = Gateway(
+            cluster,
+            LoadGenerator(LoadConfig(n_jobs=n_jobs, m=8, seed=42, load=1.5)),
+            clock=VirtualClock(),
+            steps_per_tick=20,
+            buffer_capacity=512,
+            autoscaler=Autoscaler(k_min=1, k_max=4),
+            retry=RetryQueue(seed=42) if supervised else None,
+        )
+        return gateway.run().fingerprint()
+
+    plain = clean_fingerprint(False)
+    supervised = clean_fingerprint(True)
+    return {
+        "n_jobs": n_jobs,
+        "schedule": report.schedule,
+        "faults_fired": report.faults_fired,
+        "recoveries": report.recoveries,
+        "audit_ok": report.audit.ok,
+        "profit_ratio": report.audit.profit_ratio,
+        "profit_floor_ok": report.audit.profit_ratio is None
+        or report.audit.profit_ratio >= 0.7,
+        "clean_fingerprint_plain": plain,
+        "clean_fingerprint_supervised": supervised,
+        "fault_free_identical": plain == supervised,
+    }
+
+
 def _gateway_run(
     n_jobs: int,
     load: float,
@@ -1107,6 +1189,7 @@ def main(argv=None) -> int:
             "detection": bench_resilience_detection(args.quick),
             "chaos": bench_resilience_chaos(args.quick),
             "degraded": bench_resilience_degraded(args.quick),
+            "coordinated": bench_resilience_coordinated(args.quick),
         }
         resilience_out = Path(args.resilience_output)
         resilience_out.write_text(
@@ -1116,17 +1199,24 @@ def main(argv=None) -> int:
 
         detection = resilience_snapshot["detection"]
         degraded = resilience_snapshot["degraded"]
+        coordinated = resilience_snapshot["coordinated"]
         print(
             f"resilience: hang detected in "
             f"{detection['detection_seconds'] * 1e3:.1f} ms, restart "
             f"{detection['restart_seconds'] * 1e3:.1f} ms, chaos identical="
             f"{resilience_snapshot['chaos']['identical']}, "
             f"throughput retained at k=4 with 1 shard down: "
-            f"{degraded['throughput_retained']:.1%}"
+            f"{degraded['throughput_retained']:.1%}, gateway chaos audit="
+            f"{coordinated['audit_ok']} (profit ratio "
+            f"{coordinated['profit_ratio']:.2f}), fault-free identity="
+            f"{coordinated['fault_free_identical']}"
         )
         ok = ok and detection["within_deadline"]
         ok = ok and resilience_snapshot["chaos"]["identical"]
         ok = ok and degraded["retained_ok"]
+        ok = ok and coordinated["audit_ok"]
+        ok = ok and coordinated["profit_floor_ok"]
+        ok = ok and coordinated["fault_free_identical"]
 
     if not args.skip_observability:
         observability_snapshot = {

@@ -60,7 +60,7 @@ from repro.cluster.router import BandAwareRouter, ShardStats
 from repro.cluster.service import ClusterResult, ClusterService
 from repro.core.bands import DensityBands
 from repro.core.theory import Constants
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ShardFailedError
 from repro.sim.jobs import JobSpec
 
 
@@ -102,12 +102,19 @@ class BandLedger:
         self._bands: dict[int, DensityBands] = {}
         self._m: dict[int, int] = {}
         self._committed: dict[int, int] = {}
+        #: True while the mirrors may disagree with live shard state
+        #: (shard died or restarted since the last full refresh).  The
+        #: :class:`~repro.cluster.router.BandAwareRouter` falls back to
+        #: its consistent-hash anchor -- no diverts -- while stale, and
+        #: the coordinator skips steal ticks (degraded routing mode).
+        self.stale = False
 
     def refresh(self, views: dict[int, Optional[dict]]) -> None:
         """Rebuild the mirrors from fresh shard coordination views."""
         self._bands = {}
         self._m = {}
         self._committed = {}
+        self.stale = False
         for index, view in sorted(views.items()):
             if view is None:
                 continue
@@ -511,27 +518,41 @@ class Coordinator:
         self._views: dict[int, Optional[dict]] = {}
         self._since_refresh: Optional[int] = None  # None = refresh now
         self._since_steal = 0
+        #: submissions left in a forced degraded-routing window (ledger
+        #: partition fault): refreshes and steals are suppressed, the
+        #: band-aware router anchors, until the window drains
+        self._partitioned = 0
         cluster.coordinator = self
+        # unwrap router decorators (circuit breakers) to find the
+        # band-aware router that needs the ledger
         router = cluster.router
+        while router is not None and not isinstance(router, BandAwareRouter):
+            router = getattr(router, "inner", None)
         if isinstance(router, BandAwareRouter):
             router.bind(self.ledger)
 
     # -- cluster hook points --------------------------------------------
     def before_route(self, t: int) -> None:
         """Run coordination work due at this submission index."""
+        if self._partitioned > 0:
+            # partitioned from shard state: no refresh, no steals; the
+            # stale ledger keeps the router on its anchor until healed
+            self._partitioned -= 1
+            self._since_refresh = None
+            return
         refreshed = False
         if (
             self._since_refresh is None
             or self._since_refresh >= self.refresh_every
         ):
-            self._refresh()
+            self._refresh(t)
             refreshed = True
         else:
             self._since_refresh += 1
         self._since_steal += 1
         if self._since_steal >= self.steal_every:
             if not refreshed:
-                self._refresh()
+                self._refresh(t)
             self._steal_tick(t)
             self._since_steal = 0
 
@@ -541,25 +562,63 @@ class Coordinator:
 
     def invalidate(self) -> None:
         """Force a ledger refresh at the next submission (topology
-        changed: scale event, shard death or recovery)."""
+        changed: scale event, shard death or recovery).  Routing runs
+        degraded -- anchor only, no diverts -- until the rebuild."""
         self._since_refresh = None
+        self.ledger.stale = True
+
+    def partition(self, submissions: int) -> None:
+        """Cut the coordinator off from shard state for a window.
+
+        Models a control-plane partition (the ``ledger-partition``
+        chaos fault): for the next ``submissions`` routing decisions the
+        ledger is stale, the band-aware router falls back to its
+        consistent-hash anchor, and steal ticks are suppressed.  Data
+        paths (submissions, advances) are unaffected -- degrade, don't
+        die."""
+        if submissions < 1:
+            raise ClusterError("partition window must be >= 1 submissions")
+        self._partitioned = int(submissions)
+        self.ledger.stale = True
 
     # -- internals ------------------------------------------------------
     def _active_shards(self) -> list:
         k = getattr(self.cluster, "k_active", self.cluster.k)
         return [s for s in self.cluster.shards[:k] if s.alive]
 
-    def _refresh(self) -> None:
+    def _refresh(self, t: int = 0) -> None:
         # victim lists are capped at the steal batch: the planner never
         # uses more, and encoding the whole parked set every refresh is
         # what made coordination cost scale with overload depth
         limit = self.planner.batch
-        self._views = {
-            shard.index: shard.coordination_view(limit)
-            for shard in self._active_shards()
-        }
+        views: dict[int, Optional[dict]] = {}
+        failed = False
+        for shard in self._active_shards():
+            try:
+                views[shard.index] = shard.coordination_view(limit)
+            except ShardFailedError as exc:
+                # shard died mid-refresh: supervise it if the cluster
+                # can, drop its view, and keep the ledger degraded --
+                # a partial rebuild must not be mistaken for a fresh one
+                failed = True
+                self._shard_failure(shard.index, t, exc)
+        self._views = views
         self.ledger.refresh(self._views)
         self._since_refresh = 0
+        if failed:
+            self.ledger.stale = True
+            self._since_refresh = None
+
+    def _shard_failure(self, index: int, t: int, exc: ShardFailedError) -> None:
+        """Route a mid-coordination shard failure into supervision.
+
+        Clusters without supervision (plain :class:`ClusterService`) get
+        the old behavior -- the failure propagates; resilient clusters
+        restart or degrade the shard and coordination continues."""
+        handler = getattr(self.cluster, "_supervise_failure", None)
+        if handler is None:
+            raise exc
+        handler(index, t, exc)
 
     def _steal_tick(self, t: int) -> None:
         moves = self.planner.plan(
@@ -568,7 +627,28 @@ class Coordinator:
         if not moves:
             return
         cluster = self.cluster
+        journal = getattr(cluster, "steal_journal", None)
+        if journal is None:
+            self._execute_steals(t, moves)
+            return
+        # Transactional path: journal intents before touching any
+        # shard, hold resolution until the tick ends (a mid-tick
+        # recovery must not settle transactions the tick is still
+        # executing), then resolve whatever failures left pending.
+        journal.in_tick = True
+        try:
+            self._execute_steals(t, moves)
+        finally:
+            journal.in_tick = False
+            resolver = getattr(cluster, "resolve_steal_txns", None)
+            if resolver is not None:
+                resolver(t)
+            journal.sync()
+
+    def _execute_steals(self, t: int, moves: list[StealMove]) -> None:
+        cluster = self.cluster
         shards = cluster.shards
+        journal = getattr(cluster, "steal_journal", None)
         tracer = cluster.tracer
         emit = tracer is not None and tracer.enabled
         live = [
@@ -576,6 +656,20 @@ class Coordinator:
             for move in moves
             if shards[move.src].alive and shards[move.dst].alive
         ]
+        txn_ids: dict[int, int] = {}
+        if journal is not None:
+            for move in live:
+                txn_ids[move.job_id] = journal.begin(
+                    t=t, job_id=move.job_id, src=move.src, dst=move.dst,
+                    kind=move.kind,
+                )
+                for did in move.displaced:
+                    # displaced jobs are evicted from and readmitted to
+                    # the same receiver: src == dst
+                    txn_ids[did] = journal.begin(
+                        t=t, job_id=did, src=move.dst, dst=move.dst,
+                        kind="displace",
+                    )
         # Phase 1 -- batched extraction, one exchange per shard: victims
         # come out of their donors, displaced jobs out of their
         # receivers.  Views were fenced at this same submission index
@@ -589,14 +683,31 @@ class Coordinator:
         payloads: dict[int, Optional[dict]] = {}
         for index in sorted(extract_ids):
             ids = extract_ids[index]
-            for job_id, payload in zip(ids, shards[index].extract_many(ids)):
+            try:
+                results = shards[index].extract_many(ids)
+            except ShardFailedError as exc:
+                results = [None] * len(ids)
+                self._shard_failure(index, t, exc)
+            for job_id, payload in zip(ids, results):
                 payloads[job_id] = payload
+                if journal is not None and payload is not None:
+                    txn_id = txn_ids[job_id]
+                    if journal.txns[txn_id].pending:
+                        journal.transfer(txn_id, payload)
+        # chaos hook: a steal-interrupt fault fires in the window
+        # between extraction and injection -- the exact crash site the
+        # transaction journal exists to survive
+        interrupt = getattr(cluster, "consume_steal_interrupt", None)
+        if interrupt is not None:
+            target = interrupt()
+            if target is not None and shards[target].alive:
+                cluster.kill_shard(target)
         # Phase 2 -- batched injection, one exchange per receiver.  Per
         # move: the victim lands first (its arrival admission sees the
         # band room its displaced jobs just freed), then the displaced
         # jobs re-enter the same admission path (they re-park, keeping
         # DAG progress, and stay stealable).
-        inject_lists: dict[int, list[dict]] = {}
+        inject_lists: dict[int, list[tuple[int, dict]]] = {}
         executed = {"parked": 0, "starved": 0}
         displaced_total = 0
         for move in live:
@@ -609,10 +720,14 @@ class Coordinator:
             queue = inject_lists.setdefault(move.dst, [])
             if victim is None:
                 # victim vanished (donor died): undo the eviction
-                queue.extend(dp for _did, dp in evicted)
+                queue.extend(evicted)
+                if journal is not None:
+                    txn_id = txn_ids[move.job_id]
+                    if journal.txns[txn_id].pending:
+                        journal.abort(txn_id, "victim-vanished")
                 continue
-            queue.append(victim)
-            queue.extend(dp for _did, dp in evicted)
+            queue.append((move.job_id, victim))
+            queue.extend(evicted)
             for did, _dp in evicted:
                 self._move_counts[did] = self._move_counts.get(did, 0) + 1
             executed[move.kind] += 1
@@ -635,8 +750,34 @@ class Coordinator:
                     },
                 )
         for index in sorted(inject_lists):
-            if inject_lists[index]:
-                shards[index].inject_many(inject_lists[index], t)
+            entries = inject_lists[index]
+            if journal is not None:
+                # a mid-tick recovery may already have settled some
+                # transactions (reconciliation); injecting those
+                # payloads again would duplicate the job
+                entries = [
+                    (jid, payload)
+                    for jid, payload in entries
+                    if journal.txns[txn_ids[jid]].pending
+                ]
+            if not entries:
+                continue
+            try:
+                shards[index].inject_many([p for _jid, p in entries], t)
+            except ShardFailedError as exc:
+                # receiver died before injection: the journaled
+                # transfer payloads keep the jobs durable; end-of-tick
+                # resolution re-places them exactly once
+                if emit:
+                    tracer.event(
+                        t, "steal-failed", None,
+                        {"dst": index, "jobs": [jid for jid, _p in entries]},
+                    )
+                self._shard_failure(index, t, exc)
+                continue
+            if journal is not None:
+                for jid, _payload in entries:
+                    journal.commit(txn_ids[jid])
         total = executed["parked"] + executed["starved"]
         if total:
             metrics = cluster.cluster_metrics

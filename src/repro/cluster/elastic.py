@@ -17,7 +17,8 @@ parallel path:
   capacity absorbs backlog on its first tick;
 * **scale-down** *drains* the highest active unit: it stops receiving
   submissions, its queued-but-unstarted jobs are re-routed across the
-  remaining prefix, and its in-flight jobs finish where they are -- the
+  remaining *healthy* prefix (a dead or degraded shard never receives a
+  drained job), and its in-flight jobs finish where they are -- the
   shard keeps advancing as a lame duck until the run ends (or it is
   reactivated by a later scale-up, inheriting its lame-duck state).
 
@@ -28,22 +29,27 @@ functions of shard stats at decision points, so a seeded run through an
 autoscaled cluster is bit-reproducible -- the property the gateway
 determinism tests pin down.
 
-Fault injection and background migration policies are deliberately
-rejected here: submission-log replay against a moving shard set has no
-well-defined owner for a replayed job, and the scale-up split already
-does the rebalancing work.  Use ``ClusterService`` when you need those.
+The scaling machinery lives in :class:`ElasticScalingMixin` so it
+composes with either service base: :class:`ElasticCluster` mixes it
+over the plain :class:`~repro.cluster.service.ClusterService` (no fault
+injection -- submission-log replay against a moving shard set needs the
+supervised recovery stack), while :class:`~repro.resilience.elastic.
+SupervisedElasticCluster` mixes the *same* methods over the resilient
+base, where scale-time moves are WAL-logged and re-checkpointed so
+supervised recovery mid-resize strands nothing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Union
 
 from repro.cluster.config import ShardConfig
 from repro.cluster.router import Router, ShardStats
 from repro.cluster.service import ClusterResult, ClusterService
-from repro.errors import ClusterError
+from repro.errors import ClusterError, ShardFailedError
 from repro.service.telemetry import MetricsRegistry, merge_registries
+from repro.sim.jobs import JobSpec
 
 
 @dataclass(frozen=True)
@@ -62,59 +68,29 @@ class ScaleEvent:
     moved: int
 
 
-class ElasticCluster(ClusterService):
-    """Sharded serving with a live-resizable active shard prefix.
+class ElasticScalingMixin:
+    """Live-resizable active shard prefix, over any cluster base.
 
-    Parameters
-    ----------
-    m:
-        Total machines.  Must be divisible by ``k_max`` so every shard
-        unit has the same machine count (resizing must not change any
-        unit's pool size -- S's allotments depend on it).
-    k_max:
-        Number of shard units built (the scale-up ceiling).
-    k_initial:
-        Active units at start (default ``k_max``).
-    config, router, mode, stats_refresh, tracer:
-        As for :class:`~repro.cluster.service.ClusterService`.
+    A mixin of *methods only*: the host class calls
+    :meth:`_init_elastic` after its own ``__init__`` (explicit call, no
+    cooperative-kwargs MRO contortions).  Every scale-time job move
+    goes through :meth:`_move_spec`, which WAL-logs the move under an
+    idempotency key whenever the base logs submissions -- on the plain
+    base that is off and the behaviour (and fingerprint) is unchanged;
+    on the resilient base it keeps the recovery invariant that the log
+    plus latest checkpoint always reconstructs exact shard contents.
     """
 
-    def __init__(
-        self,
-        m: int,
-        k_max: int,
-        *,
-        k_initial: Optional[int] = None,
-        config: Optional[ShardConfig] = None,
-        router: Union[Router, str] = "least-loaded",
-        mode: str = "inprocess",
-        stats_refresh: int = 32,
-        tracer=None,
-    ) -> None:
-        if k_max < 1:
-            raise ClusterError("k_max must be >= 1")
-        if m % k_max != 0:
-            raise ClusterError(
-                f"m={m} must divide evenly into k_max={k_max} shard units "
-                "(elastic shards are fixed-size)"
-            )
-        k_initial = k_max if k_initial is None else int(k_initial)
-        if not 1 <= k_initial <= k_max:
-            raise ClusterError("k_initial must be in [1, k_max]")
-        super().__init__(
-            m,
-            k_max,
-            config=config,
-            router=router,
-            mode=mode,
-            stats_refresh=stats_refresh,
-            tracer=tracer,
-        )
+    def _init_elastic(self, m: int, k_max: int, k_initial: int) -> None:
+        """Install the elastic state (call after the base ``__init__``)."""
         #: machines per shard unit (constant across resizes)
         self.unit_m = m // k_max
         self.k_active = k_initial
         #: applied resize steps, in order
         self.scale_events: list[ScaleEvent] = []
+        #: unit indices ever activated (dormant units are excluded from
+        #: supervision and from the finish drain)
+        self._activated: set[int] = set(range(k_initial))
         self.cluster_metrics.gauge("active_shards").set(self.k_active)
 
     # ------------------------------------------------------------------
@@ -129,22 +105,27 @@ class ElasticCluster(ClusterService):
         for shard in self.shards[: self.k_active]:
             shard.start()
         self._started = True
+        if self._log_submissions:
+            # recovery must never have to guess (resilient base only)
+            self.checkpoint_all()
 
-    def finish(self) -> ClusterResult:
-        """Drain every live shard (active and lame-duck) and merge.
+    def _drainable(self, shard) -> bool:
+        """Live shards drain; on a supervised base every *activated*
+        unit drains (a dead-but-activated lame duck is recovered by the
+        drain itself), while dormant units contribute nothing."""
+        if getattr(self, "supervisor", None) is not None:
+            return shard.index in self._activated
+        return shard.alive
 
-        Dormant units that were never activated contribute nothing.
-        """
-        self.start()
-        results = [shard.finish() for shard in self.shards if shard.alive]
-        self._started = False
-        result = ClusterResult(
-            shard_results=results,
-            cluster_metrics=self.cluster_metrics,
-            recoveries=[],
-        )
+    def _annotate_result(self, result: ClusterResult) -> None:
+        super()._annotate_result(result)
         result.extra["scale_events"] = list(self.scale_events)
-        return result
+
+    def supervised_shard_ids(self) -> set[int]:
+        """Shards the supervisor should heartbeat: every unit ever
+        activated (lame ducks included -- they still hold jobs), never
+        the dormant tail (a never-started unit fails pings by design)."""
+        return set(self._activated)
 
     # ------------------------------------------------------------------
     # Scaling
@@ -172,6 +153,28 @@ class ElasticCluster(ClusterService):
             self.cluster_metrics.gauge("active_shards").set(self.k_active)
         return applied
 
+    def _move_spec(self, dst: int, spec: JobSpec, t: int) -> None:
+        """Deliver one scale-time job move, logged when the base logs.
+
+        Mirrors the migration path: the log append precedes the
+        delivery, and the key is the log position, so a supervised
+        recovery replays the move exactly once.
+        """
+        key = None
+        if self._log_submissions:
+            entry_index = self.logs[dst].record(t, spec)
+            key = self._submit_key(dst, entry_index)
+        self._deliver(dst, spec, t, key=key)
+
+    def _post_scale_moves(self, moved: int) -> None:
+        """Re-checkpoint after scale-time moves on a logging base: the
+        latest checkpoint must postdate the move, or a donor's log
+        replay would resurrect jobs that just migrated away."""
+        if moved:
+            self.cluster_metrics.counter("migrations_total").inc(moved)
+            if self._log_submissions:
+                self.checkpoint_all()
+
     def _scale_up_one(self, t: int) -> ScaleEvent:
         """Activate the next unit and split the deepest queue into it."""
         index = self.k_active
@@ -180,19 +183,19 @@ class ElasticCluster(ClusterService):
             # the recovery bring-up path with an empty checkpoint
             shard.restore(None)
             shard.advance_to(t)
+        self._activated.add(index)
         stats = self._prefix_stats(self.k_active)
         donor = max(stats, key=lambda s: (s.queue_depth, -s.index))
         moved = 0
-        if donor.queue_depth >= 2:
+        if donor.alive and donor.queue_depth >= 2:
             for spec in self.shards[donor.index].take_queued(
                 donor.queue_depth // 2
             ):
-                self._deliver(index, spec, t)
+                self._move_spec(index, spec, t)
                 moved += 1
         self.k_active = index + 1
         self.cluster_metrics.counter("scale_up_total").inc()
-        if moved:
-            self.cluster_metrics.counter("migrations_total").inc(moved)
+        self._post_scale_moves(moved)
         event = ScaleEvent(
             time=t,
             direction="up",
@@ -206,28 +209,40 @@ class ElasticCluster(ClusterService):
         return event
 
     def _scale_down_one(self, t: int) -> ScaleEvent:
-        """Drain the highest active unit back into the shrunken prefix."""
+        """Drain the highest active unit back into the shrunken prefix.
+
+        The drain re-checks shard health first: the victim's queued
+        jobs are routed over the *healthy* remainder only (reindexed
+        positionally, as the circuit-breaker router does, so positional
+        routers stay correct), and if no healthy shard remains -- or
+        the victim itself is down -- the drain is skipped and the jobs
+        finish on the lame duck (or through its supervised recovery).
+        """
         if self.k_active <= 1:
             raise ClusterError("cannot scale below one active shard")
         index = self.k_active - 1
         self.k_active = index
-        victim = self.shards[index]
-        stats = self._prefix_stats(self.k_active)
+        stats = self._prefix_stats(index + 1)
+        victim_stat = stats[index]
+        healthy = [s for s in stats[:index] if s.alive]
         moved = 0
-        depth = victim.stats().queue_depth
-        if depth:
-            for spec in victim.take_queued(depth):
-                dst = self.router.route(spec, stats)
-                if not 0 <= dst < self.k_active:
+        if healthy and victim_stat.alive and victim_stat.queue_depth:
+            routed = [replace(s, index=pos) for pos, s in enumerate(healthy)]
+            queued = self._take_queued_safe(
+                index, victim_stat.queue_depth, t
+            )
+            for spec in queued:
+                pick = self.router.route(spec, routed)
+                if not 0 <= pick < len(routed):
                     raise ClusterError(
-                        f"router returned shard {dst} (active={self.k_active})"
+                        f"router returned shard {pick} "
+                        f"(healthy={len(routed)})"
                     )
-                self._deliver(dst, spec, t)
-                stats[dst].queue_depth += 1
+                self._move_spec(healthy[pick].index, spec, t)
+                routed[pick].queue_depth += 1
                 moved += 1
         self.cluster_metrics.counter("scale_down_total").inc()
-        if moved:
-            self.cluster_metrics.counter("migrations_total").inc(moved)
+        self._post_scale_moves(moved)
         event = ScaleEvent(
             time=t,
             direction="down",
@@ -239,6 +254,20 @@ class ElasticCluster(ClusterService):
         self.scale_events.append(event)
         self._emit_scale(event)
         return event
+
+    def _take_queued_safe(self, index: int, n: int, t: int) -> list[JobSpec]:
+        """Pop the victim's queue, surviving a crash mid-drain: on a
+        supervised base the failure is routed through the supervisor
+        (the restored shard keeps its queue as a lame duck); bases
+        without one propagate."""
+        try:
+            return self.shards[index].take_queued(n)
+        except ShardFailedError as exc:
+            handler = getattr(self, "_supervise_failure", None)
+            if handler is None:
+                raise
+            handler(index, t, exc)
+            return []
 
     def _emit_scale(self, event: ScaleEvent) -> None:
         tracer = self.tracer
@@ -259,12 +288,24 @@ class ElasticCluster(ClusterService):
     # Stats and live telemetry
     # ------------------------------------------------------------------
     def _prefix_stats(self, k: int) -> list[ShardStats]:
-        return [
-            shard.stats()
-            if shard.alive
-            else ShardStats(index=shard.index, m=shard.config.m, alive=False)
-            for shard in self.shards[:k]
-        ]
+        """Stats for the first ``k`` units, fault-tolerant: a dead,
+        degraded, or mid-failure shard reports as a dead placeholder
+        rather than raising into a routing decision."""
+        degraded = getattr(
+            getattr(self, "supervisor", None), "degraded", ()
+        )
+        stats: list[ShardStats] = []
+        for shard in self.shards[:k]:
+            if shard.alive and shard.index not in degraded:
+                try:
+                    stats.append(shard.stats())
+                    continue
+                except ShardFailedError:
+                    pass
+            stats.append(
+                ShardStats(index=shard.index, m=shard.config.m, alive=False)
+            )
+        return stats
 
     def active_stats(self) -> list[ShardStats]:
         """Live stats for the active prefix (the autoscaler's input)."""
@@ -305,3 +346,61 @@ class ElasticCluster(ClusterService):
             if shard.alive and getattr(shard, "service", None) is not None
         ]
         return merge_registries(registries + [self.cluster_metrics])
+
+
+class ElasticCluster(ElasticScalingMixin, ClusterService):
+    """Sharded serving with a live-resizable active shard prefix.
+
+    Parameters
+    ----------
+    m:
+        Total machines.  Must be divisible by ``k_max`` so every shard
+        unit has the same machine count (resizing must not change any
+        unit's pool size -- S's allotments depend on it).
+    k_max:
+        Number of shard units built (the scale-up ceiling).
+    k_initial:
+        Active units at start (default ``k_max``).
+    config, router, mode, stats_refresh, tracer:
+        As for :class:`~repro.cluster.service.ClusterService`.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k_max: int,
+        *,
+        k_initial: Optional[int] = None,
+        config: Optional[ShardConfig] = None,
+        router: Union[Router, str] = "least-loaded",
+        mode: str = "inprocess",
+        stats_refresh: int = 32,
+        tracer=None,
+    ) -> None:
+        k_initial = validate_elastic(m, k_max, k_initial)
+        super().__init__(
+            m,
+            k_max,
+            config=config,
+            router=router,
+            mode=mode,
+            stats_refresh=stats_refresh,
+            tracer=tracer,
+        )
+        self._init_elastic(m, k_max, k_initial)
+
+
+def validate_elastic(m: int, k_max: int, k_initial: Optional[int]) -> int:
+    """Check the elastic shape constraints; returns the resolved
+    ``k_initial`` (shared by both elastic hosts)."""
+    if k_max < 1:
+        raise ClusterError("k_max must be >= 1")
+    if m % k_max != 0:
+        raise ClusterError(
+            f"m={m} must divide evenly into k_max={k_max} shard units "
+            "(elastic shards are fixed-size)"
+        )
+    k_initial = k_max if k_initial is None else int(k_initial)
+    if not 1 <= k_initial <= k_max:
+        raise ClusterError("k_initial must be in [1, k_max]")
+    return k_initial

@@ -231,10 +231,21 @@ class BandAwareRouter(Router):
 
     def route(self, spec: JobSpec, stats: Sequence[ShardStats]) -> int:
         """The anchor shard, unless it strands the job and another
-        shard admits it."""
+        shard admits it.
+
+        A *stale* ledger (shard died or restarted since the last merged
+        refresh, or the coordinator is partitioned from shard state) is
+        worse than no ledger: its mirrors describe a topology that no
+        longer exists, so diverts chase phantom band room.  Degraded
+        routing mode anchors every job until the ledger is rebuilt.
+        """
         anchor = self._anchor.route(spec, stats)
         ledger = self._ledger
-        if ledger is None or ledger.admits(spec, anchor):
+        if (
+            ledger is None
+            or getattr(ledger, "stale", False)
+            or ledger.admits(spec, anchor)
+        ):
             return anchor
         choice = ledger.place(spec, stats)
         return anchor if choice is None else choice

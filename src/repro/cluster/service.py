@@ -306,15 +306,43 @@ class ClusterService:
         self.shards[index].submit(spec, t, key=key)
 
     def finish(self) -> ClusterResult:
-        """Drain every shard and return the merged cluster result."""
+        """Drain every shard and return the merged cluster result.
+
+        The drain decomposes into overridable hooks so the elastic and
+        resilient variants (and their composition) change *policy* --
+        which shards drain, how a drain failure is handled, what extra
+        accounting rides on the result -- without re-implementing the
+        drain itself.
+        """
         self.start()
-        results = [shard.finish() for shard in self.shards]
+        results = [
+            self._finish_shard(shard)
+            for shard in self.shards
+            if self._drainable(shard)
+        ]
         self._started = False
-        return ClusterResult(
+        self._close_logs()
+        result = ClusterResult(
             shard_results=results,
             cluster_metrics=self.cluster_metrics,
             recoveries=list(self.recoveries),
         )
+        self._annotate_result(result)
+        return result
+
+    def _drainable(self, shard) -> bool:
+        """Whether ``shard`` contributes a result at finish."""
+        return True
+
+    def _finish_shard(self, shard):
+        """Drain one shard (overridden for supervised drains)."""
+        return shard.finish()
+
+    def _close_logs(self) -> None:
+        """Release submission-log resources (durable WALs override)."""
+
+    def _annotate_result(self, result: ClusterResult) -> None:
+        """Attach variant-specific extras to the merged result."""
 
     def profit_so_far(self) -> float:
         """Realized profit across live shards, mid-run.
@@ -459,7 +487,14 @@ class ClusterService:
             wall_seconds=time.perf_counter() - started,
         )
         self.recoveries.append(event)
+        self._post_recover(index, t, log_index, checkpoint_time)
         return event
+
+    def _post_recover(
+        self, index: int, t: int, log_index: int, checkpoint_time: int
+    ) -> None:
+        """Hook after a shard restore+replay (the resilient cluster
+        reconciles the recovered shard against the steal journal)."""
 
     # ------------------------------------------------------------------
     # Internals

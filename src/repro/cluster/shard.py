@@ -166,6 +166,12 @@ class ShardHandle:
         job is no longer live on this shard."""
         raise NotImplementedError
 
+    def forget_pending(self, job_id: int) -> Optional[JobSpec]:
+        """Withdraw a submitted-but-unreleased job from the engine
+        (recovery reconciliation; synchronous).  Returns the withdrawn
+        spec, or ``None`` when the job is not pending here."""
+        raise NotImplementedError
+
     def inject_running(self, payload: dict[str, Any], t: int) -> None:
         """Install an extracted job into this shard's engine at ``t``
         (steal receiver side; synchronous)."""
@@ -315,6 +321,11 @@ class InProcessShard(ShardHandle):
         self._require_alive()
         return self.service.extract_running(job_id)
 
+    def forget_pending(self, job_id: int) -> Optional[JobSpec]:
+        """Withdraw a pending job straight from the service."""
+        self._require_alive()
+        return self.service.forget_pending(job_id)
+
     def inject_running(self, payload: dict[str, Any], t: int) -> None:
         """Install an extracted job into the service."""
         self._require_alive()
@@ -452,6 +463,8 @@ def _shard_worker(conn, config: ShardConfig) -> None:
             return service.coordination_view(limit)
         if op == "extract":
             return service.extract_running(command[1])
+        if op == "forget":
+            return service.forget_pending(command[1])
         if op == "extract_many":
             return [service.extract_running(j) for j in command[1]]
         if op == "inject":
@@ -763,6 +776,10 @@ class ProcessShard(ShardHandle):
     def extract_running(self, job_id: int) -> Optional[dict[str, Any]]:
         """Round-trip steal extraction."""
         return self._call(("extract", job_id))
+
+    def forget_pending(self, job_id: int) -> Optional[JobSpec]:
+        """Round-trip pending-job withdrawal."""
+        return self._call(("forget", job_id))
 
     def inject_running(self, payload: dict[str, Any], t: int) -> None:
         """Round-trip steal injection."""

@@ -100,8 +100,17 @@ class Autoscaler:
         self.decisions: list[ScaleDecision] = []
 
     # ------------------------------------------------------------------
-    def _cost(self, k_candidate: int, pressure: int) -> float:
-        backlog = pressure / k_candidate
+    def _cost(self, k_candidate: int, pressure: int, dead: int) -> float:
+        """Projected cost of running ``k_candidate`` active shards.
+
+        ``dead`` shards (crashed or degraded) still pay rent but drain
+        nothing, so the backlog divides over the *effective* capacity
+        ``k_candidate - dead``: a degraded shard reads as capacity loss
+        and pushes the vote toward scaling up, within ``k_max``.
+        Fault-free (``dead == 0``) the cost is unchanged, preserving
+        bit-identical autoscale trajectories.
+        """
+        backlog = pressure / max(1, k_candidate - dead)
         overload = max(0.0, backlog - self.high_water)
         return overload * self.overload_weight + k_candidate * self.shard_rent
 
@@ -124,6 +133,7 @@ class Autoscaler:
         The return value equals ``k_active`` unless a resize commits.
         """
         pressure = self._pressure(stats)
+        dead = sum(1 for s in stats if not s.alive)
         candidates = [
             k
             for k in (k_active - 1, k_active, k_active + 1)
@@ -133,7 +143,7 @@ class Autoscaler:
         # smaller count (prefer shrinking on exact ties)
         vote = min(
             candidates,
-            key=lambda k: (self._cost(k, pressure), abs(k - k_active), k),
+            key=lambda k: (self._cost(k, pressure, dead), abs(k - k_active), k),
         )
 
         if vote > k_active:

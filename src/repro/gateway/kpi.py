@@ -54,6 +54,8 @@ class KpiAggregator:
         generated: int,
         gateway_shed: int,
         buffer_depth: int,
+        degraded_shards: int = 0,
+        degradation: str = "normal",
     ) -> dict[str, Any]:
         """Build one KPI snapshot dict from this tick's state."""
         values = metrics.values()
@@ -94,6 +96,8 @@ class KpiAggregator:
             "admission_latency_p50": latency.get("p50"),
             "admission_latency_p99": latency.get("p99"),
             "admission_latency_mean": latency.get("mean"),
+            "degraded_shards": int(degraded_shards),
+            "degradation": str(degradation),
         }
 
 

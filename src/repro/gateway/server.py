@@ -10,7 +10,8 @@ routes is all a live dashboard, a ``curl`` tail, or a test needs.
   semantics work for free.  The stream ends when the feed closes.
 * ``GET /kpi.jsonl`` -- the retained history as JSON lines (poll-style
   consumption, and trivially ``pandas.read_json(..., lines=True)``-able).
-* ``GET /healthz`` -- liveness plus the current sequence number.
+* ``GET /healthz`` -- liveness plus the current sequence number, the
+  latest snapshot's degraded-shard count and the degradation rung.
 
 The server thread only ever *reads* the feed; the gateway loop stays
 the sole producer, so serving never perturbs the run -- a virtual-clock
@@ -62,11 +63,19 @@ class KpiServer:
 
             def do_GET(self):  # noqa: N802 - stdlib name
                 if self.path == "/healthz":
+                    history = server.feed.history()
+                    latest = history[-1] if history else {}
                     self._send_json(
                         {
                             "ok": True,
                             "seq": server.feed.last_seq,
                             "closed": server.feed.closed,
+                            "degraded_shards": latest.get(
+                                "degraded_shards", 0
+                            ),
+                            "degradation": latest.get(
+                                "degradation", "normal"
+                            ),
                         }
                     )
                 elif self.path == "/kpi.jsonl":

@@ -66,6 +66,9 @@ EVENT_KINDS: tuple[str, ...] = (
     "cluster-shed",     # no healthy shard could admit the job
     "steal",            # running job stolen between shards (coordinator)
     "candidate-commit", # candidate trial committed to its best schedule
+    "steal-resolve",    # pending steal transaction settled after a crash
+    "steal-reconcile",  # restored shard reconciled against the journal
+    "degradation",      # the gateway's overload ladder changed rung
 )
 
 
@@ -177,15 +180,16 @@ class TraceRecorder:
     stack is); "lock-free" here means literally no locks, not atomics.
     """
 
-    __slots__ = ("events", "_seq")
-
-    #: hot paths read this once per session; True = record
-    enabled = True
+    __slots__ = ("events", "_seq", "enabled")
 
     def __init__(self) -> None:
         #: recorded events, in append order
         self.events: list[tuple] = []
         self._seq = 0
+        #: hot paths read this before each emit; the gateway's
+        #: degradation ladder flips it live to shed tracing overhead
+        #: under sustained overload
+        self.enabled = True
 
     def __len__(self) -> int:
         """Number of recorded events."""
@@ -255,12 +259,14 @@ class ShardRecorder:
 
     __slots__ = ("parent", "shard")
 
-    #: shard views always record (a disabled trace uses NULL_RECORDER)
-    enabled = True
-
     def __init__(self, parent: TraceRecorder, shard: int) -> None:
         self.parent = parent
         self.shard = int(shard)
+
+    @property
+    def enabled(self) -> bool:
+        """Views follow the parent, so a live pause silences shards too."""
+        return self.parent.enabled
 
     def event(
         self,

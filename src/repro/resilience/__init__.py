@@ -6,7 +6,12 @@ determinism.  Every mechanism here is engineered so that a faulted run
 *converges back to the fault-free run bit-for-bit*: submissions are
 logged before delivery, recovery replays under stable idempotency
 keys, and the chaos harness (:mod:`repro.resilience.chaos`) pins the
-equivalence for every fault class.
+equivalence for every core fault class.  Where bit-identity is too
+strong a claim -- an elastic, autoscaled gateway under coordination
+faults -- the post-run auditor (:mod:`repro.resilience.audit`)
+recomputes the books and asserts the invariants that must survive any
+degradation: jobs conserved, exactly-once completion, WAL-before-
+deliver, steal transactions settled, profit within a gated floor.
 
 Modules
 -------
@@ -25,13 +30,28 @@ Modules
 :mod:`~repro.resilience.breaker`
     Per-shard circuit breakers and the routing decorator that sheds
     traffic around open circuits.
+:mod:`~repro.resilience.transactions`
+    Transactional cross-shard steals: intent/transfer/commit journal
+    with torn-tail recovery and exactly-one-placement replay.
 :mod:`~repro.resilience.cluster`
     :class:`ResilientClusterService` -- the whole stack wired together,
     plus the chaos-injection surface.
+:mod:`~repro.resilience.elastic`
+    :class:`SupervisedElasticCluster` -- live resizing composed over
+    the resilience stack (durable scale moves, healthy-prefix drain).
+:mod:`~repro.resilience.audit`
+    Post-run invariant auditing for chaos and gateway runs.
 :mod:`~repro.resilience.chaos`
-    Deterministic fault schedules and the identity-checking harness.
+    Deterministic fault schedules, the identity-checking harness, and
+    the audited end-to-end gateway chaos gate.
 """
 
+from repro.resilience.audit import (
+    INVARIANTS,
+    AuditReport,
+    AuditViolation,
+    audit_run,
+)
 from repro.resilience.breaker import (
     BreakerConfig,
     BreakerState,
@@ -39,41 +59,67 @@ from repro.resilience.breaker import (
     CircuitBreakerRouter,
 )
 from repro.resilience.chaos import (
+    COORDINATION_FAULT_KINDS,
+    CORE_FAULT_KINDS,
     FAULT_KINDS,
     ChaosEvent,
     ChaosInjector,
     ChaosReport,
     ChaosSchedule,
+    GatewayChaosReport,
     run_chaos,
+    run_gateway_chaos,
 )
 from repro.resilience.checkpoints import CheckpointStore
 from repro.resilience.cluster import ResilientClusterService
+from repro.resilience.elastic import SupervisedElasticCluster
 from repro.resilience.rpc import DEFAULT_RPC_POLICY, RpcPolicy
 from repro.resilience.supervisor import (
     ShardSupervisor,
     SupervisionEvent,
     SupervisorConfig,
 )
+from repro.resilience.transactions import (
+    TXN_STATES,
+    StealJournal,
+    StealTxn,
+    reconcile_shard,
+    resolve_pending,
+)
 from repro.resilience.wal import WAL_MAGIC, WriteAheadLog, open_wal
 
 __all__ = [
+    "INVARIANTS",
+    "AuditReport",
+    "AuditViolation",
+    "audit_run",
     "BreakerConfig",
     "BreakerState",
     "CircuitBreaker",
     "CircuitBreakerRouter",
+    "COORDINATION_FAULT_KINDS",
+    "CORE_FAULT_KINDS",
     "FAULT_KINDS",
     "ChaosEvent",
     "ChaosInjector",
     "ChaosReport",
     "ChaosSchedule",
+    "GatewayChaosReport",
     "run_chaos",
+    "run_gateway_chaos",
     "CheckpointStore",
     "ResilientClusterService",
+    "SupervisedElasticCluster",
     "DEFAULT_RPC_POLICY",
     "RpcPolicy",
     "ShardSupervisor",
     "SupervisionEvent",
     "SupervisorConfig",
+    "TXN_STATES",
+    "StealJournal",
+    "StealTxn",
+    "reconcile_shard",
+    "resolve_pending",
     "WAL_MAGIC",
     "WriteAheadLog",
     "open_wal",

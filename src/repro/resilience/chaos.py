@@ -29,12 +29,37 @@ kind                      what it does
 ``corrupt-checkpoint``    newest checkpoint corrupted, then a crash, so
                           recovery must fall back a generation (or to
                           an empty restore plus full-log replay)
+``steal-interrupt``       crash the steal target *between* the extract
+                          and inject phases of the next steal tick --
+                          jobs exist only in transit, and the steal
+                          journal is the sole source of truth
+``scale-during-crash``    crash a shard and immediately drive an
+                          elastic scale step while it is down (plain
+                          crash on a non-elastic cluster)
+``ledger-partition``      partition the coordinator's band ledger from
+                          shard state: anchor-only degraded routing
+                          until the window drains
+``tick-stall``            stall the gateway loop for a tick while
+                          arrivals keep buffering (no-op offline)
 ========================  ==============================================
+
+The first five (:data:`CORE_FAULT_KINDS`) hold the PR 4 claim --
+bit-identity with the fault-free run -- on any supervised cluster.
+The last four (:data:`COORDINATION_FAULT_KINDS`) target the
+coordinated/elastic stack, where the claim is the
+:mod:`~repro.resilience.audit` invariants plus a gated profit floor
+(:func:`run_gateway_chaos`): degraded runs may shed, but the books
+must balance.
 
 Run as a module for the CI smoke gate (exit 0 iff every seeded
 schedule preserves bit-identity)::
 
     python -m repro.resilience.chaos --seed 1 --shards 2 --mode process
+
+or, for the end-to-end gateway chaos gate (exit 0 iff the invariant
+auditor passes)::
+
+    python -m repro.resilience.chaos --gateway --seed 1
 """
 
 from __future__ import annotations
@@ -54,8 +79,16 @@ from repro.resilience.rpc import RpcPolicy
 from repro.resilience.supervisor import SupervisorConfig
 from repro.sim.jobs import JobSpec
 
+#: Fault classes every supervised cluster recovers from bit-identically.
+CORE_FAULT_KINDS = (
+    "crash", "hang", "slow-rpc", "pipe-drop", "corrupt-checkpoint",
+)
+#: Fault classes targeting the coordinated / elastic / gateway stack.
+COORDINATION_FAULT_KINDS = (
+    "steal-interrupt", "scale-during-crash", "ledger-partition", "tick-stall",
+)
 #: Every fault class the harness can inject.
-FAULT_KINDS = ("crash", "hang", "slow-rpc", "pipe-drop", "corrupt-checkpoint")
+FAULT_KINDS = CORE_FAULT_KINDS + COORDINATION_FAULT_KINDS
 
 
 @dataclass(frozen=True)
@@ -160,6 +193,14 @@ class ChaosInjector:
                 cluster.inject_pipe_drop(shard)
             elif event.kind == "corrupt-checkpoint":
                 cluster.inject_corrupt_checkpoint(shard)
+            elif event.kind == "steal-interrupt":
+                cluster.inject_steal_interrupt(shard)
+            elif event.kind == "scale-during-crash":
+                cluster.inject_scale_during_crash(shard)
+            elif event.kind == "ledger-partition":
+                cluster.inject_ledger_partition()
+            elif event.kind == "tick-stall":
+                cluster.inject_tick_stall()
             self.fired.append(event)
 
 
@@ -323,6 +364,177 @@ def run_chaos(
     )
 
 
+@dataclass
+class GatewayChaosReport:
+    """Invariant-audited gateway chaos run vs. its fault-free twin.
+
+    Unlike :class:`ChaosReport`, bit-identity is *not* the claim here:
+    an elastic, coordinated, autoscaled gateway under faults may shed,
+    retry and rebalance differently from the fault-free run.  The claim
+    is the :mod:`~repro.resilience.audit` invariants -- jobs conserved,
+    exactly-once completion, WAL-before-deliver, steal transactions
+    settled -- plus a profit floor relative to the fault-free run.
+    """
+
+    schedule: str
+    seed: int
+    clean_profit: float
+    chaos_profit: float
+    #: full invariant audit of the chaos run (carries the violations)
+    audit: "AuditReport"
+    faults_fired: int
+    recoveries: int
+    supervision_events: int
+    degraded_shards: int
+    retried: int
+    clean_fingerprint: str
+    chaos_fingerprint: str
+
+    @property
+    def ok(self) -> bool:
+        """Every audited invariant held (profit floor included)."""
+        return self.audit.ok
+
+    def to_dict(self) -> dict:
+        """JSON-compatible report (the CI audit artifact)."""
+        return {
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "ok": self.ok,
+            "clean_profit": self.clean_profit,
+            "chaos_profit": self.chaos_profit,
+            "profit_ratio": self.audit.profit_ratio,
+            "faults_fired": self.faults_fired,
+            "recoveries": self.recoveries,
+            "supervision_events": self.supervision_events,
+            "degraded_shards": self.degraded_shards,
+            "retried": self.retried,
+            "clean_fingerprint": self.clean_fingerprint,
+            "chaos_fingerprint": self.chaos_fingerprint,
+            "audit": self.audit.to_dict(),
+        }
+
+
+def run_gateway_chaos(
+    *,
+    seed: int,
+    schedule: Optional[ChaosSchedule] = None,
+    n_jobs: int = 160,
+    m: int = 8,
+    k_max: int = 4,
+    k_initial: Optional[int] = None,
+    load: float = 1.5,
+    n_events: int = 3,
+    kinds: Sequence[str] = FAULT_KINDS,
+    workdir: Optional[str] = None,
+    mode: str = "inprocess",
+    autoscale: bool = True,
+    coordinated: bool = True,
+    retry: bool = True,
+    steps_per_tick: int = 20,
+    buffer_capacity: int = 512,
+    profit_floor: float = 0.7,
+    max_restarts: int = 32,
+    on_exhausted: str = "degrade",
+    heartbeat_timeout: float = 0.25,
+    call_timeout: float = 1.0,
+) -> GatewayChaosReport:
+    """End-to-end gateway chaos: coordinated elastic serving under
+    seeded faults, audited for the resilience invariants.
+
+    Runs the same seeded open-loop traffic twice through a virtual-
+    clock :class:`~repro.gateway.gateway.Gateway` over a coordinated
+    :class:`~repro.resilience.elastic.SupervisedElasticCluster` --
+    once fault-free, once under ``schedule`` -- then audits the chaos
+    run with :func:`~repro.resilience.audit.audit_run` against the
+    fault-free profit.  Both runs are deterministic: repeating the
+    call reproduces both fingerprints bit for bit.
+    """
+    from repro.cluster.coordinator import coordinate
+    from repro.gateway.autoscale import Autoscaler
+    from repro.gateway.clock import VirtualClock
+    from repro.gateway.gateway import Gateway
+    from repro.gateway.ingest import RetryQueue
+    from repro.gateway.load import LoadConfig, LoadGenerator
+    from repro.resilience.audit import audit_run
+    from repro.resilience.elastic import SupervisedElasticCluster
+
+    load_config = LoadConfig(
+        n_jobs=n_jobs, m=m, load=load, epsilon=1.0, seed=seed
+    )
+    specs = list(LoadGenerator(load_config))
+    horizon = max((spec.arrival for spec in specs), default=0) or 1
+    if schedule is None:
+        schedule = ChaosSchedule.generate(
+            seed, k=k_max, horizon=horizon, n_events=n_events, kinds=kinds
+        )
+
+    def one_run(injector, run_dir):
+        cluster = SupervisedElasticCluster(
+            m,
+            k_max,
+            k_initial=k_initial,
+            config=ShardConfig(
+                m=1, scheduler="sns", scheduler_kwargs={"epsilon": 1.0}
+            ),
+            router="band-aware" if coordinated else "least-loaded",
+            mode=mode,
+            fault_injector=injector,
+            supervisor=SupervisorConfig(
+                heartbeat_timeout=heartbeat_timeout,
+                heartbeat_every=1,
+                max_restarts=max_restarts,
+                backoff_base=0.001,
+                backoff_max=0.01,
+                on_exhausted=on_exhausted,
+            ),
+            rpc=RpcPolicy(call_timeout=call_timeout, retries=0),
+            wal_dir=f"{run_dir}/wal" if run_dir else None,
+            checkpoint_dir=f"{run_dir}/ckpt" if run_dir else None,
+        )
+        if coordinated:
+            coordinate(cluster)
+        gateway = Gateway(
+            cluster,
+            LoadGenerator(load_config),
+            clock=VirtualClock(),
+            steps_per_tick=steps_per_tick,
+            buffer_capacity=buffer_capacity,
+            autoscaler=(
+                Autoscaler(k_min=1, k_max=k_max) if autoscale else None
+            ),
+            retry=RetryQueue(seed=seed) if retry else None,
+        )
+        return gateway.run()
+
+    clean = one_run(None, None)
+    injector = ChaosInjector(schedule)
+    chaos = one_run(injector, workdir)
+
+    audit = audit_run(
+        chaos,
+        specs,
+        baseline_profit=clean.total_profit,
+        profit_floor=profit_floor,
+        wal_dir=f"{workdir}/wal" if workdir else None,
+    )
+    extra = chaos.cluster.extra
+    return GatewayChaosReport(
+        schedule=schedule.spec(),
+        seed=seed,
+        clean_profit=clean.total_profit,
+        chaos_profit=chaos.total_profit,
+        audit=audit,
+        faults_fired=len(injector.fired),
+        recoveries=len(chaos.cluster.recoveries),
+        supervision_events=len(extra.get("supervision_events", [])),
+        degraded_shards=len(extra.get("degraded_shards", [])),
+        retried=chaos.retried,
+        clean_fingerprint=clean.fingerprint(),
+        chaos_fingerprint=chaos.fingerprint(),
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CI smoke entry point: one seeded schedule, exit 0 iff ``ok``."""
     parser = argparse.ArgumentParser(
@@ -348,6 +560,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--out", default=None, help="write the report JSON here")
     parser.add_argument(
+        "--gateway", action="store_true",
+        help="run the end-to-end gateway chaos gate instead: virtual "
+        "clock, coordinated supervised elastic cluster, autoscaling, "
+        "retrying ingest; exit 0 iff the invariant audit passes",
+    )
+    parser.add_argument(
         "--scenario", default=None, metavar="SPEC",
         help="run this scenario spec (.toml/.json) instead of the flags",
     )
@@ -357,6 +575,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "and exit (the clean reference run is this CLI's own job)",
     )
     args = parser.parse_args(argv)
+    if args.gateway:
+        kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-gw-") as workdir:
+            report = run_gateway_chaos(
+                seed=args.seed,
+                schedule=(
+                    ChaosSchedule.parse(args.schedule)
+                    if args.schedule
+                    else None
+                ),
+                n_jobs=args.n_jobs,
+                m=args.m,
+                k_max=max(2, args.shards),
+                n_events=args.events,
+                kinds=kinds,
+                workdir=workdir,
+            )
+        payload = report.to_dict()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+        json.dump(payload, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0 if report.ok else 1
     if args.scenario:
         from repro.scenarios.cli import main as scenario_main
 

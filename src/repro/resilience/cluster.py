@@ -52,6 +52,11 @@ from repro.resilience.breaker import BreakerConfig, CircuitBreakerRouter
 from repro.resilience.checkpoints import CheckpointStore
 from repro.resilience.rpc import DEFAULT_RPC_POLICY, RpcPolicy
 from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
+from repro.resilience.transactions import (
+    StealJournal,
+    reconcile_shard,
+    resolve_pending,
+)
 from repro.resilience.wal import WriteAheadLog
 from repro.service.queue import sns_density
 from repro.service.service import ServiceResult, ShedRecord
@@ -150,6 +155,22 @@ class ResilientClusterService(ClusterService):
             if checkpoint_dir is not None
             else None
         )
+        #: transactional steal journal (durable beside the WALs when
+        #: ``wal_dir`` is given, in-memory otherwise); always on and
+        #: decision-free, so fault-free runs stay bit-identical
+        self.steal_journal = StealJournal(
+            os.path.join(wal_dir, "steals.txn") if wal_dir is not None else None,
+            fsync_every=wal_fsync_every,
+        )
+        #: journal sequence at checkpoint time, keyed like the trace
+        #: marks by (shard, log_index, checkpoint engine time): lets a
+        #: recovery skip repairing moves the restored state already
+        #: reflects (see :func:`~repro.resilience.transactions.
+        #: reconcile_shard`)
+        self._txn_marks: dict[tuple[int, int, int], int] = {}
+        #: armed chaos state (see the injection surface below)
+        self._steal_interrupt: Optional[int] = None
+        self._tick_stall = 0
         #: jobs shed at the *cluster* level (no healthy shard to admit)
         self.cluster_shed: list[ShedRecord] = []
 
@@ -223,41 +244,91 @@ class ResilientClusterService(ClusterService):
         self._stats_cache = None
         return self._now
 
-    def finish(self) -> ClusterResult:
-        """Drain every shard; degraded shards yield empty results.
+    def _finish_shard(self, shard) -> ServiceResult:
+        """Drain one shard; a degraded shard yields an empty result.
 
         A shard that fails during its drain gets one supervised
         recovery and a second drain attempt; if the budget is already
         spent, the degrade policy decides (empty result or raise).
         """
-        self.start()
-        results = []
-        for shard in self.shards:
+        if shard.index in self.supervisor.degraded:
+            return self._empty_result(shard)
+        try:
+            return shard.finish()
+        except ShardFailedError as exc:
+            self._supervise_failure(shard.index, self._now, exc)
             if shard.index in self.supervisor.degraded:
-                results.append(self._empty_result(shard))
-                continue
-            try:
-                results.append(shard.finish())
-            except ShardFailedError as exc:
-                self._supervise_failure(shard.index, self._now, exc)
-                if shard.index in self.supervisor.degraded:
-                    results.append(self._empty_result(shard))
-                else:
-                    results.append(shard.finish())
-        self._started = False
+                return self._empty_result(shard)
+            return shard.finish()
+
+    def _close_logs(self) -> None:
         for log in self.logs:
             close = getattr(log, "close", None)
             if close is not None:
                 close()
-        result = ClusterResult(
-            shard_results=results,
-            cluster_metrics=self.cluster_metrics,
-            recoveries=list(self.recoveries),
-        )
+        self.steal_journal.close()
+
+    def _annotate_result(self, result: ClusterResult) -> None:
+        super()._annotate_result(result)
+        self._sweep_unresolved(result)
         result.extra["cluster_shed"] = list(self.cluster_shed)
         result.extra["supervision_events"] = list(self.supervisor.events)
         result.extra["degraded_shards"] = sorted(self.supervisor.degraded)
-        return result
+        result.extra["steal_txns"] = self.steal_journal.counts()
+
+    def _sweep_unresolved(self, result: ClusterResult) -> None:
+        """Close the job-conservation books at finish.
+
+        Every logged submission must end in exactly one of completed /
+        expired / shed (the invariant the chaos auditor checks).  Two
+        fault paths legitimately leave a job with no terminal record:
+        its shard was *degraded* out of the run (admitted work lost --
+        the measured cost of degradation), or it expired *in transit*
+        during a steal the journal settled as ``expired``.  Both get a
+        synthesized cluster-level shed record here.  A missing job with
+        neither explanation is left missing -- masking it would hide a
+        real conservation bug from the auditor.
+        """
+        terminal: set[int] = set()
+        for res in result.shard_results:
+            terminal.update(res.result.records.keys())
+            terminal.update(rec.job_id for rec in res.shed)
+        terminal.update(rec.job_id for rec in self.cluster_shed)
+        logged: dict[int, JobSpec] = {}
+        for log in self.logs:
+            for _, spec in log:
+                logged.setdefault(spec.job_id, spec)
+        missing = sorted(set(logged) - terminal)
+        if not missing:
+            return
+        degraded = bool(self.supervisor.degraded)
+        template = self.shards[0].config
+        for job_id in missing:
+            txn = self.steal_journal.latest_for_job(job_id)
+            if txn is not None and txn.state == "expired":
+                reason = "steal-expired"
+            elif degraded:
+                reason = "degraded-loss"
+            else:
+                continue
+            spec = logged[job_id]
+            self.cluster_shed.append(
+                ShedRecord(
+                    job_id=job_id,
+                    time=self._now,
+                    reason=reason,
+                    density=sns_density(
+                        spec,
+                        template.m,
+                        Constants.from_epsilon(1.0),
+                        template.speed,
+                    ),
+                    profit=spec.profit,
+                )
+            )
+            # not cluster_shed_total: that counts front-door refusals
+            # at submit time; these are post-hoc book-closings
+            self.cluster_metrics.counter("swept_unresolved_total").inc()
 
     def _empty_result(self, shard) -> ServiceResult:
         """Stand-in result for a shard degraded out of the run: its
@@ -319,6 +390,11 @@ class ResilientClusterService(ClusterService):
     def _save_checkpoint(
         self, index: int, log_index: int, snapshot: dict[str, Any]
     ) -> None:
+        # remember the journal position this snapshot reflects, so a
+        # restore knows which settled steals are already baked in
+        self._txn_marks[
+            (index, log_index, int(snapshot["engine"]["t"]))
+        ] = self.steal_journal.seq
         if self.store is not None:
             self.store.save(index, log_index, snapshot)
             self._note_trace_mark(index, log_index, snapshot)
@@ -365,6 +441,55 @@ class ResilientClusterService(ClusterService):
         self.breaker_router.breaker(index).force_open()
         self._stats_cache = None
         self.cluster_metrics.counter("degraded_total").inc()
+
+    # ------------------------------------------------------------------
+    # Transactional steals (see repro.resilience.transactions)
+    # ------------------------------------------------------------------
+    def resolve_steal_txns(self, t: int) -> list[dict]:
+        """Settle every pending steal transaction to exactly-one
+        placement.  Called by the coordinator at the end of each steal
+        tick and by :meth:`_post_recover` after an off-tick recovery;
+        a no-op while a steal tick is still executing (the tick owns
+        its in-flight transactions)."""
+        journal = self.steal_journal
+        if journal.in_tick or not journal.pending():
+            return []
+        outcomes = resolve_pending(journal, self, t)
+        if outcomes:
+            self.cluster_metrics.counter("steal_txns_resolved_total").inc(
+                len(outcomes)
+            )
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                for outcome in outcomes:
+                    tracer.event(t, "steal-resolve", outcome["job"], outcome)
+        return outcomes
+
+    def _post_recover(
+        self, index: int, t: int, log_index: int, checkpoint_time: int
+    ) -> None:
+        """Reconcile a just-restored shard against the steal journal:
+        discard resurrected copies of jobs that settled elsewhere,
+        re-inject settled arrivals the rolled-back state lost, then
+        settle any transactions the crash left in flight."""
+        journal = self.steal_journal
+        mark = self._txn_marks.get((index, log_index, checkpoint_time), 0)
+        repairs = reconcile_shard(journal, self, index, t, since_seq=mark)
+        if repairs:
+            self.cluster_metrics.counter("steal_reconciles_total").inc(
+                len(repairs)
+            )
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled:
+                for action in repairs:
+                    tracer.event(
+                        t,
+                        "steal-reconcile",
+                        action["job"],
+                        {"shard": index, "action": action["action"]},
+                    )
+        self.resolve_steal_txns(t)
+        journal.sync()
 
     def _hooks(self, t: int) -> None:
         self.breaker_router.now = t
@@ -429,6 +554,54 @@ class ResilientClusterService(ClusterService):
         else:
             self.checkpoints.pop(index, None)
         self.kill_shard(index)
+
+    def inject_steal_interrupt(self, index: int) -> None:
+        """Arm a crash of shard ``index`` *between* the two phases of
+        the next steal tick -- after the extractions, before any
+        injection -- the exact window where jobs exist only in transit
+        and the transaction journal is the sole source of truth."""
+        self._steal_interrupt = int(index)
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def consume_steal_interrupt(self) -> Optional[int]:
+        """One-shot read of the armed steal interrupt (coordinator
+        hook, called between extract and inject phases)."""
+        target, self._steal_interrupt = self._steal_interrupt, None
+        return target
+
+    def inject_scale_during_crash(self, index: int) -> None:
+        """Crash shard ``index`` and immediately drive a scale step
+        while it is down, racing supervised recovery against the
+        resize.  On a non-elastic cluster this degenerates to a plain
+        crash."""
+        self.kill_shard(index)
+        if hasattr(self, "scale_to"):
+            k = self.k_active
+            target = k - 1 if k > 1 else k + 1
+            self.scale_to(max(1, min(self.k, target)))
+
+    def inject_ledger_partition(self, submissions: int = 8) -> None:
+        """Partition the coordinator from shard state: the band ledger
+        goes stale and refreshes/steals are suppressed for the next
+        ``submissions`` routing decisions (degraded anchor-only
+        routing)."""
+        if self.coordinator is not None:
+            self.coordinator.partition(submissions)
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def inject_tick_stall(self, ticks: int = 1) -> None:
+        """Stall the driving loop: the gateway skips dispatch+advance
+        for the next ``ticks`` ticks while arrivals keep buffering
+        (harmless no-op without a gateway consuming the counter)."""
+        self._tick_stall += int(ticks)
+        self.cluster_metrics.counter("faults_total").inc()
+
+    def consume_tick_stall(self) -> bool:
+        """One-shot per-tick read of the stall counter (gateway hook)."""
+        if self._tick_stall > 0:
+            self._tick_stall -= 1
+            return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,109 @@
+"""Supervised elastic cluster: live resizing over the resilience stack.
+
+:class:`SupervisedElasticCluster` composes the two orthogonal cluster
+extensions -- :class:`~repro.cluster.elastic.ElasticScalingMixin`
+(live-resizable active shard prefix) over
+:class:`~repro.resilience.cluster.ResilientClusterService` (WALs,
+checkpoints, supervisor, breakers, steal journal) -- so elastic scaling
+and supervised fault recovery hold *simultaneously*:
+
+* scale-time job moves (the scale-up split, the scale-down drain) are
+  WAL-logged under idempotency keys and followed by a cluster
+  checkpoint, so a supervised restart mid-resize replays every moved
+  job exactly once and resurrects none;
+* the scale-down drain routes over the *healthy* remaining prefix only
+  (dead and degraded shards are filtered, positionally reindexed the
+  way the circuit-breaker router does), and skips the drain entirely
+  when the victim itself is down -- its jobs ride the lame duck through
+  supervised recovery instead of being stranded;
+* the supervisor heartbeats every *activated* unit (lame ducks
+  included, dormant never-started units excluded via
+  ``supervised_shard_ids``), so a crashed lame duck still recovers and
+  drains at finish;
+* the steal journal's recovery reconciliation sees the elastic shard
+  set through the same interface, so transactional steals stay
+  exactly-once across resizes.
+
+Method resolution order is the composition contract: the mixin supplies
+scaling/stats/prefix behaviour, the resilient base supplies delivery,
+checkpointing, supervision and the finish-drain policy, and the shared
+hook seams in :class:`~repro.cluster.service.ClusterService` keep them
+from trampling each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+from repro.cluster.config import ShardConfig
+from repro.cluster.elastic import ElasticScalingMixin, validate_elastic
+from repro.cluster.router import Router
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.cluster import ResilientClusterService
+from repro.resilience.rpc import DEFAULT_RPC_POLICY, RpcPolicy
+from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
+
+
+class SupervisedElasticCluster(ElasticScalingMixin, ResilientClusterService):
+    """Elastic shard prefix with supervised recovery and durable moves.
+
+    Parameters
+    ----------
+    m, k_max, k_initial:
+        As for :class:`~repro.cluster.elastic.ElasticCluster` (``m``
+        must split evenly into ``k_max`` fixed-size units).
+    config, router, mode, stats_refresh, supervisor, breaker, rpc,
+    wal_dir, checkpoint_dir, checkpoint_keep, wal_fsync_every,
+    checkpoint_every, fault_injector, tracer:
+        As for :class:`~repro.resilience.cluster.
+        ResilientClusterService`.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        k_max: int,
+        *,
+        k_initial: Optional[int] = None,
+        config: Optional[ShardConfig] = None,
+        router: Union[Router, str] = "least-loaded",
+        mode: str = "inprocess",
+        stats_refresh: int = 32,
+        checkpoint_every: Optional[int] = None,
+        fault_injector: Optional[Any] = None,
+        supervisor: Union[ShardSupervisor, SupervisorConfig, None] = None,
+        breaker: Optional[BreakerConfig] = None,
+        rpc: Optional[RpcPolicy] = DEFAULT_RPC_POLICY,
+        wal_dir: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_keep: int = 2,
+        wal_fsync_every: int = 8,
+        tracer: Optional[Any] = None,
+    ) -> None:
+        k_initial = validate_elastic(m, k_max, k_initial)
+        super().__init__(
+            m,
+            k_max,
+            config=config,
+            router=router,
+            mode=mode,
+            checkpoint_every=checkpoint_every,
+            fault_injector=fault_injector,
+            stats_refresh=stats_refresh,
+            supervisor=supervisor,
+            breaker=breaker,
+            rpc=rpc,
+            wal_dir=wal_dir,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_keep=checkpoint_keep,
+            wal_fsync_every=wal_fsync_every,
+            tracer=tracer,
+        )
+        self._init_elastic(m, k_max, k_initial)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SupervisedElasticCluster(m={self.m}, k_max={self.k}, "
+            f"k_active={self.k_active}, "
+            f"degraded={sorted(self.supervisor.degraded)})"
+        )

@@ -131,9 +131,16 @@ class ShardSupervisor:
         self._ticks += 1
         if self._ticks % self.config.heartbeat_every != 0:
             return []
+        # elastic clusters expose which units to watch (activated ones,
+        # lame ducks included); a dormant never-started unit would fail
+        # every ping by design and must not be "restarted"
+        ids = getattr(cluster, "supervised_shard_ids", None)
+        watched = None if ids is None else set(ids())
         handled = []
         for shard in cluster.shards:
             if shard.index in self.degraded:
+                continue
+            if watched is not None and shard.index not in watched:
                 continue
             probe_started = time.perf_counter()
             try:

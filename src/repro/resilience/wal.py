@@ -50,6 +50,38 @@ WAL_MAGIC = b"RWAL0001"
 _FRAME = struct.Struct("<II")
 
 
+def pack_frame(payload: bytes) -> bytes:
+    """Frame ``payload`` as ``<length><crc32><payload>`` bytes."""
+    return _FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def scan_frames(data: bytes, magic: bytes, path: str) -> tuple[list[bytes], int]:
+    """Longest valid frame prefix of ``data``.
+
+    Returns the decoded payloads and the byte offset of the first
+    invalid frame (``len(data)`` when the file is clean); bytes past the
+    offset are a torn tail the caller should truncate.  Shared by the
+    submission WAL and the steal-transaction journal, which differ only
+    in magic and payload schema.
+    """
+    if not data.startswith(magic):
+        raise WALError(f"{path} has wrong magic (expected {magic!r})")
+    payloads: list[bytes] = []
+    good = len(magic)
+    while True:
+        header = data[good : good + _FRAME.size]
+        if len(header) < _FRAME.size:
+            break
+        length, crc = _FRAME.unpack(header)
+        start = good + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) < length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        payloads.append(payload)
+        good = start + length
+    return payloads, good
+
+
 class WriteAheadLog:
     """Append-only durable submission log with torn-tail recovery.
 
@@ -92,8 +124,7 @@ class WriteAheadLog:
         payload = json.dumps(
             {"t": int(t), "spec": spec_to_dict(spec)}, separators=(",", ":")
         ).encode("utf-8")
-        self._fh.write(_FRAME.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF))
-        self._fh.write(payload)
+        self._fh.write(pack_frame(payload))
         self.entries.append((int(t), spec))
         self._pending += 1
         if self._pending >= self.fsync_every:
@@ -140,23 +171,10 @@ class WriteAheadLog:
         """Load the longest valid record prefix; truncate the rest."""
         with open(self.path, "rb") as fh:
             data = fh.read()
-        if not data.startswith(WAL_MAGIC):
-            raise WALError(
-                f"{self.path} is not a WAL (expected magic {WAL_MAGIC!r})"
-            )
-        good = len(WAL_MAGIC)
-        while True:
-            header = data[good : good + _FRAME.size]
-            if len(header) < _FRAME.size:
-                break
-            length, crc = _FRAME.unpack(header)
-            start = good + _FRAME.size
-            payload = data[start : start + length]
-            if len(payload) < length or zlib.crc32(payload) & 0xFFFFFFFF != crc:
-                break
+        payloads, good = scan_frames(data, WAL_MAGIC, self.path)
+        for payload in payloads:
             entry = json.loads(payload.decode("utf-8"))
             self.entries.append((int(entry["t"]), spec_from_dict(entry["spec"])))
-            good = start + length
         if good < len(data):
             self.truncated_bytes = len(data) - good
             with open(self.path, "r+b") as fh:

@@ -369,6 +369,14 @@ class ScenarioBuilder:
             )
         from repro.resilience.chaos import ChaosInjector, ChaosSchedule
 
+        if spec.faults.kind != "chaos":
+            # a bare chaos kind ("crash", "steal-interrupt", ...) is a
+            # one-event schedule at faults.shard / faults.at
+            return ChaosInjector(
+                ChaosSchedule.parse(
+                    f"{spec.faults.kind}:{spec.faults.shard}:{spec.faults.at}"
+                )
+            )
         if spec.faults.chaos.startswith("seed:"):
             horizon = (
                 max(sp.arrival for sp in self.specs) or 1 if self.specs else 1
@@ -387,7 +395,10 @@ class ScenarioBuilder:
 
         spec = self.spec
         injector = self._fault_injector()
-        resilient = spec.cluster.supervise or spec.faults.kind == "chaos"
+        resilient = spec.cluster.supervise or spec.faults.kind not in (
+            "none",
+            "kill",
+        )
         config = self._shard_config()
         common = dict(
             m=spec.workload.m,
@@ -436,15 +447,33 @@ class ScenarioBuilder:
         from repro.gateway.kpi import KpiFeed
 
         spec = self.spec
-        cluster = ElasticCluster(
-            m=spec.workload.m,
-            k_max=spec.gateway.shards_max,
-            k_initial=spec.gateway.shards_initial or None,
-            config=self._shard_config(),
-            router=self.spec.router_name(),
-            mode=spec.cluster.mode,
-            tracer=self.tracer,
-        )
+        injector = self._fault_injector()
+        if spec.cluster.supervise or injector is not None:
+            from repro.resilience import SupervisorConfig
+            from repro.resilience.elastic import SupervisedElasticCluster
+
+            cluster = SupervisedElasticCluster(
+                spec.workload.m,
+                spec.gateway.shards_max,
+                k_initial=spec.gateway.shards_initial or None,
+                config=self._shard_config(),
+                router=self.spec.router_name(),
+                mode=spec.cluster.mode,
+                checkpoint_every=spec.cluster.checkpoint_every,
+                fault_injector=injector,
+                supervisor=SupervisorConfig(),
+                tracer=self.tracer,
+            )
+        else:
+            cluster = ElasticCluster(
+                m=spec.workload.m,
+                k_max=spec.gateway.shards_max,
+                k_initial=spec.gateway.shards_initial or None,
+                config=self._shard_config(),
+                router=self.spec.router_name(),
+                mode=spec.cluster.mode,
+                tracer=self.tracer,
+            )
         if spec.cluster.coordinate:
             coordinate(cluster)
         autoscaler = None

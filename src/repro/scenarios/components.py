@@ -233,6 +233,11 @@ def _install_workloads() -> None:
 # Faults, autoscalers, clocks, sinks.
 # ----------------------------------------------------------------------
 def _install_faults() -> None:
+    from repro.resilience.chaos import (
+        COORDINATION_FAULT_KINDS,
+        CORE_FAULT_KINDS,
+    )
+
     REGISTRY.register(
         "faults", "none", _named("none", {}),
         summary="Fault-free run (the default).",
@@ -245,6 +250,39 @@ def _install_faults() -> None:
         "faults", "chaos", _named("chaos", {}),
         summary="Scripted or seeded chaos schedule (crash/hang/slow-rpc/...).",
     )
+    # every chaos kind is also a standalone fault: one seeded event at
+    # ``faults.shard`` / ``faults.at`` over a supervised cluster
+    core = {
+        "crash": "Crash one shard; supervised checkpoint+WAL recovery.",
+        "hang": "Hang one shard past its heartbeat deadline.",
+        "slow-rpc": "Inflate one shard's command latency.",
+        "pipe-drop": "Sever one shard's command channel mid-run.",
+        "corrupt-checkpoint": "Corrupt a checkpoint; recovery falls back.",
+    }
+    coordination = {
+        "steal-interrupt": (
+            "Kill the steal donor between transaction phases; the "
+            "journal replays to exactly-one placement."
+        ),
+        "scale-during-crash": (
+            "Crash a shard and resize the elastic prefix in the same "
+            "tick."
+        ),
+        "ledger-partition": (
+            "Stale the coordinator's band ledger; routing degrades to "
+            "anchors until the next refresh."
+        ),
+        "tick-stall": (
+            "Freeze one gateway tick (no dispatch, no autoscale); "
+            "deadline-aware retry absorbs the stall."
+        ),
+    }
+    for kind in CORE_FAULT_KINDS:
+        REGISTRY.register("faults", kind, _named(kind, {}), summary=core[kind])
+    for kind in COORDINATION_FAULT_KINDS:
+        REGISTRY.register(
+            "faults", kind, _named(kind, {}), summary=coordination[kind]
+        )
 
 
 def _install_autoscalers() -> None:

@@ -119,7 +119,13 @@ class ClusterSection:
 
 @dataclass(frozen=True)
 class FaultsSection:
-    """Injected failures ("none", a single "kill", or "chaos")."""
+    """Injected failures.
+
+    ``kind`` is ``"none"``, a single ``"kill"``, a ``"chaos"``
+    schedule, or any single chaos kind by name (``"crash"``,
+    ``"steal-interrupt"``, ...) fired once at ``shard``/``at`` over a
+    supervised cluster.
+    """
 
     kind: str = "none"
     shard: int = 0

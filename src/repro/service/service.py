@@ -326,6 +326,18 @@ class SchedulingService:
         # not a stream event, and mid-run profit reads are O(finished)
         self.metrics.counter("stolen_in_total").inc()
 
+    def forget_pending(self, job_id: int) -> Optional[JobSpec]:
+        """Withdraw a submitted-but-unreleased job from the engine.
+
+        Recovery-reconciliation surface: a replayed submission that was
+        released into the engine at the current instant is neither in
+        the ingest queue nor extractable until the clock moves, and
+        this is the only way to remove it.  Returns the withdrawn spec
+        or ``None``; no shed or completion record is written.
+        """
+        self.start()
+        return self.sim.forget_pending(job_id)
+
     def coordination_view(self, limit: Optional[int] = None) -> Optional[dict]:
         """Band/queue state for the cluster coordinator's ledger.
 

@@ -600,6 +600,27 @@ class Simulator:
             emit(state.t, "admission", job_id, info or None)
         return job.view
 
+    def forget_pending(self, job_id: int) -> Optional[JobSpec]:
+        """Withdraw a submitted-but-unreleased job from the session.
+
+        A job submitted at the current instant sits in the pending heap
+        until the clock moves past its arrival -- live to the engine
+        (its id is reserved) but invisible to :meth:`extract_active`.
+        Cluster recovery needs to remove exactly such a copy when a
+        replayed submission resurrects a job whose authoritative home
+        is another shard.  Returns the withdrawn spec (freeing the id
+        for a legal resubmission), or ``None`` when ``job_id`` is not
+        pending here.  No terminal record is written.
+        """
+        state = self._require_session()
+        for i, (_, jid, spec) in enumerate(state.pending):
+            if jid == job_id:
+                state.pending.pop(i)
+                heapq.heapify(state.pending)
+                state.ids.discard(job_id)
+                return spec
+        return None
+
     # ------------------------------------------------------------------
     # The event loop
     # ------------------------------------------------------------------
