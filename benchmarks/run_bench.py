@@ -4,13 +4,30 @@
 Measures the four quantities future PRs must defend (see
 docs/PERFORMANCE.md):
 
-* ``engine_scale`` -- event-driven engine vs the frozen legacy stepper
-  (``repro.sim._legacy_engine``) on growing workloads: wall-clock,
-  speedup, jobs/sec and decisions/sec, with a bit-identity check of
-  records/counters/profit on every config.
-* ``sweep`` -- serial vs 2-worker wall-clock of a small E3-style grid
-  through :func:`repro.analysis.sweep.run_sweep`, with cell-for-cell
-  equality.
+* ``engine_scale`` -- the three engine backends (event-driven,
+  numpy-array, frozen legacy stepper) on growing SNS workloads:
+  wall-clock, speedups, jobs/sec and decisions/sec, with a
+  three-way bit-identity check of records/counters/profit on every
+  config.  SNS churn (many tiny picks, allocation changes every
+  decision) is the array backend's *worst* regime; these rows report
+  it honestly rather than gating it.
+* ``engine_stress`` -- the array backend's home regime: wide
+  multi-chain jobs under the reservation-stable
+  :class:`~repro.baselines.federated.FederatedScheduler` on a large
+  machine, where decisions are cheap and chunks drain thousands of
+  nodes at once.  Full mode gates the array backend at >= 5x over the
+  event engine (plus bit-identity).
+* ``engine_wave`` -- peak job throughput: a spread-arrival wave of
+  unit-work jobs.  Full mode gates the best backend at >= 100k
+  jobs/sec.  The event engine wins this row (per-job fixed costs
+  dominate; the arena adds constant overhead per churned job) -- the
+  array column is reported, not gated.
+* ``sweep`` -- serial vs multi-worker wall-clock of a small E3-style
+  grid through :func:`repro.analysis.sweep.run_sweep`, with
+  cell-for-cell equality.  The worker count comes from
+  :func:`repro.analysis.sweep.adaptive_workers`: on a 1-CPU host the
+  section runs serial-only and *claims no parallel speedup* (the
+  ``parallel_speedup`` field is ``null`` and never gates).
 * ``service`` -- streaming pass-through overhead of
   :class:`repro.service.SchedulingService` relative to batch
   ``Simulator.run`` on the same workload.
@@ -74,8 +91,10 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import math
 import os
 import platform
+import random
 import subprocess
 import sys
 import time
@@ -84,7 +103,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis.sweep import run_sweep  # noqa: E402
+from repro.analysis.sweep import adaptive_workers, run_sweep  # noqa: E402
+from repro.baselines.federated import FederatedScheduler  # noqa: E402
+from repro.dag.graph import DAGStructure  # noqa: E402
 from repro.cluster import (  # noqa: E402
     ClusterService,
     FaultInjector,
@@ -96,8 +117,9 @@ from repro.cluster import (  # noqa: E402
 from repro.core import SNSScheduler  # noqa: E402
 from repro.experiments.e03_thm2 import _thm2_value  # noqa: E402
 from repro.service import SchedulingService  # noqa: E402
-from repro.sim import Simulator  # noqa: E402
+from repro.sim import ArraySimulator, Simulator  # noqa: E402
 from repro.sim._legacy_engine import LegacySimulator  # noqa: E402
+from repro.sim.jobs import JobSpec  # noqa: E402
 from repro.workloads import WorkloadConfig, generate_workload  # noqa: E402
 
 #: (n_jobs, m) engine-scale configs; the last is the acceptance config.
@@ -156,7 +178,7 @@ def _identical(res_a, res_b) -> bool:
 
 
 def bench_engine_scale(quick: bool, repeats: int) -> list[dict]:
-    """Legacy-vs-event-driven engine comparison across scales."""
+    """Three-backend engine comparison on growing SNS workloads."""
     rows = []
     for n_jobs, m in QUICK_SCALE_CONFIGS if quick else SCALE_CONFIGS:
         specs = generate_workload(
@@ -170,40 +192,202 @@ def bench_engine_scale(quick: bool, repeats: int) -> list[dict]:
             )
         )
 
-        def run_new():
+        def run_event():
             return Simulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(specs)
+
+        def run_array():
+            return ArraySimulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(
+                specs
+            )
 
         def run_legacy():
             return LegacySimulator(m=m, scheduler=SNSScheduler(epsilon=1.0)).run(
                 specs
             )
 
-        res_new, res_legacy = run_new(), run_legacy()
-        best = _interleaved({"new": run_new, "legacy": run_legacy}, repeats)
+        res_event, res_array, res_legacy = run_event(), run_array(), run_legacy()
+        best = _interleaved(
+            {"event": run_event, "array": run_array, "legacy": run_legacy},
+            repeats,
+        )
         rows.append(
             {
                 "n_jobs": n_jobs,
                 "m": m,
-                "identical": _identical(res_new, res_legacy),
-                "engine_seconds": best["new"],
+                "identical": _identical(res_event, res_legacy)
+                and _identical(res_event, res_array),
+                "engine_seconds": best["event"],
+                "array_seconds": best["array"],
                 "legacy_seconds": best["legacy"],
-                "speedup": best["legacy"] / best["new"],
-                "jobs_per_sec": n_jobs / best["new"],
-                "decisions_per_sec": res_new.counters.decisions / best["new"],
-                "steps_per_sec": res_new.counters.steps / best["new"],
-                "total_profit": res_new.total_profit,
+                "speedup": best["legacy"] / best["event"],
+                "array_speedup_vs_event": best["event"] / best["array"],
+                "array_speedup_vs_legacy": best["legacy"] / best["array"],
+                "jobs_per_sec": n_jobs / best["event"],
+                "decisions_per_sec": res_event.counters.decisions / best["event"],
+                "steps_per_sec": res_event.counters.steps / best["event"],
+                "total_profit": res_event.total_profit,
             }
         )
         print(
             f"engine n={n_jobs:4d} m={m:3d} "
-            f"speedup={rows[-1]['speedup']:.2f}x "
+            f"event={rows[-1]['speedup']:.2f}x vs legacy, "
+            f"array={rows[-1]['array_speedup_vs_event']:.2f}x vs event "
             f"identical={rows[-1]['identical']}"
         )
     return rows
 
 
+def _multichain_specs(
+    n_jobs: int, width: int, length: int, wlo: int, whi: int, seed: int
+) -> list[JobSpec]:
+    """Wide multi-chain jobs sized so FederatedScheduler reserves
+    exactly ``width`` processors each (deadline = span + W/width)."""
+    rng = random.Random(seed)
+    specs = []
+    for j in range(n_jobs):
+        works = [float(rng.randint(wlo, whi)) for _ in range(width * length)]
+        edges = []
+        spans = []
+        for c in range(width):
+            base = c * length
+            edges += [(base + i, base + i + 1) for i in range(length - 1)]
+            spans.append(sum(works[base : base + length]))
+        total = sum(works)
+        span = max(spans)
+        rel = int(span + math.ceil((total - span) / width)) + 1
+        specs.append(
+            JobSpec(
+                job_id=j,
+                structure=DAGStructure(works, edges, name="multichain"),
+                arrival=0,
+                profit=1.0,
+                deadline=rel,
+            )
+        )
+    return specs
+
+
+def bench_engine_stress(quick: bool, repeats: int) -> dict:
+    """Array-backend home regime: wide jobs, stable reservations.
+
+    :class:`FederatedScheduler` allocates from fixed reservations
+    (cheap, allocation-stable decisions), so wall-clock is dominated by
+    draining node work -- the part the arena vectorizes.  Full mode
+    gates the array backend at >= 5x over the event engine here; the
+    legacy stepper is skipped (it is another ~10x slower on this shape
+    and the scale rows already pin it).
+    """
+    if quick:
+        n_jobs, width, length, wlo, whi, m = 16, 16, 8, 100, 1000, 512
+    else:
+        n_jobs, width, length, wlo, whi, m = 64, 64, 8, 1000, 10000, 8192
+    specs = _multichain_specs(n_jobs, width, length, wlo, whi, seed=7)
+
+    def run_event():
+        return Simulator(m=m, scheduler=FederatedScheduler()).run(specs)
+
+    def run_array():
+        return ArraySimulator(m=m, scheduler=FederatedScheduler()).run(specs)
+
+    res_event, res_array = run_event(), run_array()
+    best = _interleaved({"event": run_event, "array": run_array}, repeats)
+    speedup = best["event"] / best["array"]
+    row = {
+        "n_jobs": n_jobs,
+        "chain_width": width,
+        "chain_length": length,
+        "m": m,
+        "nodes_total": n_jobs * width * length,
+        "identical": _identical(res_event, res_array),
+        "completed": sum(
+            1
+            for rec in res_event.records.values()
+            if rec.completion_time is not None
+        ),
+        "event_seconds": best["event"],
+        "array_seconds": best["array"],
+        "array_speedup_vs_event": speedup,
+        "node_completions_per_sec": n_jobs * width * length / best["array"],
+        # full mode gates >= 5x; quick sizes are too small to amortize
+        # the arena and only check identity
+        "speedup_ok": quick or speedup >= 5.0,
+    }
+    print(
+        f"engine-stress jobs={n_jobs} width={width} m={m}: "
+        f"array {speedup:.2f}x vs event "
+        f"identical={row['identical']}"
+    )
+    return row
+
+
+def bench_engine_wave(quick: bool, repeats: int) -> dict:
+    """Peak job throughput: a spread-arrival wave of unit-work jobs.
+
+    Every engine cost here is per-job bookkeeping (arrival, one-node
+    execution, completion record); full mode gates the best backend at
+    >= 100k jobs/sec.  This is the array backend's worst regime -- the
+    arena adds constant overhead per churned job and vectorizes
+    nothing -- so its column is reported but never gated.
+    """
+    n_jobs = 2000 if quick else 20000
+    spread = 200 if quick else 2000
+    m = 64
+    specs = [
+        JobSpec(
+            job_id=j,
+            structure=DAGStructure([1.0], [], name="unit"),
+            arrival=(j * spread) // n_jobs,
+            profit=1.0,
+            deadline=10**9,
+        )
+        for j in range(n_jobs)
+    ]
+
+    def run_event():
+        return Simulator(m=m, scheduler=FederatedScheduler()).run(specs)
+
+    def run_array():
+        return ArraySimulator(m=m, scheduler=FederatedScheduler()).run(specs)
+
+    res_event, res_array = run_event(), run_array()
+    # extra rounds: the jobs/sec gate is an absolute number, so this row
+    # deserves more samples than the relative-speedup sections
+    best = _interleaved(
+        {"event": run_event, "array": run_array}, max(repeats, 5)
+    )
+    jobs_per_sec = {name: n_jobs / seconds for name, seconds in best.items()}
+    peak = max(jobs_per_sec.values())
+    row = {
+        "n_jobs": n_jobs,
+        "m": m,
+        "arrival_spread": spread,
+        "identical": _identical(res_event, res_array),
+        "event_seconds": best["event"],
+        "array_seconds": best["array"],
+        "event_jobs_per_sec": jobs_per_sec["event"],
+        "array_jobs_per_sec": jobs_per_sec["array"],
+        "peak_jobs_per_sec": peak,
+        # full mode gates the 100k+ jobs/sec target on the best backend
+        "throughput_ok": quick or peak >= 100_000.0,
+    }
+    print(
+        f"engine-wave n={n_jobs}: event {jobs_per_sec['event'] / 1e3:.0f}k "
+        f"array {jobs_per_sec['array'] / 1e3:.0f}k jobs/sec "
+        f"identical={row['identical']}"
+    )
+    return row
+
+
 def bench_sweep(quick: bool, repeats: int) -> dict:
-    """Serial vs 2-worker wall-clock on a small Theorem-2 grid."""
+    """Serial vs adaptive-worker wall-clock on a small Theorem-2 grid.
+
+    The worker count comes from :func:`adaptive_workers` (capped at 2
+    so the comparison stays apples-to-apples across hosts).  On a
+    1-CPU host there is no fan-out to measure: the section runs the
+    serial sweep only and reports ``parallel_speedup: null`` --
+    claiming a parallel win the hardware cannot deliver would poison
+    the snapshot.
+    """
     # Full mode must be large enough that the worker-pool startup
     # (a few hundred ms to import the scientific stack twice)
     # amortizes; quick mode only checks cell-for-cell equality.
@@ -214,20 +398,38 @@ def bench_sweep(quick: bool, repeats: int) -> dict:
         "load": [2.0],
     }
     seeds = [0, 1] if quick else [0, 1, 2, 3, 4]
+    workers = adaptive_workers(max_workers=2)
 
     serial = run_sweep(_thm2_value, grid, seeds, workers=1)
-    parallel = run_sweep(_thm2_value, grid, seeds, workers=2)
+    if workers <= 1:
+        best = _interleaved(
+            {"serial": lambda: run_sweep(_thm2_value, grid, seeds, workers=1)},
+            repeats,
+        )
+        return {
+            "grid_cells": len(serial),
+            "seeds": len(seeds),
+            "workers": 1,
+            "identical": True,
+            "serial_seconds": best["serial"],
+            "parallel_seconds": None,
+            "parallel_speedup": None,
+        }
+
+    parallel = run_sweep(_thm2_value, grid, seeds, workers=workers)
     best = _interleaved(
         {
             "serial": lambda: run_sweep(_thm2_value, grid, seeds, workers=1),
-            "parallel": lambda: run_sweep(_thm2_value, grid, seeds, workers=2),
+            "parallel": lambda: run_sweep(
+                _thm2_value, grid, seeds, workers=workers
+            ),
         },
         repeats,
     )
     return {
         "grid_cells": len(serial),
         "seeds": len(seeds),
-        "workers": 2,
+        "workers": workers,
         "identical": serial == parallel,
         "serial_seconds": best["serial"],
         "parallel_seconds": best["parallel"],
@@ -235,8 +437,27 @@ def bench_sweep(quick: bool, repeats: int) -> dict:
     }
 
 
-def bench_service(quick: bool, repeats: int) -> dict:
-    """Streaming pass-through overhead relative to batch runs."""
+def sweep_gate_ok(section: dict, quick: bool) -> bool:
+    """Gate for the sweep section: equality always; and a *claimed*
+    parallel speedup below 1.0 never passes (at full scale, where pool
+    startup amortizes).  A serial-only section (1-CPU host: ``workers
+    == 1``, ``parallel_speedup`` null) passes on equality alone --
+    there is no parallel claim to defend."""
+    if not section["identical"]:
+        return False
+    speedup = section.get("parallel_speedup")
+    if section.get("workers", 1) <= 1 or speedup is None:
+        return True
+    return quick or speedup >= 1.0
+
+
+def bench_service(quick: bool, repeats: int, engine: str = "event") -> dict:
+    """Streaming pass-through overhead relative to batch runs.
+
+    ``engine`` selects the service's backend (``--service-engine``);
+    the batch reference always runs the event engine, so on the array
+    backend the equality column doubles as a cross-backend pin.
+    """
     n_jobs = 100 if quick else 400
     specs = generate_workload(
         WorkloadConfig(n_jobs=n_jobs, m=8, load=2.5, epsilon=1.0, seed=5)
@@ -246,12 +467,15 @@ def bench_service(quick: bool, repeats: int) -> dict:
         return Simulator(m=8, scheduler=SNSScheduler(epsilon=1.0)).run(list(specs))
 
     def run_stream():
-        return SchedulingService(8, SNSScheduler(epsilon=1.0)).run_stream(specs)
+        return SchedulingService(
+            8, SNSScheduler(epsilon=1.0), engine=engine
+        ).run_stream(specs)
 
     batch, stream = run_batch(), run_stream()
     best = _interleaved({"batch": run_batch, "stream": run_stream}, repeats)
     return {
         "n_jobs": n_jobs,
+        "engine": engine,
         "identical_profit": batch.total_profit == stream.total_profit,
         "batch_seconds": best["batch"],
         "stream_seconds": best["stream"],
@@ -1044,6 +1268,14 @@ def main(argv=None) -> int:
         help="exit 1 unless every bit-identity/equality assertion holds",
     )
     parser.add_argument(
+        "--service-engine",
+        choices=["event", "array"],
+        default="event",
+        help="engine backend for the service section (the batch"
+        " reference stays on 'event', so 'array' doubles the equality"
+        " column as a cross-backend pin)",
+    )
+    parser.add_argument(
         "--cluster-output",
         default=str(Path(__file__).resolve().parent / "BENCH_cluster.json"),
         help="where to write the cluster JSON snapshot",
@@ -1115,9 +1347,16 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "repeats": args.repeats,
         },
+        # wave (absolute jobs/sec gate) runs before stress: minutes of
+        # saturated numpy right before an absolute-throughput measurement
+        # depress it noticeably on thermally-limited hosts
         "engine_scale": bench_engine_scale(args.quick, args.repeats),
+        "engine_wave": bench_engine_wave(args.quick, args.repeats),
+        "engine_stress": bench_engine_stress(args.quick, args.repeats),
         "sweep": bench_sweep(args.quick, args.repeats),
-        "service": bench_service(args.quick, args.repeats),
+        "service": bench_service(
+            args.quick, args.repeats, args.service_engine
+        ),
         "scenario_overhead": bench_scenario_overhead(args.quick, args.repeats),
     }
 
@@ -1127,17 +1366,28 @@ def main(argv=None) -> int:
 
     ok = (
         all(row["identical"] for row in snapshot["engine_scale"])
-        and snapshot["sweep"]["identical"]
+        and snapshot["engine_stress"]["identical"]
+        and snapshot["engine_stress"]["speedup_ok"]
+        and snapshot["engine_wave"]["identical"]
+        and snapshot["engine_wave"]["throughput_ok"]
+        and sweep_gate_ok(snapshot["sweep"], args.quick)
         and snapshot["service"]["identical_profit"]
         and snapshot["scenario_overhead"]["identical"]
         and snapshot["scenario_overhead"]["overhead_ok"]
     )
     largest = snapshot["engine_scale"][-1]
+    stress = snapshot["engine_stress"]
+    wave = snapshot["engine_wave"]
     print(
         f"largest config n={largest['n_jobs']} m={largest['m']}: "
         f"{largest['speedup']:.2f}x vs legacy, "
         f"{largest['jobs_per_sec']:.0f} jobs/sec, "
         f"{largest['decisions_per_sec']:.0f} decisions/sec"
+    )
+    print(
+        f"engine stress: array {stress['array_speedup_vs_event']:.2f}x vs "
+        f"event (gate {'5x full-mode' if not args.quick else 'identity only'}); "
+        f"wave peak {wave['peak_jobs_per_sec'] / 1e3:.0f}k jobs/sec"
     )
 
     if not args.skip_cluster:

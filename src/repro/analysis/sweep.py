@@ -42,21 +42,55 @@ def grid_points(grid: Mapping[str, Sequence]) -> list[dict]:
     ]
 
 
+def adaptive_workers(
+    probe: Optional[Callable[[int], float]] = None,
+    max_workers: Optional[int] = None,
+) -> int:
+    """Pick a worker count the host can actually profit from.
+
+    Process fan-out only pays when there are spare CPUs: on a 1-CPU
+    box (or inside a cluster shard worker, which must not spawn its
+    own pool) the answer is always 1, so callers that report parallel
+    speedup never *claim* one the hardware cannot deliver.  With more
+    CPUs the count is ``min(cpu_count, max_workers)``.
+
+    ``probe``, when given, is ``probe(workers) -> seconds`` running a
+    representative slice of the real work; the fan-out is kept only if
+    the measured 2-worker round actually beats the serial round (pool
+    startup and IPC can eat the win on small grids even with spare
+    CPUs), otherwise the answer falls back to 1.
+    """
+    if os.environ.get("REPRO_CLUSTER_SHARD"):
+        return 1
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return 1
+    workers = cpus if max_workers is None else max(1, min(cpus, max_workers))
+    if workers <= 1 or probe is None:
+        return workers
+    serial_s = probe(1)
+    parallel_s = probe(2)
+    return workers if parallel_s < serial_s else 1
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Decide the sweep worker count.
 
     An explicit ``workers`` argument wins; otherwise the
     ``REPRO_SWEEP_WORKERS`` environment variable; otherwise 1 (serial).
     ``0`` or ``"auto"`` (from either source) means one worker per CPU,
-    so CI and shell one-liners can opt whole experiment grids into
-    parallelism without touching call sites.
+    and ``"adaptive"`` defers to :func:`adaptive_workers` (one worker
+    per CPU, but never parallel on a 1-CPU host), so CI and shell
+    one-liners can opt whole experiment grids into parallelism without
+    touching call sites.
 
     Inside a cluster shard worker process (detected via the
     ``REPRO_CLUSTER_SHARD`` flag the shard spawner sets, see
     :data:`repro.cluster.shard.SHARD_ENV_FLAG`) the default is 1
     regardless of ``REPRO_SWEEP_WORKERS``: every shard spawning its own
     CPU-wide pool would oversubscribe the host multiplicatively.  An
-    explicit ``workers`` argument still wins.
+    explicit ``workers`` argument still wins (except ``"adaptive"``,
+    which also yields 1 inside a shard by definition).
     """
     source: Any = workers
     if source is None and os.environ.get("REPRO_CLUSTER_SHARD"):
@@ -67,12 +101,14 @@ def resolve_workers(workers: Optional[int] = None) -> int:
         text = source.strip().lower()
         if text == "auto":
             return os.cpu_count() or 1
+        if text == "adaptive":
+            return adaptive_workers()
         try:
             source = int(text)
         except ValueError as exc:
             raise SweepError(
                 f"invalid sweep worker count {source!r} "
-                "(expected an integer or 'auto')"
+                "(expected an integer, 'auto' or 'adaptive')"
             ) from exc
     if source == 0:
         return os.cpu_count() or 1

@@ -22,6 +22,11 @@ from repro.sim.jobs import JobView
 class AdmissionEDF(ListScheduler):
     """EDF execution + demand-bound admission at arrival."""
 
+    # the admission test sums work_completed over admitted jobs inside
+    # on_arrival: the array engine must not serve it from a deferred-
+    # write arena
+    reads_progress = True
+
     def __init__(self, utilization_cap: float = 1.0) -> None:
         super().__init__()
         if not 0 < utilization_cap <= 1.0:

@@ -19,6 +19,8 @@ class GlobalEDF(ListScheduler):
     def __init__(self, skip_hopeless: bool = False) -> None:
         super().__init__()
         self.skip_hopeless = bool(skip_hopeless)
+        # the hopeless test reads work_completed at decision time
+        self.reads_progress = self.skip_hopeless
 
     def priority(self, job: JobView, t: int) -> tuple[float, int]:
         deadline = job.deadline

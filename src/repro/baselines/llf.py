@@ -16,6 +16,10 @@ from repro.sim.jobs import JobView
 class LeastLaxityFirst(ListScheduler):
     """Smallest estimated laxity first; deadline-less jobs last."""
 
+    # laxity reads work_completed at every decision: the array engine
+    # must not serve it from a deferred-write arena
+    reads_progress = True
+
     def priority(self, job: JobView, t: int) -> tuple[float, int]:
         deadline = job.deadline
         if deadline is None:

@@ -52,6 +52,10 @@ class DoublingNonClairvoyant(SchedulerBase):
         Starting work guess ``W_hat`` for every job.
     """
 
+    # the doubling pass reads work_completed at every decision: the
+    # array engine must not serve it from a deferred-write arena
+    reads_progress = True
+
     def __init__(
         self,
         epsilon: float = 1.0,

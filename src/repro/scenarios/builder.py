@@ -319,15 +319,20 @@ class ScenarioBuilder:
         from repro.service.service import SchedulingService
         from repro.service.telemetry import MetricsRegistry
 
+        from repro.sim.backends import SERVICE_BACKENDS
+
         spec = self.spec
-        if spec.engine.backend != "event":
+        if spec.engine.backend not in SERVICE_BACKENDS:
+            valid = ", ".join(SERVICE_BACKENDS)
             raise ScenarioError(
-                "service mode runs on the event engine; set engine.backend"
-                " = 'event'",
+                f"service mode needs a snapshot-capable engine ({valid});"
+                f" engine.backend = {spec.engine.backend!r} has no"
+                " snapshot/migration surface",
                 location="engine.backend",
             )
         self.runnable = SchedulingService(
             m=spec.workload.m,
+            engine=spec.engine.backend,
             scheduler=self.make_scheduler(),
             capacity=spec.service.capacity,
             shed_policy=make_shed_policy(spec.service.shed_policy),
@@ -344,8 +349,17 @@ class ScenarioBuilder:
 
     def _shard_config(self) -> Any:
         from repro.cluster import ShardConfig
+        from repro.sim.backends import SERVICE_BACKENDS
 
         spec = self.spec
+        if spec.engine.backend not in SERVICE_BACKENDS:
+            valid = ", ".join(SERVICE_BACKENDS)
+            raise ScenarioError(
+                f"cluster shards need a snapshot-capable engine ({valid});"
+                f" engine.backend = {spec.engine.backend!r} has no"
+                " snapshot/migration surface",
+                location="engine.backend",
+            )
         return ShardConfig(
             m=1,  # overridden per shard by the machine partition
             scheduler=spec.scheduler.name,
@@ -355,6 +369,7 @@ class ScenarioBuilder:
             max_in_flight=spec.service.max_in_flight or None,
             speed=spec.engine.speed,
             sample_every=spec.service.sample_every or None,
+            engine=spec.engine.backend,
         )
 
     def _fault_injector(self) -> Any:

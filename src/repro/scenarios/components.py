@@ -108,6 +108,7 @@ def _install_schedulers() -> None:
 # ----------------------------------------------------------------------
 def _install_engines() -> None:
     from repro.sim._legacy_engine import LegacySimulator
+    from repro.sim.array_engine import ArraySimulator
     from repro.sim.engine import Simulator
 
     REGISTRY.register(
@@ -115,6 +116,15 @@ def _install_engines() -> None:
         "event",
         Simulator,
         summary="Event-driven engine (decision-point jumps; the default).",
+    )
+    REGISTRY.register(
+        "engine",
+        "array",
+        ArraySimulator,
+        summary=(
+            "Numpy struct-of-arrays core, bit-identical to 'event';"
+            " delegates to the event loop when a config needs it."
+        ),
     )
     REGISTRY.register(
         "engine",

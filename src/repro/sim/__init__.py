@@ -18,8 +18,20 @@ from repro.sim.picker import (
 )
 from repro.sim.trace import AllocationSlice, EventKind, RunCounters, Trace, TraceEvent
 from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.array_engine import ArraySimulator
+from repro.sim.backends import (
+    ENGINE_BACKENDS,
+    SERVICE_BACKENDS,
+    make_engine,
+    resolve_backend,
+)
 
 __all__ = [
+    "ArraySimulator",
+    "ENGINE_BACKENDS",
+    "SERVICE_BACKENDS",
+    "make_engine",
+    "resolve_backend",
     "ActiveJob",
     "CompletionRecord",
     "JobSpec",

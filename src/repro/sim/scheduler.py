@@ -57,6 +57,20 @@ class SchedulerBase:
     m: int = 0
     speed: float = 1.0
 
+    #: Declare ``True`` when *any* scheduler hook -- :meth:`allocate`,
+    #: :meth:`wakeup_after`, arrival/completion/expiry handlers,
+    #: :meth:`assign_deadline`, or a priority/eligibility helper they
+    #: call -- reads *execution progress*
+    #: (:attr:`~repro.sim.jobs.JobView.work_completed` or anything else
+    #: derived from node ``remaining`` values).  The array engine
+    #: (:class:`~repro.sim.array_engine.ArraySimulator`) defers
+    #: remaining-work write-backs to a numpy arena between decision
+    #: points and must route progress-reading schedulers through the
+    #: reference event loop; schedulers that fail to declare this would
+    #: read stale progress there.  DAG *structure* (``num_ready``,
+    #: ``is_complete``) is never deferred and needs no declaration.
+    reads_progress: bool = False
+
     def on_start(self, m: int, speed: float) -> None:
         """Record machine configuration; override to add setup."""
         self.m = m

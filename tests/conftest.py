@@ -14,6 +14,26 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(params=["legacy", "event", "array"])
+def engine_backend(request) -> str:
+    """Engine backend name, parametrized over all three cores.
+
+    Tests taking this fixture run once per backend (the name lands in
+    the test id), so differential suites cover the full
+    :data:`repro.sim.ENGINE_BACKENDS` surface without triplicating
+    test bodies.  Resolve with :func:`repro.sim.make_engine`.
+    """
+    return request.param
+
+
+@pytest.fixture(params=["event", "array"])
+def service_backend(request) -> str:
+    """Like ``engine_backend`` but only the service-grade backends
+    (:data:`repro.sim.SERVICE_BACKENDS`): the legacy oracle predates
+    the observability/snapshot surface those tests exercise."""
+    return request.param
+
+
 @pytest.fixture
 def diamond() -> DAGStructure:
     """4-node diamond: 0 -> {1, 2} -> 3, works 1/2/3/1 (span 5)."""

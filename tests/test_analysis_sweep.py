@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.sweep import (
     SweepCell,
+    adaptive_workers,
     grid_points,
     resolve_workers,
     run_sweep,
@@ -58,6 +59,108 @@ class TestResolveWorkers:
         monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
         with pytest.raises(SweepError):
             resolve_workers()
+
+
+class TestAdaptiveWorkers:
+    """Fan-out must never be *claimed* on hardware that cannot deliver
+    it: 1-CPU hosts and cluster shard workers always resolve to 1."""
+
+    def test_single_cpu_pins_to_one(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        assert adaptive_workers() == 1
+        # even with an explicit cap and an optimistic probe
+        assert adaptive_workers(probe=lambda w: 0.0, max_workers=8) == 1
+
+    def test_resolve_adaptive_keyword_single_cpu(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 1)
+        assert resolve_workers("adaptive") == 1
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "adaptive")
+        assert resolve_workers() == 1
+
+    def test_cluster_shard_pins_to_one(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.setenv("REPRO_CLUSTER_SHARD", "1")
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        assert adaptive_workers() == 1
+
+    def test_multi_cpu_respects_cap(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 8)
+        assert adaptive_workers() == 8
+        assert adaptive_workers(max_workers=2) == 2
+        assert adaptive_workers(max_workers=100) == 8
+
+    def test_probe_gain_decides(self, monkeypatch):
+        import repro.analysis.sweep as sweep_mod
+
+        monkeypatch.delenv("REPRO_CLUSTER_SHARD", raising=False)
+        monkeypatch.setattr(sweep_mod.os, "cpu_count", lambda: 4)
+        # measured 2-worker round slower than serial: stay serial
+        assert adaptive_workers(probe=lambda w: float(w)) == 1
+        # measured gain: keep the fan-out
+        assert adaptive_workers(probe=lambda w: 1.0 / w) == 4
+
+
+class TestBenchSweepGateHonesty:
+    """The BENCH_engine sweep section must never pass its gate while
+    reporting a parallel speedup below 1.0 -- and a serial-only section
+    (1-CPU host) must pass without claiming any speedup at all."""
+
+    @pytest.fixture(scope="class")
+    def run_bench(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "run_bench.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_bench", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_serial_only_passes_on_equality_alone(self, run_bench):
+        section = {
+            "identical": True,
+            "workers": 1,
+            "parallel_speedup": None,
+        }
+        assert run_bench.sweep_gate_ok(section, quick=False)
+
+    def test_claimed_slowdown_never_gates_pass(self, run_bench):
+        section = {
+            "identical": True,
+            "workers": 2,
+            "parallel_speedup": 0.7,
+        }
+        assert not run_bench.sweep_gate_ok(section, quick=False)
+
+    def test_real_speedup_passes(self, run_bench):
+        section = {
+            "identical": True,
+            "workers": 2,
+            "parallel_speedup": 1.4,
+        }
+        assert run_bench.sweep_gate_ok(section, quick=False)
+
+    def test_inequality_always_fails(self, run_bench):
+        section = {
+            "identical": False,
+            "workers": 1,
+            "parallel_speedup": None,
+        }
+        assert not run_bench.sweep_gate_ok(section, quick=True)
 
 
 class TestGrid:

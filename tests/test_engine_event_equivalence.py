@@ -1,28 +1,35 @@
-"""Event-driven engine vs the frozen legacy stepper.
+"""Every engine backend vs the event-driven reference.
 
-``repro.sim._legacy_engine`` is the pre-optimization engine, kept as a
-behavioral reference.  The rewritten hot path (incremental ready sets,
-memoized picks, event-jump chunking) must be *bit-identical* to it --
-every record field, every counter, the end time and the float profit
-sum -- across DAG families, seeds, schedulers, speeds, preemption
-overheads, and both the batch and streaming drivers.
+``repro.sim.backends`` exposes three interchangeable cores: the event
+engine (reference semantics), the frozen legacy stepper (pre-rewrite
+oracle) and the numpy array engine (struct-of-arrays hot path).  Each
+must be *bit-identical* to the others -- every record field, every
+counter, the end time and the float profit sum -- across DAG families,
+seeds, schedulers, speeds, preemption overheads, and both the batch
+and streaming drivers.  The ``engine_backend`` conftest fixture runs
+every test here once per backend (the ``event`` leg doubles as a
+determinism check of the reference itself).
 
-Also here: the parallel-sweep regression test -- a 2-worker
-process-pool sweep must equal the serial sweep cell for cell.
+Also here: the parallel-sweep regression tests -- a 2-worker
+process-pool sweep must equal the serial sweep cell for cell, and the
+adaptive worker probe must never fan out on hardware that cannot
+profit from it.
+
+The deeper hypothesis matrix (all-pairs, lockstep divergence location,
+snapshot round-trips) lives in ``tests/test_engine_differential.py``.
 """
 
 from dataclasses import asdict
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.sweep import run_sweep, sweep_values
 from repro.baselines import FIFOScheduler, GlobalEDF, GreedyDensity
 from repro.core import SNSScheduler
 from repro.experiments.e03_thm2 import _thm2_value
-from repro.sim import Simulator
-from repro.sim._legacy_engine import LegacySimulator
+from repro.sim import make_engine
 from repro.workloads import WorkloadConfig, generate_workload
 
 FACTORIES = {
@@ -55,44 +62,52 @@ def _observables(result):
     )
 
 
-def _run_batch(sim_cls, specs, m, **kw):
-    return sim_cls(m=m, scheduler=SNSScheduler(epsilon=1.0), **kw).run(specs)
+def _run_batch(backend, specs, m, scheduler=None, **kw):
+    scheduler = scheduler if scheduler is not None else SNSScheduler(epsilon=1.0)
+    return make_engine(backend, m=m, scheduler=scheduler, **kw).run(specs)
 
 
-def _run_stream(sim_cls, specs, m, **kw):
+def _run_stream(backend, specs, m, scheduler=None, **kw):
     """Drive the streaming API: submit in arrival order, advance between."""
-    sim = sim_cls(m=m, scheduler=SNSScheduler(epsilon=1.0), **kw)
+    scheduler = scheduler if scheduler is not None else SNSScheduler(epsilon=1.0)
+    sim = make_engine(backend, m=m, scheduler=scheduler, **kw)
     sim.start()
     for spec in sorted(specs, key=lambda sp: sp.arrival):
         sim.submit(spec, t=spec.arrival)
     return sim.finish()
 
 
-class TestBitIdenticalToLegacy:
+class TestBitIdenticalAcrossBackends:
     @pytest.mark.parametrize("name", sorted(FACTORIES))
-    def test_schedulers_batch(self, name):
+    def test_schedulers_batch(self, engine_backend, name):
         specs = generate_workload(
             WorkloadConfig(n_jobs=40, m=8, load=2.0, epsilon=1.0, seed=7)
         )
-        new = Simulator(m=8, scheduler=FACTORIES[name]()).run(specs)
-        old = LegacySimulator(m=8, scheduler=FACTORIES[name]()).run(specs)
-        assert _observables(new) == _observables(old)
+        reference = _run_batch("event", specs, 8, FACTORIES[name]())
+        subject = _run_batch(engine_backend, specs, 8, FACTORIES[name]())
+        assert _observables(subject) == _observables(reference)
 
     @pytest.mark.parametrize(
         "family",
         ["chain", "fork_join", "layered", "gnp", "wavefront", "mixed"],
     )
-    def test_dag_families_batch(self, family):
+    def test_dag_families_batch(self, engine_backend, family):
         specs = generate_workload(
             WorkloadConfig(
                 n_jobs=25, m=8, load=2.0, family=family, epsilon=1.0, seed=3
             )
         )
-        new = _run_batch(Simulator, specs, 8)
-        old = _run_batch(LegacySimulator, specs, 8)
-        assert _observables(new) == _observables(old)
+        reference = _run_batch("event", specs, 8)
+        subject = _run_batch(engine_backend, specs, 8)
+        assert _observables(subject) == _observables(reference)
 
-    @settings(max_examples=20, deadline=None)
+    # the fixture is an immutable backend-name string, so sharing it
+    # across generated examples is sound
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
     @given(
         seed=st.integers(min_value=0, max_value=10 ** 6),
         family=st.sampled_from(
@@ -103,29 +118,31 @@ class TestBitIdenticalToLegacy:
         overhead=st.sampled_from([0.0, 1.0]),
         stream=st.booleans(),
     )
-    def test_property(self, seed, family, load, speed, overhead, stream):
+    def test_property(
+        self, engine_backend, seed, family, load, speed, overhead, stream
+    ):
         specs = generate_workload(
             WorkloadConfig(
                 n_jobs=15, m=4, load=load, family=family, epsilon=1.0, seed=seed
             )
         )
         drive = _run_stream if stream else _run_batch
-        new = drive(
-            Simulator, specs, 4, speed=speed, preemption_overhead=overhead
+        reference = drive(
+            "event", specs, 4, speed=speed, preemption_overhead=overhead
         )
-        old = drive(
-            LegacySimulator, specs, 4, speed=speed, preemption_overhead=overhead
+        subject = drive(
+            engine_backend, specs, 4, speed=speed, preemption_overhead=overhead
         )
-        assert _observables(new) == _observables(old)
+        assert _observables(subject) == _observables(reference)
 
-    def test_stream_equals_batch_equals_legacy(self):
+    def test_stream_equals_batch(self, engine_backend):
         specs = generate_workload(
             WorkloadConfig(n_jobs=30, m=8, load=2.5, epsilon=1.0, seed=11)
         )
-        batch = _run_batch(Simulator, specs, 8)
-        stream = _run_stream(Simulator, specs, 8)
-        legacy = _run_batch(LegacySimulator, specs, 8)
-        assert _observables(batch) == _observables(legacy)
+        batch = _run_batch(engine_backend, specs, 8)
+        stream = _run_stream(engine_backend, specs, 8)
+        reference = _run_batch("event", specs, 8)
+        assert _observables(batch) == _observables(reference)
         # the streaming driver takes one extra decision round per submit,
         # so counters differ; records and profit must not
         assert _observables(stream)[0] == _observables(batch)[0]
